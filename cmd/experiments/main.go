@@ -1,0 +1,57 @@
+// Command experiments regenerates every evaluation artefact of the
+// reproduction (DESIGN.md §4, EXPERIMENTS.md). Each experiment prints
+// one or more tables; the rows are the reproduction's equivalent of
+// the paper's (theoretical) claims.
+//
+// Usage:
+//
+//	experiments -run all          # run everything (few minutes)
+//	experiments -run e1,e4,e5     # run a subset
+//	experiments -run e7 -csv      # emit CSV instead of aligned tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated experiment ids (e1..e8) or 'all'")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	ids := experiments.IDs()
+	if *runFlag != "all" {
+		ids = strings.Split(*runFlag, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(strings.ToLower(id))
+		if id == "" {
+			continue
+		}
+		start := time.Now()
+		reports, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, r := range reports {
+			fmt.Printf("=== %s: %s\n", r.ID, r.Title)
+			if *csv {
+				r.Table.CSV(os.Stdout)
+			} else {
+				r.Table.Render(os.Stdout)
+			}
+			for _, n := range r.Notes {
+				fmt.Printf("note: %s\n", n)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

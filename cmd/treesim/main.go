@@ -1,0 +1,130 @@
+// Command treesim runs online tree-caching algorithms over synthetic
+// workloads (or a trace file) and prints a cost comparison.
+//
+// Usage examples:
+//
+//	treesim -tree binary -nodes 1023 -alpha 8 -capacity 128 -rounds 100000 -workload zipf
+//	treesim -tree path -nodes 64 -workload churn -negfrac 0.3
+//	treesim -tree star -nodes 100 -trace requests.txt
+//
+// The trace file format is one request per line: "+<node>" (positive)
+// or "-<node>" (negative); '#' starts a comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/opt"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+func main() {
+	var (
+		shape    = flag.String("tree", "binary", "tree shape: path|star|binary|ternary|caterpillar|random")
+		nodes    = flag.Int("nodes", 1023, "number of tree nodes")
+		alpha    = flag.Int64("alpha", 8, "per-node fetch/evict cost α (even integer ≥ 2)")
+		capacity = flag.Int("capacity", 128, "online cache size k_ONL")
+		rounds   = flag.Int("rounds", 100000, "workload length")
+		workload = flag.String("workload", "zipf", "workload: zipf|uniform|churn|workingset")
+		zipfS    = flag.Float64("zipf", 1.1, "Zipf exponent for zipf/churn workloads")
+		negFrac  = flag.Float64("negfrac", 0.1, "update burst probability for churn workload")
+		seed     = flag.Int64("seed", 1, "PRNG seed")
+		traceIn  = flag.String("trace", "", "read the workload from this trace file instead")
+		static   = flag.Bool("static", true, "also compute the optimal static cache")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	t, err := buildTree(rng, *shape, *nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	input, err := buildWorkload(rng, t, *workload, *rounds, *zipfS, *negFrac, *alpha, *traceIn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("tree: %v  alpha: %d  capacity: %d  requests: %d\n\n", t, *alpha, *capacity, len(input))
+
+	algos := []sim.Algorithm{
+		core.New(t, core.Config{Alpha: *alpha, Capacity: *capacity}),
+		baseline.NewEager(t, baseline.Config{Alpha: *alpha, Capacity: *capacity, Policy: baseline.LRU}),
+		baseline.NewEager(t, baseline.Config{Alpha: *alpha, Capacity: *capacity, Policy: baseline.LRU, EvictOnUpdate: true}),
+		baseline.NewEager(t, baseline.Config{Alpha: *alpha, Capacity: *capacity, Policy: baseline.FIFO}),
+		baseline.NewEager(t, baseline.Config{Alpha: *alpha, Capacity: *capacity, Policy: baseline.Rand, Seed: *seed}),
+		baseline.NewNoCache(*alpha),
+	}
+	tb := stats.NewTable("algorithm", "total", "serve", "move", "fetched", "evicted", "maxCache")
+	for _, res := range sim.Compare(algos, input) {
+		tb.AddRow(res.Algorithm, res.Total(), res.Serve, res.Move, res.Fetched, res.Evicted, res.MaxCache)
+	}
+	if *static {
+		st := opt.Static(t, input, *capacity, *alpha)
+		tb.AddRow("Static-OPT", st.Cost, "-", "-", len(st.Set), 0, len(st.Set))
+	}
+	tb.Render(os.Stdout)
+}
+
+func buildTree(rng *rand.Rand, shape string, n int) (*tree.Tree, error) {
+	switch shape {
+	case "path":
+		return tree.Path(n), nil
+	case "star":
+		return tree.Star(n), nil
+	case "binary":
+		return tree.CompleteKary(n, 2), nil
+	case "ternary":
+		return tree.CompleteKary(n, 3), nil
+	case "caterpillar":
+		spine := n / 3
+		if spine < 1 {
+			spine = 1
+		}
+		return tree.Caterpillar(spine, 2), nil
+	case "random":
+		return tree.Random(rng, n, 1), nil
+	default:
+		return nil, fmt.Errorf("treesim: unknown tree shape %q", shape)
+	}
+}
+
+func buildWorkload(rng *rand.Rand, t *tree.Tree, kind string, rounds int, zipfS, negFrac float64, alpha int64, traceIn string) (trace.Trace, error) {
+	if traceIn != "" {
+		f, err := os.Open(traceIn)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.Validate(t); err != nil {
+			return nil, err
+		}
+		return tr, nil
+	}
+	switch kind {
+	case "zipf":
+		return trace.ZipfNodes(rng, t, rounds, zipfS), nil
+	case "uniform":
+		return trace.UniformPositive(rng, t, rounds), nil
+	case "churn":
+		return trace.Churn(rng, t, trace.ChurnConfig{
+			Rounds: rounds, ZipfS: zipfS, UpdateFrac: negFrac, BurstLen: int(alpha),
+		}), nil
+	case "workingset":
+		return trace.WorkingSet(rng, t, rounds, t.Len()/10+1, rounds/20+1, 0.9), nil
+	default:
+		return nil, fmt.Errorf("treesim: unknown workload %q", kind)
+	}
+}

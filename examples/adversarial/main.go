@@ -1,0 +1,78 @@
+// Adversarial example: the Appendix C lower bound and the Appendix D
+// construction, run end to end.
+//
+// Part 1 drives the adaptive paging adversary against TC for growing
+// cache sizes and shows the measured competitive ratio tracking
+// R = k_ONL/(k_ONL−k_OPT+1), the paper's lower bound.
+//
+// Part 2 replays the Appendix D "troublesome positive field" instance
+// and prints the exact chronology of Figure 4 as TC executes it.
+//
+// Run with: go run ./examples/adversarial
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+func main() {
+	fmt.Println("Part 1 — Appendix C: the paging adversary (k_OPT = k_ONL)")
+	fmt.Println()
+	alpha := int64(4)
+	for _, k := range []int{4, 8, 16} {
+		star := tree.Star(k + 2)
+		tc := core.New(star, core.Config{Alpha: alpha, Capacity: k})
+		adv := lowerbound.NewPagingAdversary(star, alpha, 200*k)
+		res, _ := sim.RunAdversarial(tc, adv)
+		optUB := lowerbound.MirroredOptCost(adv.PageSequence(), k, alpha)
+		fmt.Printf("  k=%2d: TC cost %7d vs offline ≤ %6d → ratio %5.2f (R = %d)\n",
+			k, res.Total(), optUB, float64(res.Total())/float64(optUB), k)
+	}
+
+	fmt.Println()
+	fmt.Println("Part 2 — Appendix D: the troublesome positive field (s=7, α=8)")
+	fmt.Println()
+	c := lowerbound.NewConstructionD(7, 8)
+	logger := &chronicle{c: c}
+	tc := core.New(c.Tree, core.Config{Alpha: c.Alpha, Capacity: c.Tree.Len(), Observer: logger})
+	for _, req := range c.Input {
+		tc.Serve(req)
+	}
+	fmt.Println()
+	fmt.Printf("the final field spans all %d nodes but its first %d requests are\n",
+		c.Tree.Len(), int(int64(c.S+1)*c.Alpha)-c.Leaves)
+	fmt.Printf("confined to the %d nodes of T1∪{r}: no legal shifting strategy can\n", c.S+1)
+	fmt.Println("spread α requests to every node — positive fields shift only approximately.")
+}
+
+// chronicle prints TC's changesets as Figure 4 milestones.
+type chronicle struct {
+	core.NopObserver
+	c *lowerbound.ConstructionD
+	n int
+}
+
+func (l *chronicle) OnApply(round int64, x []tree.NodeID, positive bool) {
+	l.n++
+	kind := "evicts"
+	if positive {
+		kind = "fetches"
+	}
+	label := ""
+	switch {
+	case round == int64(l.c.Tree.Len())*l.c.Alpha:
+		label = "(preamble: whole tree cached)"
+	case round == l.c.EvictT1R:
+		label = "(stage 1: T1 ∪ {r} leaves the cache)"
+	case round == l.c.EvictT2:
+		label = "(stage 3: T2 leaves the cache)"
+	case round == l.c.FetchAll:
+		label = "(stage 5: the whole tree returns)"
+	}
+	fmt.Printf("  round %5d: TC %s %2d nodes %s\n", round, kind, len(x), label)
+}

@@ -1,0 +1,65 @@
+// FIB routing example: caching forwarding rules under longest-matching-
+// prefix semantics (Section 2 of the paper).
+//
+// A router can hold only a fraction of its forwarding table in fast
+// memory (TCAM). Rules are IP prefixes; a rule may only be cached
+// together with all of its more-specific descendants, or packets would
+// exit through the wrong port. This example builds a synthetic table,
+// sends Zipf-skewed traffic mixed with BGP-style updates, and compares
+// TC against an eager fetch-on-miss cache and the no-cache floor.
+//
+// Run with: go run ./examples/fibrouting
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/fib"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2026))
+	table, err := fib.GenerateTable(rng, fib.TableConfig{Rules: 2048})
+	if err != nil {
+		panic(err)
+	}
+	t := table.Tree()
+	fmt.Printf("forwarding table: %d rules, dependency height %d\n", table.Len(), t.Height())
+
+	// Show a few rules and a lookup.
+	fmt.Println("\nsample rules:")
+	for v := 1; v <= 5; v++ {
+		r := table.Rule(tree.NodeID(v))
+		parent := table.Rule(t.Parent(tree.NodeID(v)))
+		fmt.Printf("  %-18s next-hop %-2d  (covered by %s)\n", r.Prefix, r.NextHop, parent.Prefix)
+	}
+	addr := table.RandomAddrIn(rng, tree.NodeID(3))
+	hit := table.Lookup(addr)
+	fmt.Printf("\nLPM lookup of %d.%d.%d.%d → rule %s\n",
+		byte(addr>>24), byte(addr>>16), byte(addr>>8), byte(addr), table.Rule(hit).Prefix)
+
+	// Workload: 50k packets, Zipf 1.1, 1% update churn.
+	alpha := int64(8)
+	capacity := 256
+	w := fib.GenerateWorkload(rng, table, fib.WorkloadConfig{
+		Packets: 50000, ZipfS: 1.1, UpdateRate: 0.01, Alpha: alpha,
+	})
+	fmt.Printf("\nworkload: %d packets, %d rule updates; switch capacity %d of %d rules\n\n",
+		w.Packets, len(w.Updates), capacity, table.Len())
+
+	algos := []sim.Algorithm{
+		core.New(t, core.Config{Alpha: alpha, Capacity: capacity}),
+		baseline.NewEager(t, baseline.Config{Alpha: alpha, Capacity: capacity, Policy: baseline.LRU}),
+		baseline.NewNoCache(alpha),
+	}
+	for _, res := range sim.Compare(algos, w.Trace) {
+		fmt.Printf("  %-12s total=%-8d serve=%-7d move=%-8d rule-messages=%d\n",
+			res.Algorithm, res.Total(), res.Serve, res.Move, res.Fetched+res.Evicted)
+	}
+	fmt.Println("\nTC pays a little more in misses but orders of magnitude less in TCAM updates.")
+}

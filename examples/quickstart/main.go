@@ -1,0 +1,51 @@
+// Quickstart: the smallest complete use of the treecache public API.
+//
+// It builds a tiny dependency tree, runs TC by hand through a few
+// requests, and shows how the rent-or-buy rule and the subforest
+// constraint play out — the cache only ever holds whole subtrees, and
+// nothing is fetched until its counters have paid for the move.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/treecache"
+)
+
+func main() {
+	// A perfect binary tree of 7 nodes:
+	//
+	//	        0
+	//	      /   \
+	//	     1     2
+	//	    / \   / \
+	//	   3   4 5   6
+	//
+	// Caching node 1 requires caching 3 and 4 too (think: an IP rule
+	// can only be cached together with its more-specific sub-rules).
+	t := treecache.CompleteKary(7, 2)
+	c := treecache.New(t, treecache.Options{Alpha: 4, Capacity: 5})
+
+	fmt.Println("requesting leaf 3 four times (α=4)...")
+	for i := 0; i < 4; i++ {
+		serve, move := c.Request(treecache.Pos(3))
+		fmt.Printf("  round %d: serve=%d move=%d cached(3)=%v\n", i+1, serve, move, c.Cached(3))
+	}
+	fmt.Printf("cache: %v (leaf 3 was fetched once its counter reached α)\n\n", c.Members())
+
+	fmt.Println("requesting inner node 1 (needs the whole missing subtree {1,4})...")
+	for i := 0; i < 8; i++ {
+		c.Request(treecache.Pos(1))
+	}
+	fmt.Printf("cache: %v — a subforest of T, as always\n\n", c.Members())
+
+	fmt.Println("updates arrive at node 1 (negative requests)...")
+	for i := 0; i < 12; i++ {
+		c.Request(treecache.Neg(1))
+	}
+	fmt.Printf("cache after churn: %v\n", c.Members())
+	fmt.Printf("total cost: %d (serve %d + move %d), phases: %d\n",
+		c.Cost(), c.Ledger().Serve, c.Ledger().Move, c.Phases())
+}

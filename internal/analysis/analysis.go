@@ -1,0 +1,319 @@
+// Package analysis turns the proof machinery of Section 5 of the paper
+// into executable, checkable objects: the event space, its partition
+// into fields, the in/out period accounting of Lemma 5.11, and the
+// request-shifting strategies of Lemmas 5.7–5.10.
+//
+// A Recorder implements core.Observer; attached to a TC run it rebuilds,
+// per phase, every field F^t (the slots whose requests triggered the
+// changeset applied at time t), the open field F∞, and k_P. On these
+// objects the package can verify Observation 5.2 (req(F) = size(F)·α
+// with sign purity), the period identity p_out = p_in + k_P, and execute
+// the legal shifts: negative fields shift up to exactly α requests per
+// node (Corollary 5.8), positive fields shift down so that at least
+// size(F)/(2h(T)) nodes carry at least α/2 requests (Lemma 5.10).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// Slot is a cell of the event space: a (node, round) pair occupied by a
+// paid request.
+type Slot struct {
+	Node  tree.NodeID
+	Round int64
+	Kind  trace.Kind
+}
+
+// Field is the set of slots whose requests triggered one changeset
+// application (Section 5.1).
+type Field struct {
+	// End is the time t at which the changeset was applied. For the
+	// artificial fetch of a finished phase, End is end(P).
+	End int64
+	// Positive reports whether the changeset was a fetch.
+	Positive bool
+	// Nodes is X_t.
+	Nodes []tree.NodeID
+	// Start[v] = last_v(End)+1: the first round of v's row in the field.
+	Start map[tree.NodeID]int64
+	// Requests are the occupied slots, in chronological order.
+	Requests []Slot
+	// Artificial marks the end-of-phase fetch the analysis appends to a
+	// finished phase (Section 5: "we assume that at time end(P), TC
+	// actually performs a cache fetch ... and then empties the cache").
+	Artificial bool
+}
+
+// Size returns size(F) = |X_t|.
+func (f *Field) Size() int { return len(f.Nodes) }
+
+// Req returns req(F): the number of occupied slots.
+func (f *Field) Req() int { return len(f.Requests) }
+
+// Phase is the record of one TC phase.
+type Phase struct {
+	// Begin is begin(P): the time the phase started (0 for the first).
+	Begin int64
+	// End is end(P) for a finished phase, or the last recorded round
+	// for an unfinished one.
+	End int64
+	// Fields holds every field of the phase in order of End; for a
+	// finished phase the last field is the artificial fetch.
+	Fields []*Field
+	// Open holds the F∞ slots: paid requests that never made it into a
+	// field.
+	Open []Slot
+	// KP is k_P: the cache size at end(P), measured after the
+	// artificial fetch for a finished phase.
+	KP int
+	// Finished reports whether the phase ended with an overflow flush.
+	Finished bool
+}
+
+// Recorder reconstructs phases from a TC run. Use one Recorder per run:
+//
+//	rec := analysis.NewRecorder(t, alpha)
+//	tc := core.New(t, core.Config{Alpha: alpha, Capacity: k, Observer: rec})
+//	... serve requests ...
+//	phases := rec.Finish(tc.CacheLen())
+type Recorder struct {
+	t     *tree.Tree
+	alpha int64
+
+	round      int64
+	phaseBegin int64
+	lastChange []int64                // per node, within current phase
+	pending    map[tree.NodeID][]Slot // paid request slots since lastChange
+	phases     []*Phase
+	fields     []*Field
+	finished   bool
+}
+
+// NewRecorder returns a Recorder for a TC instance over t with cost α.
+func NewRecorder(t *tree.Tree, alpha int64) *Recorder {
+	return &Recorder{
+		t:          t,
+		alpha:      alpha,
+		lastChange: make([]int64, t.Len()),
+		pending:    make(map[tree.NodeID][]Slot),
+	}
+}
+
+// OnRequest implements core.Observer.
+func (r *Recorder) OnRequest(round int64, v tree.NodeID, kind trace.Kind, paid bool) {
+	r.round = round
+	if paid {
+		r.pending[v] = append(r.pending[v], Slot{Node: v, Round: round, Kind: kind})
+	}
+}
+
+// OnApply implements core.Observer.
+func (r *Recorder) OnApply(round int64, x []tree.NodeID, positive bool) {
+	r.fields = append(r.fields, r.makeField(round, x, positive, false))
+}
+
+// OnPhaseEnd implements core.Observer.
+func (r *Recorder) OnPhaseEnd(round int64, evicted, wouldFetch []tree.NodeID) {
+	// The analysis replaces the overflow flush by an artificial fetch
+	// of wouldFetch followed by the final eviction; k_P is measured in
+	// between.
+	f := r.makeField(round, wouldFetch, true, true)
+	r.fields = append(r.fields, f)
+	kp := len(evicted) + len(wouldFetch)
+	r.closePhase(round, kp, true)
+}
+
+// makeField snapshots the pending slots of x into a new field and marks
+// the state change.
+func (r *Recorder) makeField(round int64, x []tree.NodeID, positive, artificial bool) *Field {
+	f := &Field{
+		End:        round,
+		Positive:   positive,
+		Nodes:      append([]tree.NodeID(nil), x...),
+		Start:      make(map[tree.NodeID]int64, len(x)),
+		Artificial: artificial,
+	}
+	for _, v := range x {
+		f.Start[v] = r.lastChange[v] + 1
+		f.Requests = append(f.Requests, r.pending[v]...)
+		delete(r.pending, v)
+		r.lastChange[v] = round
+	}
+	sort.Slice(f.Requests, func(i, j int) bool {
+		if f.Requests[i].Round != f.Requests[j].Round {
+			return f.Requests[i].Round < f.Requests[j].Round
+		}
+		return f.Requests[i].Node < f.Requests[j].Node
+	})
+	return f
+}
+
+// closePhase flushes the current phase record and resets per-phase state.
+func (r *Recorder) closePhase(round int64, kp int, finished bool) {
+	p := &Phase{
+		Begin:    r.phaseBegin,
+		End:      round,
+		Fields:   r.fields,
+		KP:       kp,
+		Finished: finished,
+	}
+	for _, slots := range r.pending {
+		p.Open = append(p.Open, slots...)
+	}
+	sort.Slice(p.Open, func(i, j int) bool {
+		if p.Open[i].Round != p.Open[j].Round {
+			return p.Open[i].Round < p.Open[j].Round
+		}
+		return p.Open[i].Node < p.Open[j].Node
+	})
+	r.phases = append(r.phases, p)
+	r.fields = nil
+	r.pending = make(map[tree.NodeID][]Slot)
+	for i := range r.lastChange {
+		r.lastChange[i] = round
+	}
+	r.phaseBegin = round
+}
+
+// Finish closes the trailing (unfinished) phase and returns all phases.
+// cacheLen is the algorithm's cache size at the end of the run (k_P of
+// the unfinished phase). Finish must be called exactly once.
+func (r *Recorder) Finish(cacheLen int) []*Phase {
+	if r.finished {
+		panic("analysis: Finish called twice")
+	}
+	r.finished = true
+	if len(r.fields) > 0 || len(r.pending) > 0 || len(r.phases) == 0 {
+		r.closePhase(r.round, cacheLen, false)
+	}
+	return r.phases
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checks (Observation 5.2, Lemma 5.11 accounting).
+// ---------------------------------------------------------------------------
+
+// CheckFields verifies Observation 5.2 on every field of the phase:
+// req(F) = size(F)·α, all requests lie inside the field's row bounds,
+// and the artificial field (if any) is last.
+func CheckFields(p *Phase, alpha int64) error {
+	for i, f := range p.Fields {
+		if int64(f.Req()) != int64(f.Size())*alpha {
+			return fmt.Errorf("analysis: field %d (end=%d, positive=%v): req=%d want size·α=%d",
+				i, f.End, f.Positive, f.Req(), int64(f.Size())*alpha)
+		}
+		for _, s := range f.Requests {
+			st, ok := f.Start[s.Node]
+			if !ok {
+				return fmt.Errorf("analysis: field %d: request at node %d outside X_t", i, s.Node)
+			}
+			if s.Round < st || s.Round > f.End {
+				return fmt.Errorf("analysis: field %d: slot (%d,%d) outside rows [%d,%d]",
+					i, s.Node, s.Round, st, f.End)
+			}
+			if (s.Kind == trace.Positive) != f.Positive {
+				return fmt.Errorf("analysis: field %d: slot (%d,%d) has sign %v inside a positive=%v field",
+					i, s.Node, s.Round, s.Kind, f.Positive)
+			}
+		}
+		if f.Artificial && i != len(p.Fields)-1 {
+			return fmt.Errorf("analysis: artificial field at index %d of %d", i, len(p.Fields))
+		}
+	}
+	return nil
+}
+
+// Periods counts, per node, the in/out periods of the phase and checks
+// the identity p_out = p_in + k_P used by Lemma 5.11. It returns
+// (p_out, p_in).
+func Periods(p *Phase) (pout, pin int, err error) {
+	// A node's periods are exactly its field memberships, ordered by
+	// field end time; positive membership = out period, negative = in.
+	type mem struct {
+		end int64
+		pos bool
+	}
+	hist := make(map[tree.NodeID][]mem)
+	for _, f := range p.Fields {
+		for _, v := range f.Nodes {
+			hist[v] = append(hist[v], mem{end: f.End, pos: f.Positive})
+		}
+	}
+	for v, ms := range hist {
+		sort.Slice(ms, func(i, j int) bool { return ms[i].end < ms[j].end })
+		// Histories must alternate starting with an out period (every
+		// phase starts with an empty cache).
+		for i, m := range ms {
+			wantPos := i%2 == 0
+			if m.pos != wantPos {
+				return 0, 0, fmt.Errorf("analysis: node %d: period %d has sign %v, want %v", v, i, m.pos, wantPos)
+			}
+			if m.pos {
+				pout++
+			} else {
+				pin++
+			}
+		}
+	}
+	if pout != pin+p.KP {
+		return pout, pin, fmt.Errorf("analysis: p_out=%d != p_in+k_P=%d+%d", pout, pin, p.KP)
+	}
+	return pout, pin, nil
+}
+
+// TotalFieldSize returns size(F) = Σ_{F∈𝓕} size(F) for the phase.
+func TotalFieldSize(p *Phase) int {
+	s := 0
+	for _, f := range p.Fields {
+		s += f.Size()
+	}
+	return s
+}
+
+// PhaseCost reconstructs TC's exact cost within the phase from the
+// recorded events: the serving cost is the number of paid slots (field
+// and open), and the movement cost is α per node of every applied
+// changeset plus the final flush of a finished phase. The artificial
+// fetch is not a real move, but the flush it stands in for evicts the
+// pre-flush cache (k_P − |artificial fetch| nodes).
+func PhaseCost(p *Phase, alpha int64) int64 {
+	var serve, moved int64
+	serve = int64(len(p.Open))
+	for _, f := range p.Fields {
+		serve += int64(f.Req())
+		if !f.Artificial {
+			moved += int64(f.Size())
+		}
+	}
+	if p.Finished {
+		// The flush evicted everything cached at end(P); k_P counts the
+		// cache after the artificial fetch, which never happened.
+		var art int64
+		for _, f := range p.Fields {
+			if f.Artificial {
+				art = int64(f.Size())
+			}
+		}
+		moved += int64(p.KP) - art
+	}
+	return serve + alpha*moved
+}
+
+// CheckCostAccounting verifies Lemma 5.3 on a recorded phase:
+//
+//	TC(P) ≤ 2α·size(𝓕) + req(F∞) + k_P·α.
+//
+// It returns the two sides so callers can report slack.
+func CheckCostAccounting(p *Phase, alpha int64) (cost, bound int64, err error) {
+	cost = PhaseCost(p, alpha)
+	bound = 2*alpha*int64(TotalFieldSize(p)) + int64(len(p.Open)) + int64(p.KP)*alpha
+	if cost > bound {
+		return cost, bound, fmt.Errorf("analysis: Lemma 5.3 violated: TC(P)=%d > bound %d", cost, bound)
+	}
+	return cost, bound, nil
+}

@@ -1,0 +1,313 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// runRecorded drives TC over the input with a Recorder attached and
+// returns the reconstructed phases.
+func runRecorded(t *tree.Tree, alpha int64, capacity int, input trace.Trace) []*Phase {
+	rec := NewRecorder(t, alpha)
+	tc := core.New(t, core.Config{Alpha: alpha, Capacity: capacity, Observer: rec})
+	for _, req := range input {
+		tc.Serve(req)
+	}
+	return rec.Finish(tc.CacheLen())
+}
+
+// TestFieldInvariants verifies Observation 5.2 and the event-space
+// partition on randomized runs: every field has req = size·α, sign
+// purity, rows within bounds (E4).
+func TestFieldInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for inst := 0; inst < 120; inst++ {
+		n := 3 + rng.Intn(18)
+		tr := tree.RandomShape(rng, n)
+		alpha := int64(2 * (1 + rng.Intn(3)))
+		capacity := 1 + rng.Intn(n)
+		input := trace.RandomMixed(rng, tr, 400)
+		phases := runRecorded(tr, alpha, capacity, input)
+		if len(phases) == 0 {
+			t.Fatalf("inst %d: no phases recorded", inst)
+		}
+		for pi, p := range phases {
+			if err := CheckFields(p, alpha); err != nil {
+				t.Fatalf("inst %d phase %d: %v", inst, pi, err)
+			}
+		}
+	}
+}
+
+// TestSlotsPartition: every paid request lands in exactly one field or
+// in F∞ — the fields and the open field partition the occupied slots.
+func TestSlotsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for inst := 0; inst < 60; inst++ {
+		n := 3 + rng.Intn(14)
+		tr := tree.RandomShape(rng, n)
+		alpha := int64(4)
+		capacity := 1 + rng.Intn(n)
+		input := trace.RandomMixed(rng, tr, 300)
+
+		// Count paid requests by replaying a parallel TC.
+		probe := core.New(tr, core.Config{Alpha: alpha, Capacity: capacity})
+		paid := 0
+		for _, req := range input {
+			s, _ := probe.Serve(req)
+			paid += int(s)
+		}
+
+		phases := runRecorded(tr, alpha, capacity, input)
+		got := 0
+		seen := make(map[Slot]bool)
+		for _, p := range phases {
+			for _, f := range p.Fields {
+				for _, s := range f.Requests {
+					key := Slot{Node: s.Node, Round: s.Round}
+					if seen[key] {
+						t.Fatalf("inst %d: slot (%d,%d) in two fields", inst, s.Node, s.Round)
+					}
+					seen[key] = true
+					got++
+				}
+			}
+			for _, s := range p.Open {
+				key := Slot{Node: s.Node, Round: s.Round}
+				if seen[key] {
+					t.Fatalf("inst %d: open slot (%d,%d) also in a field", inst, s.Node, s.Round)
+				}
+				seen[key] = true
+				got++
+			}
+		}
+		if got != paid {
+			t.Fatalf("inst %d: partition covers %d slots, %d were paid", inst, got, paid)
+		}
+	}
+}
+
+// TestPeriodAccounting verifies the Figure 3 / Lemma 5.11 identity
+// p_out = p_in + k_P on every phase (E5).
+func TestPeriodAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for inst := 0; inst < 120; inst++ {
+		n := 3 + rng.Intn(16)
+		tr := tree.RandomShape(rng, n)
+		alpha := int64(2 * (1 + rng.Intn(2)))
+		capacity := 1 + rng.Intn(n)
+		input := trace.RandomMixed(rng, tr, 500)
+		phases := runRecorded(tr, alpha, capacity, input)
+		for pi, p := range phases {
+			if _, _, err := Periods(p); err != nil {
+				t.Fatalf("inst %d phase %d: %v", inst, pi, err)
+			}
+		}
+	}
+}
+
+// TestShiftNegativeExact verifies Corollary 5.8 on every negative field
+// of randomized runs: the up-shift lands exactly α requests on every
+// node and never leaves the field (E5).
+func TestShiftNegativeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	fields := 0
+	for inst := 0; inst < 150; inst++ {
+		n := 3 + rng.Intn(16)
+		tr := tree.RandomShape(rng, n)
+		alpha := int64(2 * (1 + rng.Intn(3)))
+		capacity := 1 + rng.Intn(n)
+		input := trace.RandomMixed(rng, tr, 500)
+		phases := runRecorded(tr, alpha, capacity, input)
+		for pi, p := range phases {
+			for fi, f := range p.Fields {
+				if f.Positive {
+					continue
+				}
+				fields++
+				if _, err := ShiftNegative(tr, f, alpha); err != nil {
+					t.Fatalf("inst %d phase %d field %d: %v", inst, pi, fi, err)
+				}
+			}
+		}
+	}
+	if fields < 50 {
+		t.Fatalf("only %d negative fields exercised; workload too weak", fields)
+	}
+}
+
+// TestShiftPositiveGuarantee verifies Lemma 5.10 on every positive
+// field: after the down-shift at least ⌈size/(2·layers)⌉ nodes carry at
+// least α/2 requests, and no shift leaves the field (E5).
+func TestShiftPositiveGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	fields := 0
+	for inst := 0; inst < 150; inst++ {
+		n := 3 + rng.Intn(16)
+		tr := tree.RandomShape(rng, n)
+		alpha := int64(2 * (1 + rng.Intn(3)))
+		capacity := 1 + rng.Intn(n)
+		input := trace.RandomMixed(rng, tr, 500)
+		phases := runRecorded(tr, alpha, capacity, input)
+		for pi, p := range phases {
+			for fi, f := range p.Fields {
+				if !f.Positive {
+					continue
+				}
+				fields++
+				if _, err := ShiftPositive(tr, f, alpha); err != nil {
+					t.Fatalf("inst %d phase %d field %d: %v", inst, pi, fi, err)
+				}
+			}
+		}
+	}
+	if fields < 50 {
+		t.Fatalf("only %d positive fields exercised; workload too weak", fields)
+	}
+}
+
+// TestLemma53CostAccounting verifies the Lemma 5.3 upper bound
+// TC(P) ≤ 2α·size(𝓕) + req(F∞) + k_P·α on every phase of randomized
+// runs, and that PhaseCost reconstructs the ledger exactly.
+func TestLemma53CostAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for inst := 0; inst < 100; inst++ {
+		n := 3 + rng.Intn(16)
+		tr := tree.RandomShape(rng, n)
+		alpha := int64(2 * (1 + rng.Intn(3)))
+		capacity := 1 + rng.Intn(n)
+		input := trace.RandomMixed(rng, tr, 500)
+		rec := NewRecorder(tr, alpha)
+		tc := core.New(tr, core.Config{Alpha: alpha, Capacity: capacity, Observer: rec})
+		for _, req := range input {
+			tc.Serve(req)
+		}
+		phases := rec.Finish(tc.CacheLen())
+		var total int64
+		for pi, p := range phases {
+			if _, _, err := CheckCostAccounting(p, alpha); err != nil {
+				t.Fatalf("inst %d phase %d: %v", inst, pi, err)
+			}
+			total += PhaseCost(p, alpha)
+		}
+		if got := tc.Ledger().Total(); got != total {
+			t.Fatalf("inst %d: phase costs sum to %d, ledger says %d", inst, total, got)
+		}
+	}
+}
+
+// TestPaperLemma59Counterexample documents the gap we found in the
+// paper's Lemma 5.9: on a 3-node star with α=6 the literal strategy
+// (fixed blocks to nodes in last-state-change order) shifts a request
+// outside the field, because a single node may hold more than α
+// requests while no sibling row is open (the snapshot F_{≤τ} ∩ T(v) is
+// not a valid changeset, breaking the Lemma 5.5(2) step). The repaired
+// greedy ShiftPositive must succeed on the same field.
+func TestPaperLemma59Counterexample(t *testing.T) {
+	tr := tree.Star(3) // root 0, leaves 1 and 2
+	alpha := int64(6)
+	var input trace.Trace
+	add := func(n int, r trace.Request) {
+		for i := 0; i < n; i++ {
+			input = append(input, r)
+		}
+	}
+	add(5, trace.Pos(0)) // cnt(0)=5; {0} invalid, P(0) big: no fetch
+	add(6, trace.Pos(1)) // fetch {1} at round 11
+	add(4, trace.Pos(0)) // cnt(0)=9; P(0)={0,2} threshold 12: no fetch
+	add(6, trace.Neg(1)) // evict {1} at round 21; node 1's row restarts
+	add(6, trace.Pos(2)) // fetch {2} at round 27
+	add(3, trace.Pos(1)) // P(0)={0,1} reaches 12 → fetch {0,1} at round 30
+
+	phases := runRecorded(tr, alpha, 3, input)
+	if len(phases) != 1 {
+		t.Fatalf("phases = %d, want 1", len(phases))
+	}
+	var target *Field
+	for _, f := range phases[0].Fields {
+		if f.Positive && f.Size() == 2 {
+			target = f
+		}
+	}
+	if target == nil {
+		t.Fatal("expected a positive field of size 2 (fetch of {0,1})")
+	}
+	if target.Start[1] <= 13 {
+		t.Fatalf("node 1's row starts at %d; construction needs it after round 13", target.Start[1])
+	}
+	// The literal paper strategy must leave the field...
+	if _, err := ShiftPositiveLiteral(tr, target, alpha); err == nil {
+		t.Fatal("ShiftPositiveLiteral unexpectedly succeeded; the documented counterexample no longer triggers")
+	}
+	// ...while the repaired greedy strategy meets the Lemma 5.10 bound.
+	res, err := ShiftPositive(tr, target, alpha)
+	if err != nil {
+		t.Fatalf("repaired ShiftPositive failed: %v", err)
+	}
+	if res.FullNodes < 2 {
+		t.Fatalf("greedy shift: %d full nodes, want 2 (both field nodes reach α/2)", res.FullNodes)
+	}
+}
+
+// TestRecorderKP: for finished phases k_P must exceed the capacity (the
+// artificial fetch overflows); for the unfinished phase k_P is the
+// final cache size.
+func TestRecorderKP(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for inst := 0; inst < 60; inst++ {
+		n := 4 + rng.Intn(12)
+		tr := tree.RandomShape(rng, n)
+		capacity := 1 + rng.Intn(n-1)
+		rec := NewRecorder(tr, 2)
+		tc := core.New(tr, core.Config{Alpha: 2, Capacity: capacity, Observer: rec})
+		for _, req := range trace.RandomMixed(rng, tr, 400) {
+			tc.Serve(req)
+		}
+		phases := rec.Finish(tc.CacheLen())
+		for pi, p := range phases {
+			if p.Finished && p.KP <= capacity {
+				t.Fatalf("inst %d phase %d: finished with k_P=%d <= capacity %d", inst, pi, p.KP, capacity)
+			}
+			if !p.Finished && p.KP > capacity {
+				t.Fatalf("inst %d phase %d: unfinished with k_P=%d > capacity %d", inst, pi, p.KP, capacity)
+			}
+			if !p.Finished && pi != len(phases)-1 {
+				t.Fatalf("inst %d: unfinished phase %d is not last", inst, pi)
+			}
+		}
+	}
+}
+
+// TestSingleFetchFieldShape pins down the simplest field: α positive
+// requests to one leaf produce one positive field of size 1 with α
+// requests.
+func TestSingleFetchFieldShape(t *testing.T) {
+	tr := tree.Star(4)
+	alpha := int64(4)
+	var input trace.Trace
+	for i := int64(0); i < alpha; i++ {
+		input = append(input, trace.Pos(2))
+	}
+	phases := runRecorded(tr, alpha, 4, input)
+	if len(phases) != 1 {
+		t.Fatalf("phases = %d, want 1", len(phases))
+	}
+	p := phases[0]
+	if len(p.Fields) != 1 {
+		t.Fatalf("fields = %d, want 1", len(p.Fields))
+	}
+	f := p.Fields[0]
+	if !f.Positive || f.Size() != 1 || int64(f.Req()) != alpha || f.Nodes[0] != 2 {
+		t.Fatalf("unexpected field: %+v", f)
+	}
+	if f.Start[2] != 1 || f.End != alpha {
+		t.Fatalf("field rows [%d,%d], want [1,%d]", f.Start[2], f.End, alpha)
+	}
+	if p.KP != 1 || p.Finished {
+		t.Fatalf("phase k_P=%d finished=%v, want 1,false", p.KP, p.Finished)
+	}
+}

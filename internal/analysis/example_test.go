@@ -1,0 +1,65 @@
+package analysis_test
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// ExampleRecorder reconstructs the event space of a tiny TC run and
+// renders it in the style of the paper's Figure 2.
+func ExampleRecorder() {
+	t := tree.Path(2) // root 0 -> leaf 1
+	alpha := int64(2)
+	rec := analysis.NewRecorder(t, alpha)
+	tc := core.New(t, core.Config{Alpha: alpha, Capacity: 2, Observer: rec})
+	input := trace.Trace{
+		trace.Pos(1), trace.Pos(1), // fetch {1} at round 2
+		trace.Neg(1), trace.Neg(1), // evict {1} at round 4
+	}
+	for _, r := range input {
+		tc.Serve(r)
+	}
+	phases := rec.Finish(tc.CacheLen())
+	p := phases[0]
+	fmt.Printf("fields: %d, k_P: %d\n", len(p.Fields), p.KP)
+	analysis.RenderEventSpace(os.Stdout, t, p, 0)
+	// Output:
+	// fields: 2, k_P: 0
+	// n0 ....
+	// n1 ++--
+	//     | |
+}
+
+// ExampleShiftNegative applies the Corollary 5.8 up-shift to the
+// single negative field of a run where the surplus sits at a leaf.
+func ExampleShiftNegative() {
+	t := tree.Path(2)
+	alpha := int64(2)
+	rec := analysis.NewRecorder(t, alpha)
+	tc := core.New(t, core.Config{Alpha: alpha, Capacity: 2, Observer: rec})
+	// Fetch both nodes, then evict them with the α·|X| negative
+	// requests landing unevenly (3 at the leaf, 1 at the root).
+	for _, r := range []trace.Request{
+		trace.Pos(0), trace.Pos(0), trace.Pos(0), trace.Pos(0), // fetch {0,1}
+		trace.Neg(1), trace.Neg(1), trace.Neg(1), trace.Neg(0), // evict {0,1}
+	} {
+		tc.Serve(r)
+	}
+	phases := rec.Finish(tc.CacheLen())
+	for _, f := range phases[0].Fields {
+		if f.Positive {
+			continue
+		}
+		dist, err := analysis.ShiftNegative(t, f, alpha)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println("root:", len(dist[0]), "leaf:", len(dist[1]))
+	}
+	// Output: root: 2 leaf: 2
+}

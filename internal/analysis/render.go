@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// RenderEventSpace draws a phase's event space as ASCII in the style
+// of Figure 2 of the paper: one row per node (root at the top, nodes
+// ordered by an extension of the tree partial order — here preorder),
+// one column per round. Cell legend:
+//
+//	'+' a paid positive request    '-' a paid negative request
+//	'█' the node is in TC's cache  '.' outside the cache
+//	'|' (bottom ruler) a changeset application ends a field here
+//
+// Requests are overlaid on the cache state, so "+ on ·" and "− on █"
+// are the only combinations that occur (free requests are not drawn).
+// The rendering is exact for phases up to maxCols rounds; longer
+// phases are truncated on the right.
+func RenderEventSpace(w io.Writer, t *tree.Tree, p *Phase, maxCols int) {
+	begin := p.Begin + 1
+	end := p.End
+	if maxCols > 0 && end-begin+1 > int64(maxCols) {
+		end = begin + int64(maxCols) - 1
+	}
+	cols := int(end - begin + 1)
+	if cols <= 0 {
+		fmt.Fprintln(w, "(empty phase)")
+		return
+	}
+	// Per-node state timeline: start outside the cache; flip at each
+	// field membership end.
+	type flip struct {
+		at  int64
+		pos bool // the field that ended was positive => node becomes cached
+	}
+	flips := make(map[tree.NodeID][]flip)
+	for _, f := range p.Fields {
+		for _, v := range f.Nodes {
+			flips[v] = append(flips[v], flip{at: f.End, pos: f.Positive})
+		}
+	}
+	for _, fs := range flips {
+		sort.Slice(fs, func(i, j int) bool { return fs[i].at < fs[j].at })
+	}
+	// Request overlay.
+	type cellKey struct {
+		v tree.NodeID
+		r int64
+	}
+	req := make(map[cellKey]byte)
+	mark := func(slots []Slot) {
+		for _, s := range slots {
+			ch := byte('+')
+			if s.Kind.String() == "-" {
+				ch = '-'
+			}
+			req[cellKey{s.Node, s.Round}] = ch
+		}
+	}
+	for _, f := range p.Fields {
+		mark(f.Requests)
+	}
+	mark(p.Open)
+	// Field-end columns.
+	ends := make(map[int64]bool)
+	for _, f := range p.Fields {
+		ends[f.End] = true
+	}
+	// Draw: root first (preorder).
+	width := 0
+	for _, v := range t.Preorder() {
+		if l := len(nodeLabel(v)); l > width {
+			width = l
+		}
+	}
+	for _, v := range t.Preorder() {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%*s ", width, nodeLabel(v))
+		fs := flips[v]
+		cached := false
+		fi := 0
+		for r := begin; r <= end; r++ {
+			for fi < len(fs) && fs[fi].at < r {
+				cached = fs[fi].pos
+				fi++
+			}
+			if ch, ok := req[cellKey{v, r}]; ok {
+				b.WriteByte(ch)
+			} else if cached {
+				b.WriteRune('█')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	// Field-end ruler.
+	var ruler strings.Builder
+	fmt.Fprintf(&ruler, "%*s ", width, "")
+	for r := begin; r <= end; r++ {
+		if ends[r] {
+			ruler.WriteByte('|')
+		} else {
+			ruler.WriteByte(' ')
+		}
+	}
+	fmt.Fprintln(w, ruler.String())
+}
+
+func nodeLabel(v tree.NodeID) string { return fmt.Sprintf("n%d", v) }
+
+// RenderPeriods draws the Figure 3 view for a single node: its
+// alternating out/in periods across the phase, annotated with the
+// number of requests in each period.
+func RenderPeriods(w io.Writer, p *Phase, v tree.NodeID) {
+	type period struct {
+		end  int64
+		pos  bool
+		reqs int
+	}
+	var ps []period
+	for _, f := range p.Fields {
+		for _, u := range f.Nodes {
+			if u != v {
+				continue
+			}
+			n := 0
+			for _, s := range f.Requests {
+				if s.Node == v {
+					n++
+				}
+			}
+			ps = append(ps, period{end: f.End, pos: f.Positive, reqs: n})
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].end < ps[j].end })
+	if len(ps) == 0 {
+		fmt.Fprintf(w, "node %d: no periods in this phase\n", v)
+		return
+	}
+	parts := make([]string, len(ps))
+	for i, pd := range ps {
+		kind := "OUT"
+		if !pd.pos {
+			kind = "IN"
+		}
+		parts[i] = fmt.Sprintf("%s(%d req, ends t=%d)", kind, pd.reqs, pd.end)
+	}
+	fmt.Fprintf(w, "node %d: %s\n", v, strings.Join(parts, " → "))
+}

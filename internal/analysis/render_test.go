@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// TestRenderEventSpaceSmall pins the rendering on a hand-checkable
+// run: α=2 on a 2-node path, fetch of the leaf then eviction.
+func TestRenderEventSpaceSmall(t *testing.T) {
+	tr := tree.Path(2)
+	alpha := int64(2)
+	input := trace.Trace{
+		trace.Pos(1), trace.Pos(1), // fetch {1} at round 2
+		trace.Neg(1), trace.Neg(1), // evict {1} at round 4
+		trace.Pos(1), // one open positive request
+	}
+	phases := runRecorded(tr, alpha, 2, input)
+	if len(phases) != 1 {
+		t.Fatalf("phases = %d", len(phases))
+	}
+	var buf bytes.Buffer
+	RenderEventSpace(&buf, tr, phases[0], 0)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // two node rows + ruler
+		t.Fatalf("render:\n%s", out)
+	}
+	// Node 0 never cached, never requested: all dots.
+	if !strings.Contains(lines[0], ".....") {
+		t.Fatalf("root row %q", lines[0])
+	}
+	// Node 1: ++ then -- then +.
+	if !strings.Contains(lines[1], "++--+") {
+		t.Fatalf("leaf row %q", lines[1])
+	}
+	// Ruler: field ends at rounds 2 and 4.
+	if !strings.Contains(lines[2], " |") {
+		t.Fatalf("ruler %q", lines[2])
+	}
+}
+
+// TestRenderEventSpaceCacheBars: cached stretches render as bars.
+func TestRenderEventSpaceCacheBars(t *testing.T) {
+	tr := tree.Path(2)
+	input := trace.Trace{
+		trace.Pos(1), trace.Pos(1), // fetch at round 2
+		trace.Pos(0), trace.Pos(0), // requests at 0 while 1 is cached
+	}
+	phases := runRecorded(tr, 2, 2, input)
+	var buf bytes.Buffer
+	RenderEventSpace(&buf, tr, phases[0], 0)
+	leafRow := strings.Split(buf.String(), "\n")[1]
+	if !strings.Contains(leafRow, "++██") {
+		t.Fatalf("leaf row %q: cached rounds should render as bars", leafRow)
+	}
+}
+
+// TestRenderPeriods: the per-node period line alternates OUT/IN.
+func TestRenderPeriods(t *testing.T) {
+	tr := tree.Path(2)
+	input := trace.Trace{
+		trace.Pos(1), trace.Pos(1),
+		trace.Neg(1), trace.Neg(1),
+		trace.Pos(1), trace.Pos(1),
+	}
+	phases := runRecorded(tr, 2, 2, input)
+	var buf bytes.Buffer
+	RenderPeriods(&buf, phases[0], 1)
+	out := buf.String()
+	if !strings.Contains(out, "OUT(2 req, ends t=2) → IN(2 req, ends t=4) → OUT(2 req, ends t=6)") {
+		t.Fatalf("periods line %q", out)
+	}
+	// A node with no periods.
+	buf.Reset()
+	RenderPeriods(&buf, phases[0], 0)
+	if !strings.Contains(buf.String(), "no periods") {
+		t.Fatalf("got %q", buf.String())
+	}
+}
+
+// TestRenderTruncation: maxCols limits the width.
+func TestRenderTruncation(t *testing.T) {
+	tr := tree.Star(3)
+	var input trace.Trace
+	for i := 0; i < 50; i++ {
+		input = append(input, trace.Pos(1))
+	}
+	phases := runRecorded(tr, 2, 3, input)
+	var buf bytes.Buffer
+	RenderEventSpace(&buf, tr, phases[0], 10)
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if got := len([]rune(line)); got > 3+10 {
+			t.Fatalf("line too wide (%d runes): %q", got, line)
+		}
+	}
+}

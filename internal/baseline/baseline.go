@@ -1,0 +1,353 @@
+// Package baseline provides online comparison algorithms for tree
+// caching. None of them has a worst-case guarantee; they represent the
+// practical, eager policies (CacheFlow-style dependent-set caching with
+// LRU/FIFO/random eviction at the tops of cached trees) that the paper
+// improves upon, plus the trivial no-cache policy.
+//
+// All baselines respect the two model constraints: the cache is always
+// a subforest of T, and occupancy never exceeds the capacity. Costs are
+// charged exactly as for TC: 1 per paid request, α per node moved.
+package baseline
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// Policy selects eviction victims.
+type Policy uint8
+
+const (
+	// LRU evicts the cached-tree root least recently used (fetch or hit
+	// anywhere in its subtree refreshes the root).
+	LRU Policy = iota
+	// FIFO evicts the cached-tree root fetched longest ago.
+	FIFO
+	// Rand evicts a uniformly random cached-tree root.
+	Rand
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	default:
+		return "Rand"
+	}
+}
+
+// Config parameterises an eager baseline.
+type Config struct {
+	// Alpha is the per-node movement cost α ≥ 1.
+	Alpha int64
+	// Capacity is the cache size.
+	Capacity int
+	// Policy picks eviction victims.
+	Policy Policy
+	// EvictOnUpdate, when set, reacts to a paid negative request by
+	// evicting the path from the node up to its cached-tree root
+	// (practical FIB caches invalidate updated rules). When unset the
+	// baseline ignores updates and keeps paying for them.
+	EvictOnUpdate bool
+	// Seed drives the Rand policy.
+	Seed int64
+}
+
+// Eager is the dependent-set caching baseline: on every paid positive
+// request it immediately fetches the missing subtree of the requested
+// node (dependencies included), evicting victims chosen by Policy until
+// the fetch fits. If the requested subtree alone exceeds the capacity
+// the request is bypassed.
+type Eager struct {
+	t   *tree.Tree
+	cfg Config
+	c   *cache.Subforest
+	led cache.Ledger
+	rng *rand.Rand
+
+	clock   int64
+	stamp   []int64 // per-node policy stamp (last use or fetch time)
+	pq      rootHeap
+	scratch []tree.NodeID
+}
+
+// NewEager builds an eager baseline over t.
+func NewEager(t *tree.Tree, cfg Config) *Eager {
+	if cfg.Alpha < 1 {
+		panic(fmt.Sprintf("baseline: Alpha must be >= 1, got %d", cfg.Alpha))
+	}
+	if cfg.Capacity < 1 {
+		panic(fmt.Sprintf("baseline: Capacity must be >= 1, got %d", cfg.Capacity))
+	}
+	return &Eager{
+		t:     t,
+		cfg:   cfg,
+		c:     cache.NewSubforest(t),
+		led:   cache.Ledger{Alpha: cfg.Alpha},
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		stamp: make([]int64, t.Len()),
+	}
+}
+
+// Name implements sim.Algorithm.
+func (e *Eager) Name() string {
+	s := "Eager-" + e.cfg.Policy.String()
+	if e.cfg.EvictOnUpdate {
+		s += "-inv"
+	}
+	return s
+}
+
+// Cached implements sim.Algorithm.
+func (e *Eager) Cached(v tree.NodeID) bool { return e.c.Contains(v) }
+
+// CacheLen implements sim.Algorithm.
+func (e *Eager) CacheLen() int { return e.c.Len() }
+
+// Ledger implements sim.Algorithm.
+func (e *Eager) Ledger() cache.Ledger { return e.led }
+
+// Reset implements sim.Algorithm.
+func (e *Eager) Reset() {
+	e.c.Clear()
+	e.led.Reset()
+	e.clock = 0
+	for i := range e.stamp {
+		e.stamp[i] = 0
+	}
+	e.pq = e.pq[:0]
+	e.rng = rand.New(rand.NewSource(e.cfg.Seed))
+}
+
+// Serve implements sim.Algorithm.
+func (e *Eager) Serve(req trace.Request) (serveCost, moveCost int64) {
+	e.clock++
+	v := req.Node
+	cached := e.c.Contains(v)
+	moveBefore := e.led.Move
+	switch {
+	case req.Kind == trace.Positive && cached:
+		// Hit: free; refresh recency of the cached-tree root for LRU.
+		if e.cfg.Policy == LRU {
+			r := e.c.CachedRoot(v)
+			e.stamp[r] = e.clock
+			heap.Push(&e.pq, rootEntry{node: r, stamp: e.stamp[r]})
+		}
+		return 0, 0
+	case req.Kind == trace.Positive && !cached:
+		e.led.PayServe()
+		e.fetchSubtree(v)
+		return 1, e.led.Move - moveBefore
+	case req.Kind == trace.Negative && cached:
+		e.led.PayServe()
+		if e.cfg.EvictOnUpdate {
+			e.evictPathToRoot(v)
+		}
+		return 1, e.led.Move - moveBefore
+	default: // negative, not cached: free
+		return 0, 0
+	}
+}
+
+// fetchSubtree caches v by fetching all currently non-cached nodes of
+// T(v), evicting victims until the fetch fits. Bypasses if impossible.
+func (e *Eager) fetchSubtree(v tree.NodeID) {
+	// Collect the missing part of T(v).
+	x := e.scratch[:0]
+	stack := append([]tree.NodeID(nil), v)
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		x = append(x, w)
+		for _, ch := range e.t.Children(w) {
+			if !e.c.Contains(ch) {
+				stack = append(stack, ch)
+			}
+		}
+	}
+	e.scratch = x
+	if len(x) > e.cfg.Capacity {
+		return // can never fit; bypass
+	}
+	for e.c.Len()+len(x) > e.cfg.Capacity {
+		if !e.evictOneVictim(v) {
+			return // nothing evictable (shouldn't happen); bypass
+		}
+	}
+	if err := e.c.Fetch(x); err != nil {
+		panic("baseline: " + err.Error())
+	}
+	e.led.PayFetch(len(x))
+	now := e.clock
+	for _, w := range x {
+		e.stamp[w] = now
+	}
+	heap.Push(&e.pq, rootEntry{node: v, stamp: now})
+}
+
+// evictOneVictim evicts one cached-tree root chosen by the policy. A
+// root conflicts with the pending fetch of T(fetching) when it is an
+// ancestor-or-self of the fetched node (evicting it would be undone
+// immediately) or lies inside T(fetching) (evicting it would invalidate
+// the computed fetch set); conflicting roots are never evicted. Returns
+// false if no usable victim exists — the caller then bypasses.
+func (e *Eager) evictOneVictim(fetching tree.NodeID) bool {
+	conflicts := func(r tree.NodeID) bool {
+		return e.t.IsAncestorOrSelf(r, fetching) || e.t.IsAncestorOrSelf(fetching, r)
+	}
+	switch e.cfg.Policy {
+	case Rand:
+		roots := e.c.Roots()
+		e.rng.Shuffle(len(roots), func(i, j int) { roots[i], roots[j] = roots[j], roots[i] })
+		for _, r := range roots {
+			if !conflicts(r) {
+				e.evictRoot(r)
+				return true
+			}
+		}
+		return false
+	default: // LRU and FIFO share the stale-entry heap
+		var skipped []rootEntry
+		victim := tree.None
+		for e.pq.Len() > 0 {
+			ent := heap.Pop(&e.pq).(rootEntry)
+			// Skip stale entries: node no longer a cached root, or the
+			// stamp was refreshed after this entry was pushed.
+			if !e.c.Contains(ent.node) {
+				continue
+			}
+			if p := e.t.Parent(ent.node); p != tree.None && e.c.Contains(p) {
+				continue
+			}
+			if e.stamp[ent.node] != ent.stamp {
+				continue
+			}
+			if conflicts(ent.node) {
+				skipped = append(skipped, ent)
+				continue
+			}
+			victim = ent.node
+			break
+		}
+		for _, ent := range skipped {
+			heap.Push(&e.pq, ent)
+		}
+		if victim != tree.None {
+			e.evictRoot(victim)
+			return true
+		}
+		// The heap may have lost live roots to stamp refreshes without
+		// re-pushes; fall back to a scan before giving up.
+		for _, r := range e.c.Roots() {
+			if !conflicts(r) {
+				e.evictRoot(r)
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// evictRoot evicts the single node r (a cached-tree root); its children
+// become new roots and are (re)inserted into the policy heap.
+func (e *Eager) evictRoot(r tree.NodeID) {
+	if err := e.c.Evict([]tree.NodeID{r}); err != nil {
+		panic("baseline: " + err.Error())
+	}
+	e.led.PayEvict(1)
+	for _, ch := range e.t.Children(r) {
+		if e.c.Contains(ch) {
+			heap.Push(&e.pq, rootEntry{node: ch, stamp: e.stamp[ch]})
+		}
+	}
+}
+
+// evictPathToRoot evicts the path from v up to its cached-tree root
+// (the minimal valid negative changeset containing v).
+func (e *Eager) evictPathToRoot(v tree.NodeID) {
+	var path []tree.NodeID
+	w := v
+	for {
+		path = append(path, w)
+		p := e.t.Parent(w)
+		if p == tree.None || !e.c.Contains(p) {
+			break
+		}
+		w = p
+	}
+	if err := e.c.Evict(path); err != nil {
+		panic("baseline: " + err.Error())
+	}
+	e.led.PayEvict(len(path))
+	// Children of evicted nodes that remain cached become roots.
+	for _, u := range path {
+		for _, ch := range e.t.Children(u) {
+			if e.c.Contains(ch) {
+				heap.Push(&e.pq, rootEntry{node: ch, stamp: e.stamp[ch]})
+			}
+		}
+	}
+}
+
+// rootEntry / rootHeap implement a lazy min-heap over root stamps.
+type rootEntry struct {
+	node  tree.NodeID
+	stamp int64
+}
+
+type rootHeap []rootEntry
+
+func (h rootHeap) Len() int            { return len(h) }
+func (h rootHeap) Less(i, j int) bool  { return h[i].stamp < h[j].stamp }
+func (h rootHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *rootHeap) Push(x interface{}) { *h = append(*h, x.(rootEntry)) }
+func (h *rootHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NoCache never caches anything: it pays 1 for every positive request
+// and never moves. It upper-bounds any reasonable algorithm's serving
+// cost and anchors the cost axis in experiments.
+type NoCache struct {
+	led cache.Ledger
+}
+
+// NewNoCache returns the trivial bypass-everything algorithm.
+func NewNoCache(alpha int64) *NoCache {
+	return &NoCache{led: cache.Ledger{Alpha: alpha}}
+}
+
+// Name implements sim.Algorithm.
+func (n *NoCache) Name() string { return "NoCache" }
+
+// Serve implements sim.Algorithm.
+func (n *NoCache) Serve(req trace.Request) (int64, int64) {
+	if req.Kind == trace.Positive {
+		n.led.PayServe()
+		return 1, 0
+	}
+	return 0, 0
+}
+
+// Cached implements sim.Algorithm.
+func (n *NoCache) Cached(tree.NodeID) bool { return false }
+
+// CacheLen implements sim.Algorithm.
+func (n *NoCache) CacheLen() int { return 0 }
+
+// Ledger implements sim.Algorithm.
+func (n *NoCache) Ledger() cache.Ledger { return n.led }
+
+// Reset implements sim.Algorithm.
+func (n *NoCache) Reset() { n.led.Reset() }

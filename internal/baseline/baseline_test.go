@@ -1,0 +1,196 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// TestEagerRespectsInvariants fuzzes all three policies (with and
+// without update invalidation) and checks, after every round, that the
+// cache is a subforest within capacity. The cache's own validation
+// panics on an invalid changeset, so surviving the run is itself a
+// check.
+func TestEagerRespectsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for inst := 0; inst < 60; inst++ {
+		n := 3 + rng.Intn(30)
+		tr := tree.RandomShape(rng, n)
+		capa := 1 + rng.Intn(n)
+		for _, pol := range []Policy{LRU, FIFO, Rand} {
+			for _, inv := range []bool{false, true} {
+				e := NewEager(tr, Config{Alpha: 2, Capacity: capa, Policy: pol, EvictOnUpdate: inv, Seed: int64(inst)})
+				mirror := cache.NewSubforest(tr)
+				_ = mirror
+				for _, req := range trace.RandomMixed(rng, tr, 300) {
+					e.Serve(req)
+					if e.CacheLen() > capa {
+						t.Fatalf("inst %d %v inv=%v: capacity exceeded: %d > %d", inst, pol, inv, e.CacheLen(), capa)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEagerCachesOnMiss: a paid positive request to a fitting subtree
+// is immediately cached.
+func TestEagerCachesOnMiss(t *testing.T) {
+	tr := tree.CompleteKary(7, 2)
+	e := NewEager(tr, Config{Alpha: 2, Capacity: 7, Policy: LRU})
+	s, m := e.Serve(trace.Pos(1)) // subtree {1,3,4}
+	if s != 1 {
+		t.Fatalf("first miss cost %d, want 1", s)
+	}
+	if m != 3*2 {
+		t.Fatalf("fetch cost %d, want 6 (3 nodes × α)", m)
+	}
+	for _, v := range []tree.NodeID{1, 3, 4} {
+		if !e.Cached(v) {
+			t.Fatalf("node %d not cached after miss", v)
+		}
+	}
+	// Second access is a free hit.
+	if s, m := e.Serve(trace.Pos(1)); s != 0 || m != 0 {
+		t.Fatalf("hit cost (%d,%d), want (0,0)", s, m)
+	}
+}
+
+// TestEagerBypassesOversizedSubtree: requests to a subtree larger than
+// the capacity are served by bypassing, never by partial caching.
+func TestEagerBypassesOversizedSubtree(t *testing.T) {
+	tr := tree.CompleteKary(15, 2)
+	e := NewEager(tr, Config{Alpha: 2, Capacity: 2, Policy: LRU})
+	for i := 0; i < 10; i++ {
+		if s, _ := e.Serve(trace.Pos(1)); s != 1 { // |T(1)| = 7 > 2
+			t.Fatalf("bypass round %d cost %d, want 1", i, s)
+		}
+	}
+	if e.CacheLen() != 0 {
+		t.Fatalf("cache len %d, want 0", e.CacheLen())
+	}
+}
+
+// TestEagerLRUEvictsColdRoot: with capacity for one leaf, accessing a
+// second leaf evicts the first (LRU order).
+func TestEagerLRUEvictsColdRoot(t *testing.T) {
+	tr := tree.Star(5)
+	e := NewEager(tr, Config{Alpha: 2, Capacity: 2, Policy: LRU})
+	e.Serve(trace.Pos(1))
+	e.Serve(trace.Pos(2))
+	e.Serve(trace.Pos(2)) // refresh 2
+	e.Serve(trace.Pos(3)) // needs room: evict 1 (least recent)
+	if e.Cached(1) {
+		t.Fatal("leaf 1 should have been evicted")
+	}
+	if !e.Cached(2) || !e.Cached(3) {
+		t.Fatal("leaves 2 and 3 should be cached")
+	}
+}
+
+// TestEagerFIFOIgnoresHits: FIFO evicts by fetch order even when the
+// oldest entry is hot.
+func TestEagerFIFOIgnoresHits(t *testing.T) {
+	tr := tree.Star(5)
+	e := NewEager(tr, Config{Alpha: 2, Capacity: 2, Policy: FIFO})
+	e.Serve(trace.Pos(1))
+	e.Serve(trace.Pos(2))
+	for i := 0; i < 5; i++ {
+		e.Serve(trace.Pos(1)) // hits do not refresh FIFO order
+	}
+	e.Serve(trace.Pos(3))
+	if e.Cached(1) {
+		t.Fatal("FIFO should evict leaf 1 (oldest fetch) despite hits")
+	}
+}
+
+// TestEagerEvictOnUpdate: with invalidation enabled, a paid negative
+// request evicts the path to the cached-tree root.
+func TestEagerEvictOnUpdate(t *testing.T) {
+	tr := tree.Path(3)
+	e := NewEager(tr, Config{Alpha: 2, Capacity: 3, Policy: LRU, EvictOnUpdate: true})
+	e.Serve(trace.Pos(0)) // caches {0,1,2}
+	if e.CacheLen() != 3 {
+		t.Fatalf("cache len %d, want 3", e.CacheLen())
+	}
+	s, m := e.Serve(trace.Neg(1))
+	if s != 1 {
+		t.Fatalf("update cost %d, want 1", s)
+	}
+	if m != 2*2 {
+		t.Fatalf("invalidation cost %d, want 4 (path {1,0})", m)
+	}
+	if e.Cached(0) || e.Cached(1) {
+		t.Fatal("path {0,1} should be evicted")
+	}
+	if !e.Cached(2) {
+		t.Fatal("leaf 2 should remain cached (still a valid subforest)")
+	}
+}
+
+// TestEagerIgnoresUpdatesWithoutFlag: without invalidation, negative
+// requests cost 1 but change nothing.
+func TestEagerIgnoresUpdatesWithoutFlag(t *testing.T) {
+	tr := tree.Path(2)
+	e := NewEager(tr, Config{Alpha: 2, Capacity: 2, Policy: LRU})
+	e.Serve(trace.Pos(0))
+	before := e.CacheLen()
+	s, m := e.Serve(trace.Neg(0))
+	if s != 1 || m != 0 || e.CacheLen() != before {
+		t.Fatalf("update handling: cost (%d,%d), len %d→%d", s, m, before, e.CacheLen())
+	}
+}
+
+// TestNoCache pays for every positive request and nothing else.
+func TestNoCache(t *testing.T) {
+	nc := NewNoCache(2)
+	if s, m := nc.Serve(trace.Pos(3)); s != 1 || m != 0 {
+		t.Fatalf("positive: (%d,%d)", s, m)
+	}
+	if s, m := nc.Serve(trace.Neg(3)); s != 0 || m != 0 {
+		t.Fatalf("negative: (%d,%d)", s, m)
+	}
+	if nc.Cached(3) || nc.CacheLen() != 0 {
+		t.Fatal("NoCache must never cache")
+	}
+	if nc.Ledger().Total() != 1 {
+		t.Fatalf("ledger total %d, want 1", nc.Ledger().Total())
+	}
+	nc.Reset()
+	if nc.Ledger().Total() != 0 {
+		t.Fatal("Reset did not clear the ledger")
+	}
+}
+
+// TestEagerReset verifies deterministic replay after Reset.
+func TestEagerReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tr := tree.RandomShape(rng, 12)
+	input := trace.RandomMixed(rng, tr, 300)
+	e := NewEager(tr, Config{Alpha: 2, Capacity: 5, Policy: Rand, Seed: 7})
+	for _, req := range input {
+		e.Serve(req)
+	}
+	first := e.Ledger().Total()
+	e.Reset()
+	for _, req := range input {
+		e.Serve(req)
+	}
+	if got := e.Ledger().Total(); got != first {
+		t.Fatalf("replay after Reset cost %d, first run %d", got, first)
+	}
+}
+
+// TestPolicyNames pins the reported names used in experiment tables.
+func TestPolicyNames(t *testing.T) {
+	tr := tree.Path(2)
+	if got := NewEager(tr, Config{Alpha: 1, Capacity: 1, Policy: LRU}).Name(); got != "Eager-LRU" {
+		t.Fatalf("name %q", got)
+	}
+	if got := NewEager(tr, Config{Alpha: 1, Capacity: 1, Policy: FIFO, EvictOnUpdate: true}).Name(); got != "Eager-FIFO-inv" {
+		t.Fatalf("name %q", got)
+	}
+}

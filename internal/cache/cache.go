@@ -1,0 +1,242 @@
+// Package cache implements the subforest cache of the online tree
+// caching problem (Bienkowski et al., SPAA 2017, Section 3).
+//
+// A cache over a tree T must at all times be a subforest of T: if a node
+// v is cached, the whole subtree T(v) is cached too. The package provides
+// O(1) membership, changeset validation (valid positive / negative
+// changesets as defined in the paper), application of changesets, and a
+// cost ledger charging α per node fetched or evicted.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// Ledger accumulates the two cost components of the model: the serving
+// cost (1 per paid request) and the movement cost (α per node fetched or
+// evicted).
+type Ledger struct {
+	// Alpha is the per-node fetch/evict cost α ≥ 1.
+	Alpha int64
+	// Serve is the total serving cost paid so far.
+	Serve int64
+	// Move is the total reorganization cost paid so far.
+	Move int64
+	// Fetched and Evicted count individual node fetches/evictions.
+	Fetched int64
+	Evicted int64
+}
+
+// Total returns Serve + Move.
+func (l Ledger) Total() int64 { return l.Serve + l.Move }
+
+// PayServe charges the unit serving cost.
+func (l *Ledger) PayServe() { l.Serve++ }
+
+// PayFetch charges α·n for fetching n nodes.
+func (l *Ledger) PayFetch(n int) {
+	l.Move += l.Alpha * int64(n)
+	l.Fetched += int64(n)
+}
+
+// PayEvict charges α·n for evicting n nodes.
+func (l *Ledger) PayEvict(n int) {
+	l.Move += l.Alpha * int64(n)
+	l.Evicted += int64(n)
+}
+
+// Reset zeroes all accumulated costs, keeping Alpha.
+func (l *Ledger) Reset() {
+	l.Serve, l.Move, l.Fetched, l.Evicted = 0, 0, 0, 0
+}
+
+// Subforest is a mutable cache whose contents always form a subforest
+// of the underlying tree. The zero value is not usable; construct with
+// NewSubforest.
+type Subforest struct {
+	t  *tree.Tree
+	in []bool
+	n  int
+}
+
+// NewSubforest returns an empty cache over t.
+func NewSubforest(t *tree.Tree) *Subforest {
+	return &Subforest{t: t, in: make([]bool, t.Len())}
+}
+
+// Tree returns the underlying tree.
+func (s *Subforest) Tree() *tree.Tree { return s.t }
+
+// Len returns the number of cached nodes.
+func (s *Subforest) Len() int { return s.n }
+
+// Contains reports whether v is cached.
+func (s *Subforest) Contains(v tree.NodeID) bool { return s.in[v] }
+
+// Members returns the cached nodes in preorder.
+func (s *Subforest) Members() []tree.NodeID {
+	out := make([]tree.NodeID, 0, s.n)
+	for _, v := range s.t.Preorder() {
+		if s.in[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Roots returns the roots of the maximal cached subtrees (cached nodes
+// whose parent is not cached), in preorder.
+func (s *Subforest) Roots() []tree.NodeID {
+	var out []tree.NodeID
+	for _, v := range s.t.Preorder() {
+		if s.in[v] && (v == s.t.Root() || !s.in[s.t.Parent(v)]) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CachedRoot returns the root of the maximal cached subtree containing
+// v, or tree.None if v is not cached. O(depth).
+func (s *Subforest) CachedRoot(v tree.NodeID) tree.NodeID {
+	if !s.in[v] {
+		return tree.None
+	}
+	for {
+		p := s.t.Parent(v)
+		if p == tree.None || !s.in[p] {
+			return v
+		}
+		v = p
+	}
+}
+
+// ValidPositive reports whether X is a valid positive changeset for the
+// current cache C: X non-empty, X ∩ C = ∅, and C ∪ X a subforest.
+// Because C is already downward-closed, the last condition reduces to:
+// every child of every x ∈ X is in C ∪ X.
+func (s *Subforest) ValidPositive(x []tree.NodeID) bool {
+	if len(x) == 0 {
+		return false
+	}
+	inX := make(map[tree.NodeID]bool, len(x))
+	for _, v := range x {
+		if s.in[v] || inX[v] {
+			return false // intersects cache, or duplicate
+		}
+		inX[v] = true
+	}
+	for _, v := range x {
+		for _, c := range s.t.Children(v) {
+			if !s.in[c] && !inX[c] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ValidNegative reports whether X is a valid negative changeset for the
+// current cache C: X non-empty, X ⊆ C, and C \ X a subforest. The last
+// condition reduces to: for every x ∈ X, parent(x) ∈ X or parent(x) ∉ C.
+func (s *Subforest) ValidNegative(x []tree.NodeID) bool {
+	if len(x) == 0 {
+		return false
+	}
+	inX := make(map[tree.NodeID]bool, len(x))
+	for _, v := range x {
+		if !s.in[v] || inX[v] {
+			return false // outside cache, or duplicate
+		}
+		inX[v] = true
+	}
+	for _, v := range x {
+		p := s.t.Parent(v)
+		if p != tree.None && s.in[p] && !inX[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fetch adds all nodes of X to the cache. It returns an error (and
+// leaves the cache untouched) if X is not a valid positive changeset.
+func (s *Subforest) Fetch(x []tree.NodeID) error {
+	if !s.ValidPositive(x) {
+		return fmt.Errorf("cache: invalid positive changeset of %d nodes", len(x))
+	}
+	for _, v := range x {
+		s.in[v] = true
+	}
+	s.n += len(x)
+	return nil
+}
+
+// Evict removes all nodes of X from the cache. It returns an error (and
+// leaves the cache untouched) if X is not a valid negative changeset.
+func (s *Subforest) Evict(x []tree.NodeID) error {
+	if !s.ValidNegative(x) {
+		return fmt.Errorf("cache: invalid negative changeset of %d nodes", len(x))
+	}
+	for _, v := range x {
+		s.in[v] = false
+	}
+	s.n -= len(x)
+	return nil
+}
+
+// Clear empties the cache and returns the number of nodes evicted.
+func (s *Subforest) Clear() int {
+	k := s.n
+	if k > 0 {
+		for i := range s.in {
+			s.in[i] = false
+		}
+		s.n = 0
+	}
+	return k
+}
+
+// CheckInvariant verifies the subforest property (every cached node's
+// children are cached) and the internal count; it is used by tests and
+// the differential harness.
+func (s *Subforest) CheckInvariant() error {
+	count := 0
+	for v := 0; v < s.t.Len(); v++ {
+		if !s.in[v] {
+			continue
+		}
+		count++
+		for _, c := range s.t.Children(tree.NodeID(v)) {
+			if !s.in[c] {
+				return fmt.Errorf("cache: node %d cached but child %d is not", v, c)
+			}
+		}
+	}
+	if count != s.n {
+		return fmt.Errorf("cache: count mismatch: recorded %d, actual %d", s.n, count)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the cache.
+func (s *Subforest) Clone() *Subforest {
+	in := make([]bool, len(s.in))
+	copy(in, s.in)
+	return &Subforest{t: s.t, in: in, n: s.n}
+}
+
+// Equal reports whether two caches over the same tree hold the same set.
+func (s *Subforest) Equal(o *Subforest) bool {
+	if s.t != o.t || s.n != o.n {
+		return false
+	}
+	for i := range s.in {
+		if s.in[i] != o.in[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,212 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func TestLedgerAccounting(t *testing.T) {
+	l := Ledger{Alpha: 4}
+	l.PayServe()
+	l.PayServe()
+	l.PayFetch(3)
+	l.PayEvict(2)
+	if l.Serve != 2 || l.Move != 20 || l.Fetched != 3 || l.Evicted != 2 {
+		t.Fatalf("ledger = %+v", l)
+	}
+	if l.Total() != 22 {
+		t.Fatalf("total = %d, want 22", l.Total())
+	}
+	l.Reset()
+	if l.Total() != 0 || l.Alpha != 4 {
+		t.Fatalf("after reset: %+v", l)
+	}
+}
+
+func TestFetchEvictRoundTrip(t *testing.T) {
+	tr := tree.CompleteKary(7, 2)
+	c := NewSubforest(tr)
+	if err := c.Fetch([]tree.NodeID{1, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 || !c.Contains(1) || !c.Contains(3) || !c.Contains(4) {
+		t.Fatal("fetch did not apply")
+	}
+	if err := c.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Evict([]tree.NodeID{1}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 || c.Contains(1) {
+		t.Fatal("evict did not apply")
+	}
+	if err := c.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidPositive(t *testing.T) {
+	tr := tree.CompleteKary(7, 2)
+	c := NewSubforest(tr)
+	if c.ValidPositive(nil) {
+		t.Fatal("empty set must be invalid")
+	}
+	if c.ValidPositive([]tree.NodeID{1}) {
+		t.Fatal("{1} needs its children")
+	}
+	if !c.ValidPositive([]tree.NodeID{3}) {
+		t.Fatal("leaf {3} must be valid")
+	}
+	if !c.ValidPositive([]tree.NodeID{1, 3, 4}) {
+		t.Fatal("complete subtree must be valid")
+	}
+	if c.ValidPositive([]tree.NodeID{3, 3}) {
+		t.Fatal("duplicates must be invalid")
+	}
+	// With 3,4 cached, {1} alone becomes valid.
+	if err := c.Fetch([]tree.NodeID{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.ValidPositive([]tree.NodeID{1}) {
+		t.Fatal("{1} must be valid once children are cached")
+	}
+	if c.ValidPositive([]tree.NodeID{3}) {
+		t.Fatal("cached node cannot be fetched again")
+	}
+}
+
+func TestValidNegative(t *testing.T) {
+	tr := tree.CompleteKary(7, 2)
+	c := NewSubforest(tr)
+	if err := c.Fetch([]tree.NodeID{1, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.ValidNegative([]tree.NodeID{1}) {
+		t.Fatal("evicting the cached root must be valid")
+	}
+	if c.ValidNegative([]tree.NodeID{3}) {
+		t.Fatal("evicting a node under a cached parent must be invalid")
+	}
+	if !c.ValidNegative([]tree.NodeID{1, 3}) {
+		t.Fatal("evicting a cap {1,3} must be valid")
+	}
+	if !c.ValidNegative([]tree.NodeID{1, 3, 4}) {
+		t.Fatal("evicting everything must be valid")
+	}
+	if c.ValidNegative([]tree.NodeID{5}) {
+		t.Fatal("evicting a non-cached node must be invalid")
+	}
+	if c.ValidNegative(nil) {
+		t.Fatal("empty set must be invalid")
+	}
+}
+
+func TestInvalidOperationsLeaveStateUntouched(t *testing.T) {
+	tr := tree.CompleteKary(7, 2)
+	c := NewSubforest(tr)
+	if err := c.Fetch([]tree.NodeID{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := c.Clone()
+	if err := c.Fetch([]tree.NodeID{0}); err == nil {
+		t.Fatal("invalid fetch accepted")
+	}
+	if err := c.Evict([]tree.NodeID{0}); err == nil {
+		t.Fatal("invalid evict accepted")
+	}
+	if !c.Equal(snapshot) {
+		t.Fatal("failed operations mutated the cache")
+	}
+}
+
+func TestRootsAndCachedRoot(t *testing.T) {
+	tr := tree.CompleteKary(7, 2)
+	c := NewSubforest(tr)
+	if err := c.Fetch([]tree.NodeID{3, 5, 6, 2}); err != nil { // T(2) and leaf 3
+		t.Fatal(err)
+	}
+	// Preorder of the complete binary tree is 0,1,3,4,2,5,6 — so the
+	// cached roots come back as [3 2].
+	roots := c.Roots()
+	if len(roots) != 2 || roots[0] != 3 || roots[1] != 2 {
+		t.Fatalf("roots = %v, want [3 2]", roots)
+	}
+	if got := c.CachedRoot(5); got != 2 {
+		t.Fatalf("CachedRoot(5) = %d, want 2", got)
+	}
+	if got := c.CachedRoot(3); got != 3 {
+		t.Fatalf("CachedRoot(3) = %d, want 3", got)
+	}
+	if got := c.CachedRoot(1); got != tree.None {
+		t.Fatalf("CachedRoot(1) = %d, want None", got)
+	}
+}
+
+func TestClear(t *testing.T) {
+	tr := tree.Star(5)
+	c := NewSubforest(tr)
+	if err := c.Fetch([]tree.NodeID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Clear(); got != 2 {
+		t.Fatalf("Clear() = %d, want 2", got)
+	}
+	if c.Len() != 0 || c.Contains(1) {
+		t.Fatal("Clear left residue")
+	}
+	if got := c.Clear(); got != 0 {
+		t.Fatalf("second Clear() = %d, want 0", got)
+	}
+}
+
+// TestRandomizedSubforestInvariant applies random valid changesets and
+// keeps checking the invariant and membership consistency.
+func TestRandomizedSubforestInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for inst := 0; inst < 40; inst++ {
+		tr := tree.RandomShape(rng, 2+rng.Intn(25))
+		c := NewSubforest(tr)
+		for step := 0; step < 200; step++ {
+			v := tree.NodeID(rng.Intn(tr.Len()))
+			if c.Contains(v) {
+				// Evict the path from the cached root down to v.
+				var x []tree.NodeID
+				r := c.CachedRoot(v)
+				for u := v; ; u = tr.Parent(u) {
+					x = append(x, u)
+					if u == r {
+						break
+					}
+				}
+				if err := c.Evict(x); err != nil {
+					t.Fatalf("inst %d step %d: evict path: %v", inst, step, err)
+				}
+			} else {
+				// Fetch the missing part of T(v).
+				var x []tree.NodeID
+				for _, u := range tr.Subtree(v) {
+					if !c.Contains(u) {
+						x = append(x, u)
+					}
+				}
+				if err := c.Fetch(x); err != nil {
+					t.Fatalf("inst %d step %d: fetch subtree: %v", inst, step, err)
+				}
+			}
+			if err := c.CheckInvariant(); err != nil {
+				t.Fatalf("inst %d step %d: %v", inst, step, err)
+			}
+		}
+		// Members and Roots are consistent.
+		members := c.Members()
+		if len(members) != c.Len() {
+			t.Fatalf("inst %d: members %d != len %d", inst, len(members), c.Len())
+		}
+		if !tr.IsSubforest(members) {
+			t.Fatalf("inst %d: members not a subforest", inst)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// TestSingleNodeTree: the degenerate universe of one node still obeys
+// the model (the only valid changesets are {root}).
+func TestSingleNodeTree(t *testing.T) {
+	tr := tree.Path(1)
+	a := New(tr, Config{Alpha: 2, Capacity: 1})
+	a.Serve(trace.Pos(0))
+	if a.Cached(0) {
+		t.Fatal("cached after 1 < α requests")
+	}
+	a.Serve(trace.Pos(0))
+	if !a.Cached(0) {
+		t.Fatal("not cached after α requests")
+	}
+	a.Serve(trace.Neg(0))
+	a.Serve(trace.Neg(0))
+	if a.Cached(0) {
+		t.Fatal("not evicted after α negative requests")
+	}
+	if got := a.Ledger().Total(); got != 4+2*2 {
+		t.Fatalf("total cost %d, want 8", got)
+	}
+}
+
+// TestCapacityOneOnStar: with capacity 1, only single leaves ever fit;
+// saturating a second leaf flushes the first (phase reset) rather than
+// exceeding the capacity.
+func TestCapacityOneOnStar(t *testing.T) {
+	tr := tree.Star(4)
+	a := New(tr, Config{Alpha: 2, Capacity: 1})
+	a.Serve(trace.Pos(1))
+	a.Serve(trace.Pos(1))
+	if !a.Cached(1) || a.CacheLen() != 1 {
+		t.Fatal("leaf 1 should be the sole resident")
+	}
+	a.Serve(trace.Pos(2))
+	a.Serve(trace.Pos(2))
+	// Fetching {2} would exceed capacity 1 → flush, new phase.
+	if a.CacheLen() != 0 {
+		t.Fatalf("cache len %d after overflow, want 0", a.CacheLen())
+	}
+	if a.Phase() != 1 {
+		t.Fatalf("phase %d, want 1", a.Phase())
+	}
+}
+
+// TestRootSubtreeNeverFits: when even the smallest valid fetch for a
+// node exceeds the capacity, TC keeps flushing phases and never caches
+// it — but stays within the model.
+func TestRootSubtreeNeverFits(t *testing.T) {
+	tr := tree.Star(8) // caching the root needs all 8 nodes
+	a := New(tr, Config{Alpha: 2, Capacity: 3})
+	for i := 0; i < 100; i++ {
+		a.Serve(trace.Pos(0))
+		if a.Cached(0) {
+			t.Fatal("root cached despite not fitting")
+		}
+		if a.CacheLen() > 3 {
+			t.Fatal("capacity exceeded")
+		}
+	}
+	if a.Phase() == 0 {
+		t.Fatal("expected phase flushes from repeated oversized fetch attempts")
+	}
+}
+
+// TestLargeAlpha: very large α delays caching proportionally.
+func TestLargeAlpha(t *testing.T) {
+	tr := tree.Path(2)
+	alpha := int64(1000)
+	a := New(tr, Config{Alpha: alpha, Capacity: 2})
+	for i := int64(0); i < alpha-1; i++ {
+		a.Serve(trace.Pos(1))
+		if a.Cached(1) {
+			t.Fatalf("cached after %d < α requests", i+1)
+		}
+	}
+	a.Serve(trace.Pos(1))
+	if !a.Cached(1) {
+		t.Fatal("not cached at exactly α requests")
+	}
+}
+
+// TestGoldenDeterminism pins a full-run fingerprint: any change to
+// TC's decision sequence (costs, caches, phases) on a fixed seed will
+// flip this hash, flagging unintended behavioural changes.
+func TestGoldenDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	tr := tree.CompleteKary(63, 2)
+	a := New(tr, Config{Alpha: 4, Capacity: 20})
+	h := fnv.New64a()
+	for i, req := range trace.RandomMixed(rng, tr, 5000) {
+		s, m := a.Serve(req)
+		fmt.Fprintf(h, "%d:%d:%d:%d;", i, s, m, a.CacheLen())
+	}
+	fmt.Fprintf(h, "total:%d;phases:%d", a.Ledger().Total(), a.Phase())
+	const golden = 0xc47774c38332efe0
+	if got := h.Sum64(); got != uint64(golden) {
+		t.Fatalf("behaviour fingerprint changed: %#x (golden %#x)\n"+
+			"If this change is intentional, re-pin the golden value.", got, uint64(golden))
+	}
+}

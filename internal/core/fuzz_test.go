@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// FuzzDifferential is a native fuzz target: arbitrary bytes decode
+// into (tree shape, α, capacity, request sequence) and the optimized
+// TC must match the brute-force reference exactly. Run with
+//
+//	go test -fuzz FuzzDifferential ./internal/core
+//
+// for continuous fuzzing; plain `go test` executes the seed corpus.
+func FuzzDifferential(f *testing.F) {
+	f.Add([]byte{7, 0, 2, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{12, 1, 4, 200, 199, 198, 0, 1, 2, 3})
+	f.Add([]byte{5, 2, 2, 0, 0, 0, 128, 128, 128})
+	f.Add([]byte{16, 3, 6, 255, 254, 1, 2, 250, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			t.Skip()
+		}
+		n := 2 + int(data[0])%12 // 2..13 nodes
+		var tr *tree.Tree
+		switch data[1] % 4 {
+		case 0:
+			tr = tree.Path(n)
+		case 1:
+			tr = tree.Star(n)
+		case 2:
+			tr = tree.CompleteKary(n, 2)
+		default:
+			tr = tree.CompleteKary(n, 3)
+		}
+		alpha := int64(2 * (1 + int(data[2])%3))
+		capa := 1 + int(data[2]/4)%n
+		cfg := Config{Alpha: alpha, Capacity: capa}
+		eff := New(tr, cfg)
+		ref := NewReference(tr, cfg)
+		for _, b := range data[3:] {
+			req := trace.Request{Node: tree.NodeID(int(b&0x7f) % n), Kind: trace.Positive}
+			if b&0x80 != 0 {
+				req.Kind = trace.Negative
+			}
+			s1, m1 := eff.Serve(req)
+			s2, m2 := ref.Serve(req)
+			if s1 != s2 || m1 != m2 {
+				t.Fatalf("cost mismatch: eff=(%d,%d) ref=(%d,%d) on %v%d (tree %v, α=%d, k=%d)",
+					s1, m1, s2, m2, req.Kind, req.Node, tr, alpha, capa)
+			}
+			if eff.CacheLen() != ref.CacheLen() {
+				t.Fatalf("cache divergence: %d vs %d", eff.CacheLen(), ref.CacheLen())
+			}
+		}
+		if !sameMembers(eff.CacheMembers(), ref.CacheMembers()) {
+			t.Fatalf("final caches differ: %v vs %v", eff.CacheMembers(), ref.CacheMembers())
+		}
+	})
+}

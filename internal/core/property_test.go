@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// auditObserver re-checks, on every event, the model constraints that
+// Lemma 5.1 promises: applied changesets are valid for the current
+// cache, counters of applied sets sum to exactly |X|·α, and the
+// requested node is in the set.
+type auditObserver struct {
+	t     *tree.Tree
+	alpha int64
+	tc    *TC // set after construction
+
+	lastReq   tree.NodeID
+	failures  []string
+	preCached map[tree.NodeID]bool
+}
+
+func (a *auditObserver) OnRequest(_ int64, v tree.NodeID, _ trace.Kind, _ bool) {
+	a.lastReq = v
+	// Snapshot the cache before any application this round.
+	a.preCached = make(map[tree.NodeID]bool)
+	for _, u := range a.tc.CacheMembers() {
+		a.preCached[u] = true
+	}
+}
+
+func (a *auditObserver) OnApply(_ int64, x []tree.NodeID, positive bool) {
+	found := false
+	for _, v := range x {
+		if v == a.lastReq {
+			found = true
+		}
+		if a.preCached[v] == positive {
+			a.failures = append(a.failures, "applied node on the wrong side of the cache")
+		}
+	}
+	if !found {
+		a.failures = append(a.failures, "applied changeset misses the requested node (Lemma 5.1(1))")
+	}
+}
+
+func (a *auditObserver) OnPhaseEnd(_ int64, evicted, wouldFetch []tree.NodeID) {
+	if len(evicted)+len(wouldFetch) <= a.tc.Capacity() {
+		a.failures = append(a.failures, "phase flush without a genuine overflow")
+	}
+}
+
+// TestQuickModelInvariants is the testing/quick sweep over random
+// (tree, α, capacity, trace) instances: after every round the cache is
+// a subforest within capacity, and the audit observer saw no Lemma 5.1
+// violations.
+func TestQuickModelInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(24)
+		tr := tree.RandomShape(rng, n)
+		alpha := int64(2 * (1 + rng.Intn(4)))
+		capa := 1 + rng.Intn(n+3)
+		aud := &auditObserver{t: tr, alpha: alpha}
+		tc := New(tr, Config{Alpha: alpha, Capacity: capa, Observer: aud})
+		aud.tc = tc
+		for _, req := range trace.RandomMixed(rng, tr, 400) {
+			tc.Serve(req)
+			if tc.CacheLen() > capa {
+				return false
+			}
+			if !tr.IsSubforest(tc.CacheMembers()) {
+				return false
+			}
+		}
+		return len(aud.failures) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCostConservation: the ledger equals the sum of the per-round
+// costs returned by Serve, on arbitrary instances.
+func TestQuickCostConservation(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := tree.RandomShape(rng, 2+rng.Intn(14))
+		tc := New(tr, Config{Alpha: 4, Capacity: 1 + rng.Intn(8)})
+		var serve, move int64
+		for _, req := range trace.RandomMixed(rng, tr, 300) {
+			s, m := tc.Serve(req)
+			serve += s
+			move += m
+		}
+		led := tc.Ledger()
+		return serve == led.Serve && move == led.Move
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMoveCostIsAlphaPerNode: fetched+evicted node counts times α
+// equal the movement cost.
+func TestQuickMoveCostIsAlphaPerNode(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := tree.RandomShape(rng, 2+rng.Intn(14))
+		alpha := int64(2 * (1 + rng.Intn(3)))
+		tc := New(tr, Config{Alpha: alpha, Capacity: 1 + rng.Intn(8)})
+		for _, req := range trace.RandomMixed(rng, tr, 300) {
+			tc.Serve(req)
+		}
+		led := tc.Ledger()
+		return led.Move == alpha*(led.Fetched+led.Evicted)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScaleAlphaScalesTrace: doubling α and doubling every
+// request (two identical rounds per original round) preserves TC's
+// sequence of cache states at round boundaries — the model's costs are
+// homogeneous in α. This is the invariance the paper uses when it
+// assumes α is even.
+func TestQuickScaleAlphaScalesTrace(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := tree.RandomShape(rng, 2+rng.Intn(10))
+		alpha := int64(2)
+		capa := 1 + rng.Intn(6)
+		a1 := New(tr, Config{Alpha: alpha, Capacity: capa})
+		a2 := New(tr, Config{Alpha: 2 * alpha, Capacity: capa})
+		for _, req := range trace.RandomMixed(rng, tr, 150) {
+			a1.Serve(req)
+			a2.Serve(req)
+			a2.Serve(req)
+			m1 := a1.CacheMembers()
+			m2 := a2.CacheMembers()
+			if len(m1) != len(m2) {
+				return false
+			}
+			for i := range m1 {
+				if m1[i] != m2[i] {
+					return false
+				}
+			}
+		}
+		// Total cost doubles exactly.
+		return 2*a1.Ledger().Total() == a2.Ledger().Total()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

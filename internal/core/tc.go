@@ -1,0 +1,471 @@
+// Package core implements TC, the online tree caching algorithm of
+// Bienkowski, Marcinkowski, Pacut, Schmid and Spyra (SPAA 2017),
+// Sections 4 and 6.
+//
+// TC is a phase-based rent-or-buy scheme. Within a phase every node
+// keeps a counter of the requests it has paid for since it last changed
+// cached/non-cached state. After a paid request, TC looks for a valid
+// changeset X that is saturated (cnt(X) ≥ |X|·α) and maximal (no valid
+// strict superset is saturated) and applies it. If applying a fetch
+// would exceed the capacity k_ONL, TC instead evicts everything and
+// starts a new phase.
+//
+// This file contains the efficient implementation of Section 6:
+//
+//   - fetches are found by maintaining, for every non-cached node u, the
+//     counter sum and size of P_t(u), the tree cap of non-cached nodes of
+//     T(u); after a positive request the ancestors of the requested node
+//     are scanned root-down for the first saturated P_t(u);
+//
+//   - evictions are found by maintaining, for every cached node u, the
+//     exact value val_t(H_t(u)) of the best tree cap rooted at u, where
+//     val_t(A) = cnt_t(A) − |A|·α + |A|/(|T|+1), kept as the integer pair
+//     (cnt−|A|α, |A|); a counter increment updates the chain to the
+//     cached-tree root in O(1) per level using per-node running sums of
+//     the positive children values.
+//
+// Together a decision costs O(h(T) + max(h(T), deg(T))·|X_t|) time and
+// O(|T|) memory, matching Theorem 6.1.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// Observer receives the algorithm's externally visible events. All
+// callbacks are synchronous; implementations must not mutate the
+// algorithm. Any field may be nil-safe ignored by using a partial
+// implementation via NopObserver embedding.
+type Observer interface {
+	// OnRequest fires for every request, after the serving cost is
+	// settled; paid reports whether the request cost 1.
+	OnRequest(round int64, v tree.NodeID, kind trace.Kind, paid bool)
+	// OnApply fires when TC applies changeset x at time round; positive
+	// tells fetch (true) from eviction (false). x must not be retained.
+	OnApply(round int64, x []tree.NodeID, positive bool)
+	// OnPhaseEnd fires when a phase ends because fetching wouldFetch
+	// would have overflowed the capacity; evicted lists the nodes
+	// flushed. k_P of the finished phase is len(evicted)+len(wouldFetch)
+	// (the paper's convention measures k_P after the artificial fetch,
+	// before the final eviction). Neither slice may be retained.
+	OnPhaseEnd(round int64, evicted, wouldFetch []tree.NodeID)
+}
+
+// NopObserver is an Observer that ignores everything; embed it to
+// implement only some callbacks.
+type NopObserver struct{}
+
+func (NopObserver) OnRequest(int64, tree.NodeID, trace.Kind, bool) {}
+func (NopObserver) OnApply(int64, []tree.NodeID, bool)             {}
+func (NopObserver) OnPhaseEnd(int64, []tree.NodeID, []tree.NodeID) {}
+
+// Config parameterises TC.
+type Config struct {
+	// Alpha is the per-node fetch/evict cost α. The paper assumes α is
+	// an even integer ≥ 2; New rejects other values.
+	Alpha int64
+	// Capacity is the online cache size k_ONL ≥ 1.
+	Capacity int
+	// Observer optionally receives events; may be nil.
+	Observer Observer
+}
+
+// TC is the efficient implementation of the paper's algorithm. Create
+// one with New. TC is not safe for concurrent use.
+type TC struct {
+	t     *tree.Tree
+	cfg   Config
+	cache *cache.Subforest
+	led   cache.Ledger
+
+	round  int64
+	phase  int64
+	epoch  int32 // incremented at each phase start; lazily resets state
+	rounds int64 // rounds within phase (diagnostics)
+
+	// Per-node counters, valid when cntEpoch matches epoch.
+	cnt      []int64
+	cntEpoch []int32
+
+	// Positive-side aggregates over P_t(u) (meaningful for non-cached u),
+	// valid when pEpoch matches; stale values default to (0, |T(u)|)
+	// because each phase starts with an empty cache.
+	pcnt   []int64
+	psize  []int32
+	pEpoch []int32
+
+	// Negative-side structure (meaningful for cached u): hvalA/hvalB is
+	// the exact pair for val_t(H_t(u)); sumA/sumB accumulate the
+	// positive-valued children pairs. Maintained eagerly while a node is
+	// cached; garbage while not.
+	hvalA []int64
+	hvalB []int64
+	sumA  []int64
+	sumB  []int64
+
+	// Scratch buffers reused across rounds.
+	path    []tree.NodeID
+	xbuf    []tree.NodeID
+	markBuf []bool
+}
+
+// New returns a TC instance over t. It panics if the configuration is
+// invalid (the configuration is programmer input, not runtime data).
+func New(t *tree.Tree, cfg Config) *TC {
+	if cfg.Alpha < 2 || cfg.Alpha%2 != 0 {
+		panic(fmt.Sprintf("core: Alpha must be an even integer >= 2, got %d", cfg.Alpha))
+	}
+	if cfg.Capacity < 1 {
+		panic(fmt.Sprintf("core: Capacity must be >= 1, got %d", cfg.Capacity))
+	}
+	n := t.Len()
+	a := &TC{
+		t:        t,
+		cfg:      cfg,
+		cache:    cache.NewSubforest(t),
+		led:      cache.Ledger{Alpha: cfg.Alpha},
+		epoch:    1,
+		cnt:      make([]int64, n),
+		cntEpoch: make([]int32, n),
+		pcnt:     make([]int64, n),
+		psize:    make([]int32, n),
+		pEpoch:   make([]int32, n),
+		hvalA:    make([]int64, n),
+		hvalB:    make([]int64, n),
+		sumA:     make([]int64, n),
+		sumB:     make([]int64, n),
+		path:     make([]tree.NodeID, 0, t.Height()+1),
+		xbuf:     make([]tree.NodeID, 0, 64),
+		markBuf:  make([]bool, n),
+	}
+	return a
+}
+
+// Name implements the sim.Algorithm interface.
+func (a *TC) Name() string { return "TC" }
+
+// Tree returns the universe tree.
+func (a *TC) Tree() *tree.Tree { return a.t }
+
+// Alpha returns α.
+func (a *TC) Alpha() int64 { return a.cfg.Alpha }
+
+// Capacity returns k_ONL.
+func (a *TC) Capacity() int { return a.cfg.Capacity }
+
+// Cached reports whether v is currently cached.
+func (a *TC) Cached(v tree.NodeID) bool { return a.cache.Contains(v) }
+
+// CacheLen returns the current number of cached nodes.
+func (a *TC) CacheLen() int { return a.cache.Len() }
+
+// CacheMembers returns the cached nodes in preorder (copies).
+func (a *TC) CacheMembers() []tree.NodeID { return a.cache.Members() }
+
+// Ledger returns the accumulated costs.
+func (a *TC) Ledger() cache.Ledger { return a.led }
+
+// Round returns the number of requests served.
+func (a *TC) Round() int64 { return a.round }
+
+// Phase returns the number of completed phases (i.e. the current phase
+// index, 0-based).
+func (a *TC) Phase() int64 { return a.phase }
+
+// Counter returns node v's current counter (for tests and analysis).
+func (a *TC) Counter(v tree.NodeID) int64 { return a.count(v) }
+
+// Reset returns the algorithm to its initial state (empty cache, zero
+// costs, phase 0).
+func (a *TC) Reset() {
+	a.cache.Clear()
+	a.led.Reset()
+	a.round, a.phase, a.rounds = 0, 0, 0
+	a.epoch++
+}
+
+// count returns node v's counter within the current phase.
+func (a *TC) count(v tree.NodeID) int64 {
+	if a.cntEpoch[v] != a.epoch {
+		return 0
+	}
+	return a.cnt[v]
+}
+
+// setCount stamps v's counter.
+func (a *TC) setCount(v tree.NodeID, c int64) {
+	a.cnt[v] = c
+	a.cntEpoch[v] = a.epoch
+}
+
+// pAgg returns (cnt(P_t(u)), |P_t(u)|); stale entries default to the
+// phase-start state (0, |T(u)|).
+func (a *TC) pAgg(u tree.NodeID) (int64, int32) {
+	if a.pEpoch[u] != a.epoch {
+		return 0, int32(a.t.SubtreeSize(u))
+	}
+	return a.pcnt[u], a.psize[u]
+}
+
+// pSet stamps u's positive aggregates.
+func (a *TC) pSet(u tree.NodeID, c int64, s int32) {
+	a.pcnt[u], a.psize[u] = c, s
+	a.pEpoch[u] = a.epoch
+}
+
+// Serve processes the request of the next round and returns the serving
+// cost (0 or 1) and the movement cost incurred at the end of the round.
+func (a *TC) Serve(req trace.Request) (serveCost, moveCost int64) {
+	a.round++
+	a.rounds++
+	v := req.Node
+	cached := a.cache.Contains(v)
+	paid := (req.Kind == trace.Positive && !cached) || (req.Kind == trace.Negative && cached)
+	if a.cfg.Observer != nil {
+		a.cfg.Observer.OnRequest(a.round, v, req.Kind, paid)
+	}
+	if !paid {
+		// Counters unchanged; by Lemma 5.1(3) no changeset can have
+		// become saturated, so the cache stays put.
+		return 0, 0
+	}
+	a.led.PayServe()
+	moveBefore := a.led.Move
+	if req.Kind == trace.Positive {
+		a.servePositive(v)
+	} else {
+		a.serveNegative(v)
+	}
+	return 1, a.led.Move - moveBefore
+}
+
+// ---------------------------------------------------------------------------
+// Positive requests and fetches (Section 6.1).
+// ---------------------------------------------------------------------------
+
+func (a *TC) servePositive(v tree.NodeID) {
+	// v is non-cached, hence (downward closure) so is its whole root
+	// path. Bump v's counter and every ancestor's P-aggregate.
+	a.setCount(v, a.count(v)+1)
+	a.path = a.path[:0]
+	a.path = a.t.AppendAncestors(a.path, v) // v .. root
+	for _, u := range a.path {
+		c, s := a.pAgg(u)
+		a.pSet(u, c+1, s)
+	}
+	// Scan ancestors from the root down; the first saturated P_t(u) is
+	// the unique maximal saturated changeset (supersets checked first).
+	alpha := a.cfg.Alpha
+	for i := len(a.path) - 1; i >= 0; i-- {
+		u := a.path[i]
+		c, s := a.pAgg(u)
+		if c >= int64(s)*alpha {
+			a.applyFetch(u, c, s)
+			return
+		}
+	}
+}
+
+// applyFetch fetches X = P_t(u) (cnt c, size s), or flushes the cache
+// and starts a new phase if X does not fit.
+func (a *TC) applyFetch(u tree.NodeID, c int64, s int32) {
+	// Collect X: the non-cached nodes of T(u). Children of a non-cached
+	// node may be cached (then their whole subtree is), so the DFS stops
+	// at cached children. X is collected before the capacity check so a
+	// phase-end observer can see the would-be fetch (the analysis'
+	// "artificial fetch" at end(P)).
+	x := a.xbuf[:0]
+	stack := append([]tree.NodeID(nil), u)
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		x = append(x, w)
+		for _, ch := range a.t.Children(w) {
+			if !a.cache.Contains(ch) {
+				stack = append(stack, ch)
+			}
+		}
+	}
+	a.xbuf = x
+	if len(x) != int(s) {
+		panic(fmt.Sprintf("core: P(%d) size mismatch: aggregate %d, collected %d", u, s, len(x)))
+	}
+	if a.cache.Len()+int(s) > a.cfg.Capacity {
+		a.endPhase(x)
+		return
+	}
+	if err := a.cache.Fetch(x); err != nil {
+		panic("core: " + err.Error())
+	}
+	a.led.PayFetch(len(x))
+	// Counters of fetched nodes reset.
+	for _, w := range x {
+		a.setCount(w, 0)
+	}
+	// Ancestors of u lose X from their P-aggregates. (u itself is now
+	// cached; its stale aggregates are rebuilt on eviction.)
+	for p := a.t.Parent(u); p != tree.None; p = a.t.Parent(p) {
+		pc, ps := a.pAgg(p)
+		a.pSet(p, pc-c, ps-s)
+	}
+	// Initialise the negative-side structure for the newly cached
+	// nodes, children before parents (x is in DFS preorder of the cap,
+	// so reverse order works).
+	for i := len(x) - 1; i >= 0; i-- {
+		a.initHval(x[i])
+	}
+	if a.cfg.Observer != nil {
+		a.cfg.Observer.OnApply(a.round, x, true)
+	}
+}
+
+// initHval computes sum and hval for a just-cached node w whose cached
+// children (both newly and previously cached) already have valid hvals.
+func (a *TC) initHval(w tree.NodeID) {
+	var sa, sb int64
+	for _, ch := range a.t.Children(w) {
+		// Every child of a cached node is cached.
+		if a.hvalA[ch] >= 0 {
+			sa += a.hvalA[ch]
+			sb += a.hvalB[ch]
+		}
+	}
+	a.sumA[w], a.sumB[w] = sa, sb
+	a.hvalA[w] = a.count(w) - a.cfg.Alpha + sa
+	a.hvalB[w] = 1 + sb
+}
+
+// ---------------------------------------------------------------------------
+// Negative requests and evictions (Section 6.2).
+// ---------------------------------------------------------------------------
+
+func (a *TC) serveNegative(v tree.NodeID) {
+	a.setCount(v, a.count(v)+1)
+	// Recompute the hval chain from v up to its cached-tree root,
+	// propagating each node's positive-part contribution into its
+	// parent's running sums.
+	x := v
+	for {
+		oldA, oldB := a.hvalA[x], a.hvalB[x]
+		a.hvalA[x] = a.count(x) - a.cfg.Alpha + a.sumA[x]
+		a.hvalB[x] = 1 + a.sumB[x]
+		p := a.t.Parent(x)
+		if p == tree.None || !a.cache.Contains(p) {
+			// x is the root of its cached tree.
+			if a.hvalA[x] >= 0 {
+				a.applyEvict(x)
+			}
+			return
+		}
+		var dA, dB int64
+		if oldA >= 0 {
+			dA -= oldA
+			dB -= oldB
+		}
+		if a.hvalA[x] >= 0 {
+			dA += a.hvalA[x]
+			dB += a.hvalB[x]
+		}
+		a.sumA[p] += dA
+		a.sumB[p] += dB
+		x = p
+	}
+}
+
+// applyEvict evicts X = H_t(r) where r is a cached-tree root with
+// val_t(H_t(r)) > 0.
+func (a *TC) applyEvict(r tree.NodeID) {
+	// Recover H(r): start at r; include a cached child w iff
+	// val(H(w)) > 0. Record |X ∩ T(x)| for each x to rebuild the
+	// positive-side aggregates of the now-non-cached nodes.
+	x := a.xbuf[:0]
+	stack := append([]tree.NodeID(nil), r)
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		x = append(x, w)
+		for _, ch := range a.t.Children(w) {
+			if a.hvalA[ch] >= 0 {
+				stack = append(stack, ch)
+			}
+		}
+	}
+	a.xbuf = x
+	if err := a.cache.Evict(x); err != nil {
+		panic("core: " + err.Error())
+	}
+	a.led.PayEvict(len(x))
+	inX := a.markSet(x)
+	// Counters reset; rebuild P-aggregates bottom-up within the cap:
+	// psize[x] = |X ∩ T(x)| (all other descendants remain cached),
+	// pcnt[x] = 0.
+	for i := len(x) - 1; i >= 0; i-- {
+		w := x[i]
+		a.setCount(w, 0)
+		var sz int32 = 1
+		for _, ch := range a.t.Children(w) {
+			if inX[ch] {
+				_, cs := a.pAgg(ch)
+				sz += cs
+			}
+		}
+		a.pSet(w, 0, sz)
+	}
+	a.clearSet(x, inX)
+	// Ancestors of r (all non-cached) gain |X| non-cached descendants
+	// with zero counters.
+	for p := a.t.Parent(r); p != tree.None; p = a.t.Parent(p) {
+		pc, ps := a.pAgg(p)
+		a.pSet(p, pc, ps+int32(len(x)))
+	}
+	if a.cfg.Observer != nil {
+		a.cfg.Observer.OnApply(a.round, x, false)
+	}
+}
+
+// markSet returns a membership lookup for x. It reuses a persistent
+// bitmap sized to the tree to avoid per-call allocation.
+func (a *TC) markSet(x []tree.NodeID) []bool {
+	if cap(a.markBuf) < a.t.Len() {
+		a.markBuf = make([]bool, a.t.Len())
+	}
+	m := a.markBuf[:a.t.Len()]
+	for _, v := range x {
+		m[v] = true
+	}
+	return m
+}
+
+func (a *TC) clearSet(x []tree.NodeID, m []bool) {
+	for _, v := range x {
+		m[v] = false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Phases.
+// ---------------------------------------------------------------------------
+
+// endPhase flushes the cache, charges the eviction, resets all counters
+// (lazily, via the epoch) and starts a new phase. wouldFetch is the
+// fetch that would have overflowed; k_P = cacheLen + len(wouldFetch).
+func (a *TC) endPhase(wouldFetch []tree.NodeID) {
+	var evicted []tree.NodeID
+	if a.cfg.Observer != nil {
+		evicted = a.cache.Members()
+	}
+	if n := a.cache.Len(); n > 0 {
+		a.led.PayEvict(n)
+		a.cache.Clear()
+	}
+	if a.cfg.Observer != nil {
+		a.cfg.Observer.OnPhaseEnd(a.round, evicted, wouldFetch)
+	}
+	a.phase++
+	a.rounds = 0
+	a.epoch++ // all counters and aggregates reset lazily
+}

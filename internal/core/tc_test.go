@@ -1,0 +1,325 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// applyRecorder captures OnApply/OnPhaseEnd events for assertions.
+type applyRecorder struct {
+	NopObserver
+	applies  []applyEvent
+	phases   int
+	requests int
+}
+
+type applyEvent struct {
+	round    int64
+	x        []tree.NodeID
+	positive bool
+}
+
+func (r *applyRecorder) OnApply(round int64, x []tree.NodeID, positive bool) {
+	cp := append([]tree.NodeID(nil), x...)
+	r.applies = append(r.applies, applyEvent{round: round, x: cp, positive: positive})
+}
+
+func (r *applyRecorder) OnPhaseEnd(int64, []tree.NodeID, []tree.NodeID) { r.phases++ }
+
+func (r *applyRecorder) OnRequest(int64, tree.NodeID, trace.Kind, bool) { r.requests++ }
+
+func sameMembers(a, b []tree.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[tree.NodeID]int, len(a))
+	for _, v := range a {
+		seen[v]++
+	}
+	for _, v := range b {
+		seen[v]--
+		if seen[v] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDifferentialAgainstReference is the central correctness test: on
+// thousands of random (tree, α, capacity, trace) instances the
+// efficient TC must agree exactly — per round — with the brute-force
+// reference implementation of the Section 4 definition, on serving
+// cost, movement cost, cache contents and phase count. The reference
+// also asserts the Lemma 5.1 invariants internally.
+func TestDifferentialAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	instances := 300
+	if testing.Short() {
+		instances = 60
+	}
+	for inst := 0; inst < instances; inst++ {
+		n := 2 + rng.Intn(10) // 2..11 nodes
+		tr := tree.RandomShape(rng, n)
+		alpha := int64(2 * (1 + rng.Intn(3))) // 2,4,6
+		capa := 1 + rng.Intn(n+2)
+		cfg := Config{Alpha: alpha, Capacity: capa}
+		eff := New(tr, cfg)
+		ref := NewReference(tr, cfg)
+		input := trace.RandomMixed(rng, tr, 120)
+		for round, req := range input {
+			s1, m1 := eff.Serve(req)
+			s2, m2 := ref.Serve(req)
+			if s1 != s2 || m1 != m2 {
+				t.Fatalf("inst %d round %d: cost mismatch eff=(%d,%d) ref=(%d,%d) tree=%v alpha=%d cap=%d req=%v%d",
+					inst, round, s1, m1, s2, m2, tr, alpha, capa, req.Kind, req.Node)
+			}
+			if !sameMembers(eff.CacheMembers(), ref.CacheMembers()) {
+				t.Fatalf("inst %d round %d: cache mismatch eff=%v ref=%v tree=%v alpha=%d cap=%d",
+					inst, round, eff.CacheMembers(), ref.CacheMembers(), tr, alpha, capa)
+			}
+			if eff.Phase() != ref.Phase() {
+				t.Fatalf("inst %d round %d: phase mismatch eff=%d ref=%d", inst, round, eff.Phase(), ref.Phase())
+			}
+			if err := ref.AssertNoSaturated(); err != nil {
+				t.Fatalf("inst %d round %d: %v", inst, round, err)
+			}
+		}
+		if eff.Ledger().Total() != ref.Ledger().Total() {
+			t.Fatalf("inst %d: total cost mismatch eff=%d ref=%d", inst, eff.Ledger().Total(), ref.Ledger().Total())
+		}
+	}
+}
+
+// TestAppliedChangesetsAreTreeCaps verifies Lemma 5.1 property 4: every
+// applied changeset is a single tree cap (of the post-fetch cache for
+// positive, of the pre-eviction cache for negative changesets).
+func TestAppliedChangesetsAreTreeCaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for inst := 0; inst < 80; inst++ {
+		n := 3 + rng.Intn(20)
+		tr := tree.RandomShape(rng, n)
+		rec := &applyRecorder{}
+		eff := New(tr, Config{Alpha: 4, Capacity: 1 + rng.Intn(n), Observer: rec})
+		for _, req := range trace.RandomMixed(rng, tr, 300) {
+			eff.Serve(req)
+		}
+		for _, ev := range rec.applies {
+			// The cap root is the unique member all others descend from:
+			// the member with minimum depth.
+			root := ev.x[0]
+			for _, v := range ev.x {
+				if tr.Depth(v) < tr.Depth(root) {
+					root = v
+				}
+			}
+			if !tr.IsTreeCap(root, ev.x) {
+				t.Fatalf("inst %d: applied changeset %v (positive=%v) is not a tree cap rooted at %d",
+					inst, ev.x, ev.positive, root)
+			}
+		}
+	}
+}
+
+// TestCounterResetOnStateChange verifies that fetching or evicting a
+// node resets its counter (definition of TC, Section 4).
+func TestCounterResetOnStateChange(t *testing.T) {
+	tr := tree.Path(3) // 0 -> 1 -> 2
+	a := New(tr, Config{Alpha: 2, Capacity: 3})
+	// Two positive requests to the leaf saturate {2}: cnt=2=1·α.
+	a.Serve(trace.Pos(2))
+	if got := a.Counter(2); got != 1 {
+		t.Fatalf("counter after one paid request = %d, want 1", got)
+	}
+	a.Serve(trace.Pos(2))
+	if !a.Cached(2) {
+		t.Fatalf("leaf should be fetched after α=2 paid requests")
+	}
+	if got := a.Counter(2); got != 0 {
+		t.Fatalf("counter after fetch = %d, want 0", got)
+	}
+}
+
+// TestFreeRequestsDoNothing: positive requests to cached nodes and
+// negative requests to non-cached nodes cost nothing and change nothing.
+func TestFreeRequestsDoNothing(t *testing.T) {
+	tr := tree.Star(5)
+	a := New(tr, Config{Alpha: 2, Capacity: 5})
+	// Negative request to a non-cached node: free.
+	if s, m := a.Serve(trace.Neg(1)); s != 0 || m != 0 {
+		t.Fatalf("negative request to non-cached node cost (%d,%d), want (0,0)", s, m)
+	}
+	// Cache leaf 1 via two positive requests.
+	a.Serve(trace.Pos(1))
+	a.Serve(trace.Pos(1))
+	if !a.Cached(1) {
+		t.Fatal("leaf 1 should be cached")
+	}
+	before := a.Ledger().Total()
+	if s, m := a.Serve(trace.Pos(1)); s != 0 || m != 0 {
+		t.Fatalf("positive request to cached node cost (%d,%d), want (0,0)", s, m)
+	}
+	if a.Ledger().Total() != before {
+		t.Fatal("ledger changed on a free request")
+	}
+}
+
+// TestPhaseFlushOnOverflow: when a fetch would exceed capacity, the
+// whole cache is evicted and a new phase starts with zeroed counters.
+func TestPhaseFlushOnOverflow(t *testing.T) {
+	tr := tree.Star(4) // root + leaves 1,2,3
+	rec := &applyRecorder{}
+	a := New(tr, Config{Alpha: 2, Capacity: 2, Observer: rec})
+	// Cache leaves 1 and 2 (capacity now full).
+	a.Serve(trace.Pos(1))
+	a.Serve(trace.Pos(1))
+	a.Serve(trace.Pos(2))
+	a.Serve(trace.Pos(2))
+	if a.CacheLen() != 2 {
+		t.Fatalf("cache len = %d, want 2", a.CacheLen())
+	}
+	// Saturating leaf 3 must trigger the overflow flush.
+	a.Serve(trace.Pos(3))
+	a.Serve(trace.Pos(3))
+	if a.CacheLen() != 0 {
+		t.Fatalf("cache len after overflow = %d, want 0 (flushed)", a.CacheLen())
+	}
+	if a.Phase() != 1 {
+		t.Fatalf("phase = %d, want 1", a.Phase())
+	}
+	if rec.phases != 1 {
+		t.Fatalf("observer phases = %d, want 1", rec.phases)
+	}
+	if got := a.Counter(3); got != 0 {
+		t.Fatalf("counter of node 3 after phase flush = %d, want 0", got)
+	}
+	// Eviction of the two cached leaves was charged.
+	if ev := a.Ledger().Evicted; ev != 2 {
+		t.Fatalf("evicted = %d, want 2", ev)
+	}
+}
+
+// TestSubtreeFetchRequiresWholeSubtree: a positive request to an inner
+// node can only be served by fetching its entire (non-cached) subtree.
+func TestSubtreeFetchRequiresWholeSubtree(t *testing.T) {
+	tr := tree.CompleteKary(7, 2) // perfect binary, root 0
+	a := New(tr, Config{Alpha: 2, Capacity: 7})
+	// Saturate the subtree of node 1 (nodes 1,3,4): need cnt = 3·α = 6
+	// spread anywhere in the cap; all at node 1 works.
+	for i := 0; i < 5; i++ {
+		a.Serve(trace.Pos(1))
+		if a.Cached(1) {
+			t.Fatalf("node 1 cached too early at request %d", i+1)
+		}
+	}
+	a.Serve(trace.Pos(1))
+	for _, v := range []tree.NodeID{1, 3, 4} {
+		if !a.Cached(v) {
+			t.Fatalf("node %d should be cached after fetching T(1)", v)
+		}
+	}
+	for _, v := range []tree.NodeID{0, 2, 5, 6} {
+		if a.Cached(v) {
+			t.Fatalf("node %d should not be cached", v)
+		}
+	}
+}
+
+// TestEvictionIsTreeCapOfCachedTree: negative requests deep in a cached
+// tree cannot evict a non-cap set; eviction happens only once a cap
+// rooted at the cached-tree root is saturated, and evicts exactly the
+// best cap.
+func TestEvictionIsTreeCapOfCachedTree(t *testing.T) {
+	tr := tree.Path(3) // 0 -> 1 -> 2
+	a := New(tr, Config{Alpha: 2, Capacity: 3})
+	// Fetch the whole path: saturate P(0) = {0,1,2}: 3·α = 6 requests.
+	for i := 0; i < 6; i++ {
+		a.Serve(trace.Pos(0))
+	}
+	if a.CacheLen() != 3 {
+		t.Fatalf("cache len = %d, want 3", a.CacheLen())
+	}
+	// Negative requests to the leaf alone: {2} is not a valid negative
+	// changeset (its parent stays cached), so {2} alone cannot be
+	// evicted no matter how many requests it gets... but the cap {0,1,2}
+	// becomes saturated once cnt total reaches 3·α.
+	a.Serve(trace.Neg(2))
+	a.Serve(trace.Neg(2))
+	if a.CacheLen() != 3 {
+		t.Fatalf("eviction happened with cnt=2 < 6; cache len = %d", a.CacheLen())
+	}
+	a.Serve(trace.Neg(2))
+	a.Serve(trace.Neg(2))
+	a.Serve(trace.Neg(2))
+	if a.CacheLen() != 3 {
+		t.Fatalf("eviction happened with cnt=5 < 6; cache len = %d", a.CacheLen())
+	}
+	a.Serve(trace.Neg(2))
+	if a.CacheLen() != 0 {
+		t.Fatalf("cap {0,1,2} saturated (cnt=6=3·α) but cache len = %d, want 0", a.CacheLen())
+	}
+}
+
+// TestResetRestoresInitialState exercises Reset.
+func TestResetRestoresInitialState(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := tree.RandomShape(rng, 9)
+	a := New(tr, Config{Alpha: 2, Capacity: 4})
+	input := trace.RandomMixed(rng, tr, 200)
+	for _, req := range input {
+		a.Serve(req)
+	}
+	first := a.Ledger().Total()
+	a.Reset()
+	if a.CacheLen() != 0 || a.Ledger().Total() != 0 || a.Round() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	for _, req := range input {
+		a.Serve(req)
+	}
+	if got := a.Ledger().Total(); got != first {
+		t.Fatalf("second run after Reset cost %d, first run cost %d", got, first)
+	}
+}
+
+// TestNewValidation checks constructor input validation.
+func TestNewValidation(t *testing.T) {
+	tr := tree.Path(2)
+	for _, bad := range []Config{
+		{Alpha: 1, Capacity: 1},
+		{Alpha: 3, Capacity: 1},
+		{Alpha: 0, Capacity: 1},
+		{Alpha: 2, Capacity: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%+v) did not panic", bad)
+				}
+			}()
+			New(tr, bad)
+		}()
+	}
+}
+
+// TestDeepPathStress runs TC on a deep path with adversarial up-down
+// request patterns and checks internal consistency via the cache
+// invariant.
+func TestDeepPathStress(t *testing.T) {
+	tr := tree.Path(50)
+	a := New(tr, Config{Alpha: 4, Capacity: 30})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		v := tree.NodeID(rng.Intn(50))
+		if rng.Intn(2) == 0 {
+			a.Serve(trace.Pos(v))
+		} else {
+			a.Serve(trace.Neg(v))
+		}
+		if a.CacheLen() > 30 {
+			t.Fatalf("capacity exceeded: %d > 30", a.CacheLen())
+		}
+	}
+}

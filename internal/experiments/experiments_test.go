@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRegistryComplete: all eight experiments are registered and IDs
+// returns them sorted.
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "ea"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs() = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("e99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestCheapExperimentsProduceTables runs every experiment end to end
+// and sanity-checks its reports; the heavyweight ones (E1, E3, E7) are
+// skipped in -short mode.
+func TestCheapExperimentsProduceTables(t *testing.T) {
+	ids := []string{"e2", "e4", "e5", "e6", "ea"}
+	if !testing.Short() {
+		ids = append(ids, "e1", "e3", "e7", "e8", "e9")
+	}
+	for _, id := range ids {
+		reports, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(reports) == 0 {
+			t.Fatalf("%s: no reports", id)
+		}
+		for _, r := range reports {
+			if r.ID == "" || r.Title == "" || r.Table == nil {
+				t.Fatalf("%s: malformed report %+v", id, r)
+			}
+			var buf bytes.Buffer
+			r.Table.Render(&buf)
+			if buf.Len() == 0 {
+				t.Fatalf("%s: empty table", id)
+			}
+		}
+	}
+}
+
+// TestE5NoViolations pins the key E5 outcome: every negative field
+// shifts exactly, every positive field meets the repaired guarantee,
+// and every phase satisfies the period identity.
+func TestE5NoViolations(t *testing.T) {
+	reports, err := Run("e5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: shape alpha negFields negExactOK posFields guaranteeOK ...
+	var buf bytes.Buffer
+	reports[0].Table.CSV(&buf)
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	for _, line := range lines[1:] {
+		cols := bytes.Split(line, []byte(","))
+		if len(cols) < 9 {
+			t.Fatalf("row %q", line)
+		}
+		if !bytes.Equal(cols[2], cols[3]) {
+			t.Fatalf("negative shift violation in row %q", line)
+		}
+		if !bytes.Equal(cols[4], cols[5]) {
+			t.Fatalf("positive guarantee violation in row %q", line)
+		}
+		if !bytes.Equal(cols[7], cols[8]) {
+			t.Fatalf("period identity violation in row %q", line)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package fib_test
+
+import (
+	"fmt"
+
+	"repro/internal/fib"
+)
+
+// ExampleTable_Lookup builds a tiny forwarding table and resolves
+// addresses by longest matching prefix.
+func ExampleTable_Lookup() {
+	rules := []fib.Rule{}
+	for i, s := range []string{"10.0.0.0/8", "10.1.0.0/16", "192.168.0.0/16"} {
+		p, err := fib.ParsePrefix(s)
+		if err != nil {
+			panic(err)
+		}
+		rules = append(rules, fib.Rule{Prefix: p, NextHop: i + 1})
+	}
+	tb, err := fib.NewTable(rules)
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range []string{"10.1.2.3/32", "10.9.9.9/32", "8.8.8.8/32"} {
+		p, _ := fib.ParsePrefix(s)
+		r := tb.Rule(tb.Lookup(p.Addr))
+		fmt.Printf("%s -> %s\n", s[:len(s)-3], r.Prefix)
+	}
+	// Output:
+	// 10.1.2.3 -> 10.1.0.0/16
+	// 10.9.9.9 -> 10.0.0.0/8
+	// 8.8.8.8 -> 0.0.0.0/0
+}
+
+// ExamplePrefix_ContainsPrefix shows the containment relation that
+// induces the dependency tree.
+func ExamplePrefix_ContainsPrefix() {
+	p8, _ := fib.ParsePrefix("10.0.0.0/8")
+	p16, _ := fib.ParsePrefix("10.1.0.0/16")
+	fmt.Println(p8.ContainsPrefix(p16), p16.ContainsPrefix(p8))
+	// Output: true false
+}

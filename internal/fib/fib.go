@@ -1,0 +1,301 @@
+// Package fib models the paper's motivating application (Section 2):
+// forwarding-table (FIB) caching in IP routers under longest-matching-
+// prefix (LMP) semantics.
+//
+// A rule table is a set of IPv4 prefixes with next-hop actions plus the
+// artificial default rule (0.0.0.0/0) at the tree root that redirects
+// unmatched packets to the controller. The prefix containment relation
+// induces the rule tree: caching a rule requires caching all of its
+// more-specific descendants, which is exactly the online tree caching
+// constraint — evicting a more-specific rule while keeping a less
+// specific one would forward packets through the wrong port.
+//
+// The package provides synthetic-but-realistic rule tables (real BGP
+// dumps are not redistributable; the generator mimics the /8–/24
+// length mix and the hierarchical structure of provider-allocated
+// space), packet and update workload generators, the controller/switch
+// split simulation of Figure 1, and the Appendix B update-cost models.
+package fib
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// Prefix is an IPv4 prefix: the top Len bits of Addr (low bits zero).
+type Prefix struct {
+	Addr uint32
+	Len  uint8
+}
+
+// Mask returns the netmask of the prefix.
+func (p Prefix) Mask() uint32 {
+	if p.Len == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - p.Len)
+}
+
+// MatchAddr reports whether addr falls inside the prefix.
+func (p Prefix) MatchAddr(addr uint32) bool { return addr&p.Mask() == p.Addr }
+
+// ContainsPrefix reports whether q is equal to or more specific than p.
+func (p Prefix) ContainsPrefix(q Prefix) bool {
+	return p.Len <= q.Len && q.Addr&p.Mask() == p.Addr
+}
+
+// String renders dotted-quad/len notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d/%d", byte(p.Addr>>24), byte(p.Addr>>16), byte(p.Addr>>8), byte(p.Addr), p.Len)
+}
+
+// ParsePrefix parses "a.b.c.d/len" notation. The address is masked to
+// the prefix length.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("fib: missing '/' in prefix %q", s)
+	}
+	plen, err := strconv.Atoi(s[slash+1:])
+	if err != nil || plen < 0 || plen > 32 {
+		return Prefix{}, fmt.Errorf("fib: bad prefix length in %q", s)
+	}
+	parts := strings.Split(s[:slash], ".")
+	if len(parts) != 4 {
+		return Prefix{}, fmt.Errorf("fib: bad address in %q", s)
+	}
+	var addr uint32
+	for _, part := range parts {
+		b, err := strconv.Atoi(part)
+		if err != nil || b < 0 || b > 255 {
+			return Prefix{}, fmt.Errorf("fib: bad octet %q in %q", part, s)
+		}
+		addr = addr<<8 | uint32(b)
+	}
+	p := Prefix{Addr: addr, Len: uint8(plen)}
+	p.Addr &= p.Mask()
+	return p, nil
+}
+
+// Rule is a forwarding rule: a prefix and a next-hop action.
+type Rule struct {
+	Prefix  Prefix
+	NextHop int
+}
+
+// Table is an immutable rule table with its dependency tree. Rule i is
+// tree node i; node 0 is always the default rule 0.0.0.0/0.
+type Table struct {
+	rules []Rule
+	t     *tree.Tree
+	// children of each node sorted by address, for LPM binary search.
+	sorted [][]tree.NodeID
+}
+
+// NewTable builds a table from rules. A default rule (0.0.0.0/0,
+// next hop −1 = controller) is prepended if not present. Duplicate
+// prefixes are rejected.
+func NewTable(rules []Rule) (*Table, error) {
+	all := make([]Rule, 0, len(rules)+1)
+	hasDefault := false
+	for _, r := range rules {
+		if r.Prefix.Len == 0 {
+			hasDefault = true
+		}
+		masked := r
+		masked.Prefix.Addr &= masked.Prefix.Mask()
+		all = append(all, masked)
+	}
+	if !hasDefault {
+		all = append(all, Rule{Prefix: Prefix{0, 0}, NextHop: -1})
+	}
+	// Sort by (addr, len): every ancestor precedes its descendants.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Prefix.Addr != all[j].Prefix.Addr {
+			return all[i].Prefix.Addr < all[j].Prefix.Addr
+		}
+		return all[i].Prefix.Len < all[j].Prefix.Len
+	})
+	for i := 1; i < len(all); i++ {
+		if all[i].Prefix == all[i-1].Prefix {
+			return nil, fmt.Errorf("fib: duplicate prefix %v", all[i].Prefix)
+		}
+	}
+	// Stack sweep: the parent of a rule is the nearest enclosing prefix.
+	parents := make([]tree.NodeID, len(all))
+	parents[0] = tree.None // default rule sorts first (addr 0, len 0)
+	if all[0].Prefix.Len != 0 {
+		return nil, fmt.Errorf("fib: internal: default rule not first after sort")
+	}
+	stack := []int{0}
+	for i := 1; i < len(all); i++ {
+		for len(stack) > 0 && !all[stack[len(stack)-1]].Prefix.ContainsPrefix(all[i].Prefix) {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			return nil, fmt.Errorf("fib: internal: no enclosing prefix for %v", all[i].Prefix)
+		}
+		parents[i] = tree.NodeID(stack[len(stack)-1])
+		stack = append(stack, i)
+	}
+	t, err := tree.New(parents)
+	if err != nil {
+		return nil, fmt.Errorf("fib: building rule tree: %v", err)
+	}
+	tb := &Table{rules: all, t: t, sorted: make([][]tree.NodeID, len(all))}
+	for v := 0; v < t.Len(); v++ {
+		cs := append([]tree.NodeID(nil), t.Children(tree.NodeID(v))...)
+		sort.Slice(cs, func(i, j int) bool { return all[cs[i]].Prefix.Addr < all[cs[j]].Prefix.Addr })
+		tb.sorted[v] = cs
+	}
+	return tb, nil
+}
+
+// Len returns the number of rules (including the default rule).
+func (tb *Table) Len() int { return len(tb.rules) }
+
+// Rule returns rule v.
+func (tb *Table) Rule(v tree.NodeID) Rule { return tb.rules[v] }
+
+// Tree returns the dependency tree (node i = rule i, root = default).
+func (tb *Table) Tree() *tree.Tree { return tb.t }
+
+// Lookup performs longest-matching-prefix lookup: it returns the most
+// specific rule matching addr (at worst the default rule, node 0).
+func (tb *Table) Lookup(addr uint32) tree.NodeID {
+	cur := tree.NodeID(0)
+	for {
+		cs := tb.sorted[cur]
+		// Children hold disjoint prefixes; binary-search the last child
+		// with Addr ≤ addr and check containment.
+		lo, hi := 0, len(cs)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if tb.rules[cs[mid]].Prefix.Addr <= addr {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == 0 {
+			return cur
+		}
+		next := cs[lo-1]
+		if !tb.rules[next].Prefix.MatchAddr(addr) {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// RandomAddrIn draws a uniform address inside rule v's prefix.
+func (tb *Table) RandomAddrIn(rng *rand.Rand, v tree.NodeID) uint32 {
+	p := tb.rules[v].Prefix
+	host := uint32(0)
+	if p.Len < 32 {
+		host = rng.Uint32() & ^p.Mask()
+	}
+	return p.Addr | host
+}
+
+// TableConfig parameterises the synthetic rule-table generator.
+type TableConfig struct {
+	// Rules is the target number of rules excluding the default.
+	Rules int
+	// Providers is the number of top-level allocations (/8–/12); more
+	// specific rules nest under them. Default max(4, Rules/256).
+	Providers int
+	// MaxDepth bounds the nesting depth of the rule tree (depth of the
+	// deepest rule below the default rule). Default 6.
+	MaxDepth int
+	// NextHops is the number of distinct next-hop actions. Default 16.
+	NextHops int
+}
+
+// GenerateTable builds a synthetic rule table whose shape mimics real
+// FIBs: a few large provider allocations, heavy nesting around /16–/24,
+// and occasional deeper, more-specific rules. Children of the same rule
+// are assigned distinct values in a split field directly below the
+// parent's length, which guarantees siblings never contain one another,
+// so the dependency tree's depth is exactly the generation depth
+// (bounded by MaxDepth). Deterministic in rng.
+func GenerateTable(rng *rand.Rand, cfg TableConfig) (*Table, error) {
+	if cfg.Rules < 1 {
+		return nil, fmt.Errorf("fib: TableConfig.Rules must be >= 1, got %d", cfg.Rules)
+	}
+	if cfg.Providers <= 0 {
+		cfg.Providers = cfg.Rules / 256
+		if cfg.Providers < 4 {
+			cfg.Providers = 4
+		}
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 6
+	}
+	if cfg.NextHops <= 0 {
+		cfg.NextHops = 16
+	}
+	var rules []Rule
+	type slot struct {
+		p     Prefix
+		depth int
+		split uint8           // per-parent fixed split-field width
+		used  map[uint32]bool // split values taken by children
+	}
+	add := func(p Prefix, depth int) *slot {
+		rules = append(rules, Rule{Prefix: p, NextHop: rng.Intn(cfg.NextHops)})
+		return &slot{p: p, depth: depth, used: make(map[uint32]bool)}
+	}
+	// The implicit default rule is the parent of the providers.
+	root := &slot{p: Prefix{0, 0}, used: make(map[uint32]bool)}
+	parents := []*slot{root}
+	attempts := 0
+	maxAttempts := 50*cfg.Rules + 10000
+	for len(rules) < cfg.Rules {
+		if attempts++; attempts > maxAttempts {
+			return nil, fmt.Errorf("fib: generator stalled at %d of %d rules; loosen MaxDepth", len(rules), cfg.Rules)
+		}
+		parent := parents[rng.Intn(len(parents))]
+		if parent.depth >= cfg.MaxDepth || parent.p.Len >= 26 {
+			continue
+		}
+		// The split field (fixed per parent so siblings can never nest):
+		// 4..8 bits below the parent length, 8..12 at the provider level
+		// so top allocations look like /8–/12.
+		if parent.split == 0 {
+			parent.split = uint8(4 + rng.Intn(5))
+			if parent.p.Len == 0 {
+				parent.split = uint8(8 + rng.Intn(5))
+			}
+			if parent.p.Len+parent.split > 30 {
+				parent.split = 30 - parent.p.Len
+			}
+		}
+		split := parent.split
+		val := rng.Uint32() & (1<<split - 1)
+		if parent.used[val] {
+			continue // split value taken by a sibling
+		}
+		parent.used[val] = true
+		// Extra random bits beyond the split field deepen the prefix
+		// without risking sibling containment.
+		extra := uint8(rng.Intn(3))
+		plen := parent.p.Len + split + extra
+		if plen > 30 {
+			plen = 30
+			extra = plen - parent.p.Len - split
+		}
+		addr := parent.p.Addr | val<<(32-parent.p.Len-split)
+		if extra > 0 {
+			addr |= (rng.Uint32() & (1<<extra - 1)) << (32 - plen)
+		}
+		s := add(Prefix{Addr: addr, Len: plen}, parent.depth+1)
+		parents = append(parents, s)
+	}
+	return NewTable(rules)
+}

@@ -1,0 +1,293 @@
+package fib
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/tree"
+)
+
+func TestParsePrefix(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Prefix
+		ok   bool
+	}{
+		{"10.0.0.0/8", Prefix{0x0A000000, 8}, true},
+		{"192.168.1.0/24", Prefix{0xC0A80100, 24}, true},
+		{"0.0.0.0/0", Prefix{0, 0}, true},
+		{"255.255.255.255/32", Prefix{0xFFFFFFFF, 32}, true},
+		{"10.0.0.1/8", Prefix{0x0A000000, 8}, true}, // address masked
+		{"10.0.0.0", Prefix{}, false},
+		{"10.0.0/8", Prefix{}, false},
+		{"10.0.0.0/33", Prefix{}, false},
+		{"10.0.0.256/8", Prefix{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParsePrefix(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Fatalf("ParsePrefix(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Fatalf("ParsePrefix(%q) succeeded, want error", c.in)
+		}
+	}
+}
+
+func TestPrefixString(t *testing.T) {
+	p, _ := ParsePrefix("172.16.0.0/12")
+	if got := p.String(); got != "172.16.0.0/12" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p8, _ := ParsePrefix("10.0.0.0/8")
+	p16, _ := ParsePrefix("10.1.0.0/16")
+	q16, _ := ParsePrefix("11.1.0.0/16")
+	if !p8.ContainsPrefix(p16) {
+		t.Fatal("10/8 must contain 10.1/16")
+	}
+	if p16.ContainsPrefix(p8) {
+		t.Fatal("10.1/16 must not contain 10/8")
+	}
+	if p8.ContainsPrefix(q16) {
+		t.Fatal("10/8 must not contain 11.1/16")
+	}
+	if !p8.MatchAddr(0x0A123456) {
+		t.Fatal("10/8 must match 10.18.52.86")
+	}
+	if p8.MatchAddr(0x0B000000) {
+		t.Fatal("10/8 must not match 11.0.0.0")
+	}
+}
+
+// mustTable builds a table from prefix strings.
+func mustTable(t *testing.T, prefixes ...string) *Table {
+	t.Helper()
+	rules := make([]Rule, len(prefixes))
+	for i, s := range prefixes {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rules[i] = Rule{Prefix: p, NextHop: i}
+	}
+	tb, err := NewTable(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestTableTreeStructure(t *testing.T) {
+	tb := mustTable(t, "10.0.0.0/8", "10.1.0.0/16", "10.1.1.0/24", "10.2.0.0/16", "192.168.0.0/16")
+	tr := tb.Tree()
+	if tb.Len() != 6 { // + default rule
+		t.Fatalf("table has %d rules, want 6", tb.Len())
+	}
+	if tr.Root() != 0 || tb.Rule(0).Prefix.Len != 0 {
+		t.Fatal("node 0 must be the default rule")
+	}
+	// Find nodes by prefix.
+	byPrefix := map[string]tree.NodeID{}
+	for v := 0; v < tb.Len(); v++ {
+		byPrefix[tb.Rule(tree.NodeID(v)).Prefix.String()] = tree.NodeID(v)
+	}
+	checkParent := func(child, parent string) {
+		t.Helper()
+		if got := tr.Parent(byPrefix[child]); got != byPrefix[parent] {
+			t.Fatalf("parent(%s) = %v (%s), want %s", child, got, tb.Rule(got).Prefix, parent)
+		}
+	}
+	checkParent("10.0.0.0/8", "0.0.0.0/0")
+	checkParent("10.1.0.0/16", "10.0.0.0/8")
+	checkParent("10.1.1.0/24", "10.1.0.0/16")
+	checkParent("10.2.0.0/16", "10.0.0.0/8")
+	checkParent("192.168.0.0/16", "0.0.0.0/0")
+}
+
+func TestTableRejectsDuplicates(t *testing.T) {
+	p, _ := ParsePrefix("10.0.0.0/8")
+	_, err := NewTable([]Rule{{Prefix: p}, {Prefix: p}})
+	if err == nil {
+		t.Fatal("duplicate prefixes accepted")
+	}
+}
+
+func TestLookupLMP(t *testing.T) {
+	tb := mustTable(t, "10.0.0.0/8", "10.1.0.0/16", "10.1.1.0/24", "192.168.0.0/16")
+	lookup := func(addr string) string {
+		p, _ := ParsePrefix(addr + "/32")
+		return tb.Rule(tb.Lookup(p.Addr)).Prefix.String()
+	}
+	cases := map[string]string{
+		"10.1.1.7":    "10.1.1.0/24",
+		"10.1.2.7":    "10.1.0.0/16",
+		"10.9.9.9":    "10.0.0.0/8",
+		"192.168.5.5": "192.168.0.0/16",
+		"8.8.8.8":     "0.0.0.0/0",
+	}
+	for addr, want := range cases {
+		if got := lookup(addr); got != want {
+			t.Fatalf("Lookup(%s) = %s, want %s", addr, got, want)
+		}
+	}
+}
+
+// TestLookupAgainstLinearScan fuzzes LPM against a brute-force longest
+// matching prefix scan.
+func TestLookupAgainstLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	tb, err := GenerateTable(rng, TableConfig{Rules: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		addr := rng.Uint32()
+		got := tb.Lookup(addr)
+		// Brute force: most specific matching rule.
+		best := tree.NodeID(0)
+		for v := 0; v < tb.Len(); v++ {
+			r := tb.Rule(tree.NodeID(v))
+			if r.Prefix.MatchAddr(addr) && r.Prefix.Len >= tb.Rule(best).Prefix.Len {
+				best = tree.NodeID(v)
+			}
+		}
+		if got != best {
+			t.Fatalf("Lookup(%08x) = %v (%s), brute force %v (%s)",
+				addr, got, tb.Rule(got).Prefix, best, tb.Rule(best).Prefix)
+		}
+	}
+}
+
+func TestGenerateTableShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tb, err := GenerateTable(rng, TableConfig{Rules: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() < 2000 {
+		t.Fatalf("table has %d rules, want >= 2000", tb.Len())
+	}
+	tr := tb.Tree()
+	if tr.Height() < 2 {
+		t.Fatalf("rule tree height %d; generator produced no nesting", tr.Height())
+	}
+	if tr.Height() > 10 {
+		t.Fatalf("rule tree height %d; unrealistically deep", tr.Height())
+	}
+	// Lookup of an address inside a deep rule must resolve within it.
+	addr := tb.RandomAddrIn(rng, tree.NodeID(tb.Len()-1))
+	got := tb.Lookup(addr)
+	if !tb.Rule(got).Prefix.MatchAddr(addr) {
+		t.Fatal("lookup returned a non-matching rule")
+	}
+}
+
+func TestWorkloadGeneration(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	tb, err := GenerateTable(rng, TableConfig{Rules: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := int64(4)
+	w := GenerateWorkload(rng, tb, WorkloadConfig{
+		Packets: 2000, ZipfS: 1.0, UpdateRate: 0.05, Alpha: alpha,
+	})
+	if w.Packets != 2000 {
+		t.Fatalf("packets = %d, want 2000", w.Packets)
+	}
+	pos, neg := w.Trace.CountKinds()
+	if pos != 2000 {
+		t.Fatalf("positive requests = %d, want 2000", pos)
+	}
+	if int64(neg) != int64(len(w.Updates))*alpha {
+		t.Fatalf("negative requests = %d, want %d updates × α", neg, len(w.Updates))
+	}
+	if err := w.Trace.Validate(tb.Tree()); err != nil {
+		t.Fatal(err)
+	}
+	// Chunks start where recorded and are uniform.
+	for _, u := range w.Updates {
+		for j := int64(0); j < alpha; j++ {
+			r := w.Trace[u.Index+int(j)]
+			if r.Node != u.Rule || r.Kind.String() != "-" {
+				t.Fatalf("chunk at %d malformed", u.Index)
+			}
+		}
+	}
+}
+
+func TestSystemStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	tb, err := GenerateTable(rng, TableConfig{Rules: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := int64(4)
+	tc := core.New(tb.Tree(), core.Config{Alpha: alpha, Capacity: 64})
+	sys := NewSystem(tb, tc, alpha)
+	for i := 0; i < 5000; i++ {
+		// A skewed packet stream: a handful of hot addresses.
+		v := tree.NodeID(1 + rng.Intn(8))
+		sys.Packet(tb.RandomAddrIn(rng, v))
+	}
+	if sys.Stats.Packets != 5000 {
+		t.Fatalf("packets = %d", sys.Stats.Packets)
+	}
+	if sys.Stats.SwitchHits+sys.Stats.Redirects != sys.Stats.Packets {
+		t.Fatal("hits + redirects != packets")
+	}
+	if sys.Stats.HitRatio() < 0.5 {
+		t.Fatalf("hit ratio %.2f too low for a hot-set workload; caching is broken", sys.Stats.HitRatio())
+	}
+	if sys.Stats.RuleMessages == 0 {
+		t.Fatal("no rule messages recorded")
+	}
+	// Updates to a cached rule are counted.
+	var cached tree.NodeID = -1
+	for v := 0; v < tb.Len(); v++ {
+		if tc.Cached(tree.NodeID(v)) {
+			cached = tree.NodeID(v)
+			break
+		}
+	}
+	if cached >= 0 {
+		sys.Update(cached)
+		if sys.Stats.Updates != 1 || sys.Stats.UpdatePaid != 1 {
+			t.Fatalf("update stats = %+v", sys.Stats)
+		}
+	}
+}
+
+// TestCompareModelsWithinFactorTwo verifies the Appendix B claim: the
+// chunk-model cost and the penalty-model cost of the same run agree
+// within a factor of 2 (E8).
+func TestCompareModelsWithinFactorTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	tb, err := GenerateTable(rng, TableConfig{Rules: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := int64(4)
+	w := GenerateWorkload(rng, tb, WorkloadConfig{
+		Packets: 4000, ZipfS: 1.0, UpdateRate: 0.1, Alpha: alpha,
+	})
+	tc := core.New(tb.Tree(), core.Config{Alpha: alpha, Capacity: 96})
+	mc := CompareModels(w, tc, alpha)
+	if mc.Chunk == 0 || mc.Penalty == 0 {
+		t.Fatalf("degenerate costs: %+v", mc)
+	}
+	if r := mc.Ratio(); r < 0.5 || r > 2.0 {
+		t.Fatalf("penalty/chunk ratio %.3f outside [0.5, 2]", r)
+	}
+	// The eager baseline must satisfy the same accounting identity.
+	lru := baseline.NewEager(tb.Tree(), baseline.Config{Alpha: alpha, Capacity: 96, Policy: baseline.LRU})
+	mc2 := CompareModels(w, lru, alpha)
+	if r := mc2.Ratio(); r < 0.5 || r > 2.0 {
+		t.Fatalf("baseline penalty/chunk ratio %.3f outside [0.5, 2]", r)
+	}
+}

@@ -1,0 +1,95 @@
+package fib
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/tree"
+)
+
+// SwitchDecision is the outcome of a lookup against the cached subset
+// of the table.
+type SwitchDecision struct {
+	// Redirected reports whether the packet fell through to the
+	// artificial default rule and was sent to the controller.
+	Redirected bool
+	// Rule is the matched rule when Redirected is false.
+	Rule tree.NodeID
+	// NextHop is the forwarding action taken by the switch.
+	NextHop int
+}
+
+// SwitchLookup performs longest-matching-prefix against only the
+// cached rules, exactly as a TCAM holding the cached subset plus the
+// artificial default rule would: the packet follows the most specific
+// *cached* matching rule, and if none matches it is redirected to the
+// controller (Section 2 of the paper).
+//
+// Correctness depends on the cache being a subforest: descend the full
+// dependency tree along matching rules; the LMP rule is the deepest
+// match. If that rule is cached, the switch holds it and every more
+// specific rule (there are none matching deeper), so the decision is
+// correct. If it is not cached, the deepest *cached* ancestor would
+// match instead — which is precisely the wrong-port hazard — so a
+// correct switch must redirect. The subforest invariant guarantees
+// that whenever any matching rule is missing from the cache, all of
+// its more-specific matching descendants are missing too, making
+// "deepest cached match or redirect" implementable with a plain
+// default rule. SwitchLookup implements the TCAM behaviour literally
+// (deepest cached match; redirect when that is the default); tests
+// verify it never forwards through a wrong rule when the cache is a
+// subforest, and that it does misroute when the invariant is broken.
+func (tb *Table) SwitchLookup(cached *cache.Subforest, addr uint32) SwitchDecision {
+	if cached.Tree() != tb.t {
+		panic("fib: cache built over a different tree")
+	}
+	// Walk the full tree downward along matching rules, remembering the
+	// deepest cached match — that is what a TCAM holding the cached
+	// rules would fire on.
+	cur := tree.NodeID(0)
+	best := tree.NodeID(-1) // deepest cached matching rule
+	for {
+		if cached.Contains(cur) {
+			best = cur
+		}
+		cs := tb.sorted[cur]
+		lo, hi := 0, len(cs)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if tb.rules[cs[mid]].Prefix.Addr <= addr {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == 0 {
+			break
+		}
+		next := cs[lo-1]
+		if !tb.rules[next].Prefix.MatchAddr(addr) {
+			break
+		}
+		cur = next
+	}
+	if best < 0 {
+		return SwitchDecision{Redirected: true}
+	}
+	return SwitchDecision{Rule: best, NextHop: tb.rules[best].NextHop}
+}
+
+// VerifyForwarding checks the end-to-end correctness property of rule
+// caching for one packet: if the switch forwards (does not redirect),
+// it must use exactly the rule the full table's LMP would use. It
+// returns an error describing the misrouting otherwise.
+func (tb *Table) VerifyForwarding(cached *cache.Subforest, addr uint32) error {
+	full := tb.Lookup(addr)
+	dec := tb.SwitchLookup(cached, addr)
+	if dec.Redirected {
+		return nil // the controller holds the full table; always correct
+	}
+	if dec.Rule != full {
+		return fmt.Errorf("fib: misrouted %08x: switch used %v (%s), full table says %v (%s)",
+			addr, dec.Rule, tb.rules[dec.Rule].Prefix, full, tb.rules[full].Prefix)
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package fib
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/tree"
+)
+
+// TestSwitchForwardingCorrectUnderSubforest is the paper's Section 2
+// correctness motivation, as a property test: for ANY subforest cache
+// (here: the evolving cache of a live TC run) and ANY packet, the
+// switch either redirects or forwards through exactly the rule the
+// full table's LMP would use. This is why the cache must be downward
+// closed.
+func TestSwitchForwardingCorrectUnderSubforest(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	table, err := GenerateTable(rng, TableConfig{Rules: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := table.Tree()
+	alpha := int64(4)
+	tc := core.New(tr, core.Config{Alpha: alpha, Capacity: 96})
+	w := GenerateWorkload(rng, table, WorkloadConfig{
+		Packets: 3000, ZipfS: 1.0, UpdateRate: 0.05, Alpha: alpha,
+	})
+	// Mirror TC's cache into a Subforest snapshot as the run evolves
+	// and fire random probe packets at it.
+	mirror := cache.NewSubforest(tr)
+	sync := func() {
+		mirror.Clear()
+		members := tc.CacheMembers()
+		// Members are preorder; fetch bottom-up (reverse preorder) so
+		// every intermediate set stays a valid changeset.
+		for i := len(members) - 1; i >= 0; i-- {
+			if err := mirror.Fetch(members[i : i+1]); err != nil {
+				t.Fatalf("mirroring cache: %v", err)
+			}
+		}
+	}
+	for i, req := range w.Trace {
+		tc.Serve(req)
+		if i%97 == 0 {
+			sync()
+			for probe := 0; probe < 20; probe++ {
+				addr := rng.Uint32()
+				if err := table.VerifyForwarding(mirror, addr); err != nil {
+					t.Fatalf("round %d: %v", i, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSwitchRedirectIffLMPUncached: under a subforest cache the switch
+// forwards exactly when the full-table LMP rule is cached.
+func TestSwitchRedirectIffLMPUncached(t *testing.T) {
+	tb := mustTable(t, "10.0.0.0/8", "10.1.0.0/16", "10.1.1.0/24")
+	tr := tb.Tree()
+	byPrefix := func(s string) tree.NodeID {
+		for v := 0; v < tb.Len(); v++ {
+			if tb.Rule(tree.NodeID(v)).Prefix.String() == s {
+				return tree.NodeID(v)
+			}
+		}
+		t.Fatalf("prefix %s not found", s)
+		return 0
+	}
+	c := cache.NewSubforest(tr)
+	// Cache only the most specific rule 10.1.1.0/24 (a leaf: valid).
+	if err := c.Fetch([]tree.NodeID{byPrefix("10.1.1.0/24")}); err != nil {
+		t.Fatal(err)
+	}
+	addrIn24, _ := ParsePrefix("10.1.1.7/32")
+	addrIn16, _ := ParsePrefix("10.1.2.7/32")
+	d := tb.SwitchLookup(c, addrIn24.Addr)
+	if d.Redirected || d.Rule != byPrefix("10.1.1.0/24") {
+		t.Fatalf("packet in cached /24 must be forwarded by it, got %+v", d)
+	}
+	d = tb.SwitchLookup(c, addrIn16.Addr)
+	if !d.Redirected {
+		t.Fatalf("packet whose LMP (/16) is uncached must redirect, got %+v", d)
+	}
+	if err := tb.VerifyForwarding(c, addrIn24.Addr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonSubforestCacheMisroutes demonstrates the hazard the subforest
+// constraint prevents: caching a covering rule while its more-specific
+// descendant is missing forwards packets through the wrong rule. (The
+// cache package refuses to build such a state, so the broken "cache"
+// is emulated with a raw membership set.)
+func TestNonSubforestCacheMisroutes(t *testing.T) {
+	tb := mustTable(t, "10.0.0.0/8", "10.1.0.0/16")
+	tr := tb.Tree()
+	var n8, n16 tree.NodeID
+	for v := 0; v < tb.Len(); v++ {
+		switch tb.Rule(tree.NodeID(v)).Prefix.String() {
+		case "10.0.0.0/8":
+			n8 = tree.NodeID(v)
+		case "10.1.0.0/16":
+			n16 = tree.NodeID(v)
+		}
+	}
+	// First confirm the cache layer itself refuses the broken state:
+	// fetching the /8 without the /16 is not a valid changeset.
+	c := cache.NewSubforest(tr)
+	if err := c.Fetch([]tree.NodeID{n8}); err == nil {
+		t.Fatal("cache accepted a non-subforest fetch (/8 without /16)")
+	}
+	// Emulate a broken TCAM holding only the /8: a packet destined to
+	// the /16 fires the /8 and exits through the wrong port.
+	addr, _ := ParsePrefix("10.1.9.9/32")
+	brokenLMP := func(a uint32) tree.NodeID {
+		// deepest matching rule among {n8} — the /8.
+		if tb.Rule(n8).Prefix.MatchAddr(a) {
+			return n8
+		}
+		return 0
+	}
+	got := brokenLMP(addr.Addr)
+	want := tb.Lookup(addr.Addr)
+	if got == want {
+		t.Fatal("expected the broken cache to misroute, but it agreed with the full table")
+	}
+	if want != n16 {
+		t.Fatalf("full-table LMP = %v, want the /16", want)
+	}
+}
+
+// TestSwitchLookupMatchesSystemStats: fib.System's hit accounting and
+// SwitchLookup agree on who serves each packet when driven by the same
+// algorithm state.
+func TestSwitchLookupMatchesSystemStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	table, err := GenerateTable(rng, TableConfig{Rules: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := table.Tree()
+	tc := core.New(tr, core.Config{Alpha: 4, Capacity: 64})
+	sys := NewSystem(table, tc, 4)
+	mirror := cache.NewSubforest(tr)
+	for i := 0; i < 4000; i++ {
+		addr := table.RandomAddrIn(rng, tree.NodeID(1+rng.Intn(16)))
+		// Snapshot the cache BEFORE the packet is served (System
+		// accounts the hit against the pre-request state).
+		mirror.Clear()
+		members := tc.CacheMembers()
+		for j := len(members) - 1; j >= 0; j-- {
+			if err := mirror.Fetch(members[j : j+1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dec := table.SwitchLookup(mirror, addr)
+		before := sys.Stats.SwitchHits
+		sys.Packet(addr)
+		hit := sys.Stats.SwitchHits > before
+		if hit == dec.Redirected {
+			t.Fatalf("packet %d: System hit=%v but SwitchLookup redirected=%v", i, hit, dec.Redirected)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package fib
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// WorkloadConfig parameterises the packet/update workload generator.
+type WorkloadConfig struct {
+	// Packets is the number of packet arrivals.
+	Packets int
+	// ZipfS is the Zipf exponent of rule popularity (≈0.8–1.2 in
+	// measured traffic; the Sarrar et al. offloading work the paper
+	// cites builds on exactly this skew).
+	ZipfS float64
+	// UpdateRate is the expected number of rule updates per packet
+	// (BGP churn); each update expands to α negative requests in the
+	// chunk model.
+	UpdateRate float64
+	// Alpha is the per-node movement cost; used for the chunk length.
+	Alpha int64
+	// HotRules optionally restricts the popular rules to leaves
+	// (most-specific rules), matching real traffic concentration.
+	HotRules bool
+}
+
+// Workload is a generated FIB workload: a tree-caching trace plus the
+// underlying packet/update stream for the Appendix B accounting.
+type Workload struct {
+	Table *Table
+	// Trace is the chunk-model tree-caching input (Appendix B): one
+	// positive request per packet (to its LMP rule) and α negative
+	// requests per rule update.
+	Trace trace.Trace
+	// Packets counts packet-induced positive requests.
+	Packets int
+	// Updates lists, per update, the rule node and the trace index at
+	// which its chunk starts.
+	Updates []Update
+}
+
+// Update is one rule update event.
+type Update struct {
+	Rule  tree.NodeID
+	Index int // index into Trace where the α-chunk starts
+}
+
+// GenerateWorkload draws a packet/update stream over the table.
+// Deterministic in rng.
+func GenerateWorkload(rng *rand.Rand, tb *Table, cfg WorkloadConfig) *Workload {
+	support := make([]tree.NodeID, 0, tb.Len())
+	if cfg.HotRules {
+		for _, v := range tb.Tree().Leaves() {
+			support = append(support, v)
+		}
+	} else {
+		for v := 1; v < tb.Len(); v++ { // exclude the default rule
+			support = append(support, tree.NodeID(v))
+		}
+	}
+	if len(support) == 0 {
+		support = append(support, 0)
+	}
+	zipf := stats.NewZipf(rng, len(support), cfg.ZipfS, true)
+	updZipf := stats.NewZipf(rng, tb.Len(), cfg.ZipfS, true)
+	w := &Workload{Table: tb}
+	alpha := cfg.Alpha
+	if alpha < 1 {
+		alpha = 1
+	}
+	for p := 0; p < cfg.Packets; p++ {
+		// Interleave updates as a Poisson-ish process.
+		for cfg.UpdateRate > 0 && rng.Float64() < cfg.UpdateRate {
+			v := tree.NodeID(updZipf.Draw())
+			w.Updates = append(w.Updates, Update{Rule: v, Index: len(w.Trace)})
+			for j := int64(0); j < alpha; j++ {
+				w.Trace = append(w.Trace, trace.Neg(v))
+			}
+		}
+		// A packet to a Zipf-popular rule; the request targets the LMP
+		// rule of a random address inside that rule's prefix (which may
+		// be a more specific rule of the table).
+		rule := support[zipf.Draw()]
+		addr := tb.RandomAddrIn(rng, rule)
+		w.Trace = append(w.Trace, trace.Pos(tb.Lookup(addr)))
+		w.Packets++
+	}
+	return w
+}
+
+// SystemStats aggregates the controller/switch view of a run
+// (Figure 1).
+type SystemStats struct {
+	Packets      int64 // packets arriving at the switch
+	SwitchHits   int64 // forwarded by a cached rule (cost 0)
+	Redirects    int64 // sent to the controller (cost 1)
+	Updates      int64 // rule updates from the routing protocol
+	UpdatePaid   int64 // updates that touched a cached rule
+	RuleMessages int64 // rule install/remove messages to the switch
+}
+
+// HitRatio returns the switch hit ratio.
+func (s SystemStats) HitRatio() float64 {
+	if s.Packets == 0 {
+		return 0
+	}
+	return float64(s.SwitchHits) / float64(s.Packets)
+}
+
+// System is the SDN controller + switch pair of Figure 1 driving a
+// tree-caching algorithm: packets either hit the switch cache or are
+// redirected to the controller; updates touch the controller always
+// and the switch when the rule is cached.
+type System struct {
+	Table *Table
+	Algo  sim.Algorithm
+	Alpha int64
+	Stats SystemStats
+}
+
+// NewSystem wraps an algorithm into the controller/switch simulation.
+func NewSystem(tb *Table, algo sim.Algorithm, alpha int64) *System {
+	return &System{Table: tb, Algo: algo, Alpha: alpha}
+}
+
+// Packet processes one packet arrival and returns whether the switch
+// forwarded it from its cache.
+func (s *System) Packet(addr uint32) bool {
+	rule := s.Table.Lookup(addr)
+	s.Stats.Packets++
+	hit := s.Algo.Cached(rule)
+	if hit {
+		s.Stats.SwitchHits++
+	} else {
+		s.Stats.Redirects++
+	}
+	before := s.Algo.Ledger()
+	s.Algo.Serve(trace.Pos(rule))
+	after := s.Algo.Ledger()
+	s.Stats.RuleMessages += (after.Fetched + after.Evicted) - (before.Fetched + before.Evicted)
+	return hit
+}
+
+// Update processes one rule update in the chunk model (α negative
+// requests, Appendix B).
+func (s *System) Update(rule tree.NodeID) {
+	s.Stats.Updates++
+	if s.Algo.Cached(rule) {
+		s.Stats.UpdatePaid++
+	}
+	for j := int64(0); j < s.Alpha; j++ {
+		before := s.Algo.Ledger()
+		s.Algo.Serve(trace.Neg(rule))
+		after := s.Algo.Ledger()
+		s.Stats.RuleMessages += (after.Fetched + after.Evicted) - (before.Fetched + before.Evicted)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Appendix B: the two update-cost models.
+// ---------------------------------------------------------------------------
+
+// ModelCosts compares the two update-cost accountings of Appendix B on
+// one algorithm run over a workload:
+//
+//   - Chunk is the tree-caching cost of the run itself (each update is
+//     α negative requests; this is the model TC is analysed in);
+//   - Penalty is the cost of the same run under the "real" router
+//     model: packets cost 1 on miss, every update costs α iff the rule
+//     was cached when the update arrived, and cache changes cost α per
+//     rule message.
+//
+// Appendix B proves these differ by at most a factor of 2 for the
+// canonical transformation; E8 verifies the measured ratio.
+type ModelCosts struct {
+	Chunk   int64
+	Penalty int64
+}
+
+// Ratio returns Penalty/Chunk.
+func (m ModelCosts) Ratio() float64 {
+	if m.Chunk == 0 {
+		return 0
+	}
+	return float64(m.Penalty) / float64(m.Chunk)
+}
+
+// CompareModels runs algo over the workload and accounts both models
+// simultaneously. The algorithm must be freshly Reset.
+func CompareModels(w *Workload, algo sim.Algorithm, alpha int64) ModelCosts {
+	var mc ModelCosts
+	updateAt := make(map[int]tree.NodeID, len(w.Updates))
+	for _, u := range w.Updates {
+		updateAt[u.Index] = u.Rule
+	}
+	i := 0
+	for i < len(w.Trace) {
+		if rule, ok := updateAt[i]; ok {
+			// Penalty model: one charge of α iff the rule is cached at
+			// the update's arrival.
+			if algo.Cached(rule) {
+				mc.Penalty += alpha
+			}
+			for j := int64(0); j < alpha; j++ {
+				s, m := algo.Serve(w.Trace[i])
+				mc.Chunk += s + m
+				mc.Penalty += m // movement is charged in both models
+				i++
+			}
+			continue
+		}
+		s, m := algo.Serve(w.Trace[i])
+		mc.Chunk += s + m
+		mc.Penalty += s + m
+		i++
+	}
+	return mc
+}

@@ -1,0 +1,185 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/paging"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// TestConstructionDChronology drives TC through the Appendix D input
+// and verifies the exact Figure 4 chronology: the three milestone
+// changesets happen at the predicted rounds with the predicted node
+// sets, and nothing else happens in between.
+func TestConstructionDChronology(t *testing.T) {
+	for _, s := range []int{1, 3, 7, 15} {
+		for _, alpha := range []int64{2, 4, 8} {
+			c := NewConstructionD(s, alpha)
+			n := c.Tree.Len()
+			rec := &eventLog{}
+			tc := core.New(c.Tree, core.Config{Alpha: alpha, Capacity: n, Observer: rec})
+			for _, req := range c.Input {
+				tc.Serve(req)
+			}
+			// Expected applications: preamble fetch of the whole tree,
+			// stage-1 eviction of T1∪{r}, stage-3 eviction of T2,
+			// stage-5 fetch of the whole tree.
+			if len(rec.events) != 4 {
+				t.Fatalf("s=%d α=%d: %d changesets applied, want 4: %+v", s, alpha, len(rec.events), rec.events)
+			}
+			pre := rec.events[0]
+			if !pre.positive || pre.size != n || pre.round != int64(n)*alpha {
+				t.Fatalf("s=%d α=%d: preamble fetch = %+v, want full fetch at round %d", s, alpha, pre, int64(n)*alpha)
+			}
+			e1 := rec.events[1]
+			if e1.positive || e1.size != s+1 || e1.round != c.EvictT1R {
+				t.Fatalf("s=%d α=%d: stage-1 eviction = %+v, want %d nodes at round %d", s, alpha, e1, s+1, c.EvictT1R)
+			}
+			e2 := rec.events[2]
+			if e2.positive || e2.size != s || e2.round != c.EvictT2 {
+				t.Fatalf("s=%d α=%d: stage-3 eviction = %+v, want %d nodes at round %d", s, alpha, e2, s, c.EvictT2)
+			}
+			e3 := rec.events[3]
+			if !e3.positive || e3.size != n || e3.round != c.FetchAll {
+				t.Fatalf("s=%d α=%d: final fetch = %+v, want full fetch at round %d", s, alpha, e3, c.FetchAll)
+			}
+		}
+	}
+}
+
+type eventLog struct {
+	core.NopObserver
+	events []appliedEvent
+}
+
+type appliedEvent struct {
+	round    int64
+	size     int
+	positive bool
+}
+
+func (l *eventLog) OnApply(round int64, x []tree.NodeID, positive bool) {
+	l.events = append(l.events, appliedEvent{round: round, size: len(x), positive: positive})
+}
+
+// TestConstructionDFieldConfinement reproduces the Appendix D claim:
+// in the final positive field, the requests issued before T2 entered
+// the field (all but the last ℓ+1) can legally shift only into
+// T1 ∪ {r}, so no strategy can give α requests to substantially more
+// than half the nodes.
+func TestConstructionDFieldConfinement(t *testing.T) {
+	s, alpha := 7, int64(8)
+	c := NewConstructionD(s, alpha)
+	n := c.Tree.Len()
+	rec := analysis.NewRecorder(c.Tree, alpha)
+	tc := core.New(c.Tree, core.Config{Alpha: alpha, Capacity: n, Observer: rec})
+	for _, req := range c.Input {
+		tc.Serve(req)
+	}
+	phases := rec.Finish(tc.CacheLen())
+	var final *analysis.Field
+	for _, p := range phases {
+		for _, f := range p.Fields {
+			if f.Positive && f.Size() == n {
+				final = f
+			}
+		}
+	}
+	if final == nil {
+		t.Fatal("final full-tree positive field not found")
+	}
+	if int64(final.Req()) != int64(n)*alpha {
+		t.Fatalf("final field req = %d, want %d", final.Req(), int64(n)*alpha)
+	}
+	// T2's rows open only at stage 3's end; count requests that arrive
+	// before that and hence can only shift within T1 ∪ {r}.
+	early := 0
+	for _, slot := range final.Requests {
+		if slot.Round <= c.EvictT2 {
+			early++
+		}
+	}
+	wantEarly := int(int64(s+1)*alpha) - c.Leaves // stage-2 requests
+	if early != wantEarly {
+		t.Fatalf("early requests = %d, want %d", early, wantEarly)
+	}
+	// Upper bound on nodes receiving α requests by ANY legal shift:
+	// early requests are confined to s+1 nodes; stage-4 requests
+	// (s·α−1) are confined to T1 (s nodes); only the last ℓ+1 requests
+	// are free. A node outside T1∪{r} can only be fed by those ℓ+1.
+	maxFull := s + 1 + (c.Leaves+1)/int(alpha)
+	if maxFull >= n {
+		t.Fatalf("construction too small to be binding: maxFull=%d n=%d", maxFull, n)
+	}
+	// The repaired greedy shift must respect the bound (sanity check
+	// that our shifting is legal).
+	res, err := analysis.ShiftPositive(c.Tree, final, alpha)
+	if err != nil {
+		t.Fatalf("ShiftPositive: %v", err)
+	}
+	if got := res.Dist.NodesWithAtLeast(int(alpha)); got > maxFull {
+		t.Fatalf("shift delivered α requests to %d nodes > provable bound %d", got, maxFull)
+	}
+}
+
+// TestPagingAdversaryForcesMissEveryChunk: against TC, every chunk of
+// the Appendix C adversary targets an uncached leaf, so TC pays at
+// least 1 per chunk (and up to α).
+func TestPagingAdversaryForcesMissEveryChunk(t *testing.T) {
+	kONL := 6
+	alpha := int64(4)
+	star := tree.Star(kONL + 2)
+	tc := core.New(star, core.Config{Alpha: alpha, Capacity: kONL})
+	adv := NewPagingAdversary(star, alpha, 200)
+	res, tr := sim.RunAdversarial(tc, adv)
+	if int64(len(tr)) != 200*alpha {
+		t.Fatalf("trace length = %d, want %d", len(tr), 200*alpha)
+	}
+	if res.Serve < 200 {
+		t.Fatalf("TC served %d paid requests, want >= one per chunk (200)", res.Serve)
+	}
+	if len(adv.PageSequence()) != 200 {
+		t.Fatalf("page sequence length = %d, want 200", len(adv.PageSequence()))
+	}
+}
+
+// TestMirroredOptCostMatchesBelady cross-checks the explicit offline
+// solution accounting against Belady's miss count.
+func TestMirroredOptCostMatchesBelady(t *testing.T) {
+	pages := []int{0, 1, 2, 0, 1, 3, 0, 1, 2, 3, 4, 0}
+	kOPT := 3
+	alpha := int64(4)
+	misses, _ := paging.Belady(pages, kOPT)
+	cost := MirroredOptCost(pages, kOPT, alpha)
+	// Cost must be between 2α·misses (bypass+fetch) and 3α·misses.
+	if cost < 2*alpha*misses || cost > 3*alpha*misses {
+		t.Fatalf("mirrored cost %d outside [%d,%d] for %d misses", cost, 2*alpha*misses, 3*alpha*misses, misses)
+	}
+}
+
+// TestLowerBoundRatioGrowsWithR is the measurable Appendix C statement:
+// with k_OPT = k_ONL the adversary forces TC's cost to exceed the
+// mirrored offline cost by a factor growing (roughly linearly) in
+// R = k_ONL/(k_ONL−k_OPT+1) = k_ONL.
+func TestLowerBoundRatioGrowsWithR(t *testing.T) {
+	alpha := int64(4)
+	ratio := func(kONL int) float64 {
+		star := tree.Star(kONL + 2)
+		tc := core.New(star, core.Config{Alpha: alpha, Capacity: kONL})
+		adv := NewPagingAdversary(star, alpha, 150*kONL)
+		res, _ := sim.RunAdversarial(tc, adv)
+		optUB := MirroredOptCost(adv.PageSequence(), kONL, alpha)
+		if optUB == 0 {
+			t.Fatal("offline upper bound is zero")
+		}
+		return float64(res.Total()) / float64(optUB)
+	}
+	r4 := ratio(4)
+	r16 := ratio(16)
+	if r16 < 2*r4 {
+		t.Fatalf("ratio does not grow with R: ratio(k=4)=%.2f ratio(k=16)=%.2f", r4, r16)
+	}
+}

@@ -1,0 +1,382 @@
+// Package opt computes offline optima for online tree caching.
+//
+// Exact computes the true offline optimum Opt(I) by dynamic programming
+// over (round, cache state), where cache states are all downward-closed
+// node sets (subforests) of size at most k. It is exponential in |T|
+// and intended for the small instances used in competitive-ratio
+// experiments (E1).
+//
+// Static computes the best *static* cache — the offline tree-sparsity
+// relative the paper's conclusions mention — via an O(|T|·k) tree
+// knapsack; it serves as a scalable comparison point in the FIB
+// experiments (E7).
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// MaxExactNodes bounds tree size for the exact DP (states are uint64
+// bitmasks and the state space is enumerated explicitly).
+const MaxExactNodes = 22
+
+// States enumerates all downward-closed subsets of t with at most k
+// nodes as bitmasks (bit v = node v cached). The empty set is always
+// states[0].
+func States(t *tree.Tree, k int) []uint64 {
+	if t.Len() > MaxExactNodes {
+		panic(fmt.Sprintf("opt: tree too large for exact enumeration: %d > %d", t.Len(), MaxExactNodes))
+	}
+	// Subtree masks per node: contiguous preorder ranges.
+	subMask := make([]uint64, t.Len())
+	for _, v := range t.Preorder() {
+		var m uint64
+		i := t.PreorderIndex(v)
+		for j := 0; j < t.SubtreeSize(v); j++ {
+			m |= 1 << uint(t.Preorder()[i+j])
+		}
+		subMask[v] = m
+	}
+	var out []uint64
+	pre := t.Preorder()
+	var rec func(i int, mask uint64, size int)
+	rec = func(i int, mask uint64, size int) {
+		if i == len(pre) {
+			out = append(out, mask)
+			return
+		}
+		v := pre[i]
+		// Option 1: leave v (and possibly pick nodes deeper in preorder).
+		rec(i+1, mask, size)
+		// Option 2: take the whole subtree T(v) and jump past it.
+		if s := t.SubtreeSize(v); size+s <= k {
+			rec(i+s, mask|subMask[v], size+s)
+		}
+	}
+	rec(0, 0, 0)
+	// The recursion emits the empty set first (all-skip branch is
+	// explored first at every level)? It actually emits it when i walks
+	// off the end of the all-skip path; ensure index 0 is empty.
+	for i, m := range out {
+		if m == 0 {
+			out[0], out[i] = out[i], out[0]
+			break
+		}
+	}
+	return out
+}
+
+// ExactResult is the output of Exact.
+type ExactResult struct {
+	// Cost is Opt(I): the minimum total (serve + move) cost.
+	Cost int64
+	// Schedule is the cache state *during* each round: Schedule[i] is
+	// the bitmask cache contents while request i is served. Schedule[0]
+	// is always 0 (algorithms start with an empty cache).
+	Schedule []uint64
+	// States is the number of cache states enumerated.
+	States int
+}
+
+// Exact computes the offline optimum by DP. k is the offline capacity
+// k_OPT; alpha the movement cost. The input must fit MaxExactNodes.
+func Exact(t *tree.Tree, input trace.Trace, k int, alpha int64) ExactResult {
+	states := States(t, k)
+	ns := len(states)
+	const inf = math.MaxInt64 / 4
+	// cur[j] = min cost to have served rounds so far and hold states[j].
+	cur := make([]int64, ns)
+	for j := range cur {
+		cur[j] = inf
+	}
+	cur[0] = 0 // start empty
+	// choice[i][j] = state index held during round i when ending round i
+	// in state j... we store, per round, the predecessor state (the
+	// state held during the round) for backtracking.
+	pred := make([][]int32, len(input))
+	next := make([]int64, ns)
+	for i, req := range input {
+		// Serve round i under each state.
+		for j, m := range states {
+			if cur[j] >= inf {
+				continue
+			}
+			inCache := m&(1<<uint(req.Node)) != 0
+			if (req.Kind == trace.Positive && !inCache) || (req.Kind == trace.Negative && inCache) {
+				cur[j]++
+			}
+		}
+		// Reorganize: next[j2] = min_j cur[j] + alpha·|m1 Δ m2|.
+		p := make([]int32, ns)
+		for j2, m2 := range states {
+			best := int64(inf)
+			var bestJ int32
+			for j1, m1 := range states {
+				if cur[j1] >= inf {
+					continue
+				}
+				c := cur[j1] + alpha*int64(bits.OnesCount64(m1^m2))
+				if c < best {
+					best = c
+					bestJ = int32(j1)
+				}
+			}
+			next[j2] = best
+			p[j2] = bestJ
+		}
+		pred[i] = p
+		cur, next = next, cur
+	}
+	// Best final state.
+	best := int64(inf)
+	bestJ := 0
+	for j, c := range cur {
+		if c < best {
+			best = c
+			bestJ = j
+		}
+	}
+	// Backtrack the state held during each round.
+	sched := make([]uint64, len(input))
+	j := int32(bestJ)
+	for i := len(input) - 1; i >= 0; i-- {
+		j = pred[i][j]
+		sched[i] = states[j]
+	}
+	if len(input) > 0 && sched[0] != 0 {
+		panic("opt: schedule does not start with the empty cache")
+	}
+	return ExactResult{Cost: best, Schedule: sched, States: ns}
+}
+
+// ReplayCost re-serves input under the exact schedule and returns the
+// total cost, verifying the schedule is feasible (every state a
+// subforest within capacity). It is used by tests to cross-check the DP.
+func ReplayCost(t *tree.Tree, input trace.Trace, sched []uint64, k int, alpha int64) (int64, error) {
+	if len(sched) != len(input) {
+		return 0, fmt.Errorf("opt: schedule length %d != input length %d", len(sched), len(input))
+	}
+	var total int64
+	var prev uint64
+	for i, req := range input {
+		m := sched[i]
+		if err := checkState(t, m, k); err != nil {
+			return 0, fmt.Errorf("opt: round %d: %v", i+1, err)
+		}
+		total += alpha * int64(bits.OnesCount64(prev^m))
+		inCache := m&(1<<uint(req.Node)) != 0
+		if (req.Kind == trace.Positive && !inCache) || (req.Kind == trace.Negative && inCache) {
+			total++
+		}
+		prev = m
+	}
+	return total, nil
+}
+
+func checkState(t *tree.Tree, m uint64, k int) error {
+	if c := bits.OnesCount64(m); c > k {
+		return fmt.Errorf("state has %d > %d nodes", c, k)
+	}
+	for v := 0; v < t.Len(); v++ {
+		if m&(1<<uint(v)) == 0 {
+			continue
+		}
+		for _, ch := range t.Children(tree.NodeID(v)) {
+			if m&(1<<uint(ch)) == 0 {
+				return fmt.Errorf("node %d cached without child %d", v, ch)
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Optimal static cache (tree knapsack).
+// ---------------------------------------------------------------------------
+
+// StaticResult is the output of Static.
+type StaticResult struct {
+	// Set is the chosen downward-closed node set (preorder).
+	Set []tree.NodeID
+	// Cost is the total cost of fetching Set once (after the first
+	// round) and never moving again: α·|Set| + misses + update hits.
+	Cost int64
+	// Gain is the serving cost saved relative to NoCache, minus fetch
+	// cost.
+	Gain int64
+}
+
+// Static computes the best static cache of size ≤ k for the given
+// input: the downward-closed set S maximizing
+//
+//	Σ_{v∈S} (pos(v) − neg(v) − α)
+//
+// where pos/neg count requests per node. This is the tree-sparsity
+// offline problem restricted to our cost model; solved by an O(|T|·k)
+// knapsack over the preorder.
+func Static(t *tree.Tree, input trace.Trace, k int, alpha int64) StaticResult {
+	n := t.Len()
+	pos := make([]int64, n)
+	neg := make([]int64, n)
+	for _, r := range input {
+		if r.Kind == trace.Positive {
+			pos[r.Node]++
+		} else {
+			neg[r.Node]++
+		}
+	}
+	// Per-subtree weight w(T(v)) = Σ_{u∈T(v)} pos(u)−neg(u)−α.
+	wSub := make([]int64, n)
+	pre := t.Preorder()
+	for i := n - 1; i >= 0; i-- {
+		v := pre[i]
+		wSub[v] = pos[v] - neg[v] - alpha
+		for _, ch := range t.Children(v) {
+			wSub[v] += wSub[ch]
+		}
+	}
+	if k > n {
+		k = n
+	}
+	const negInf = math.MinInt64 / 4
+	// dp[i][s]: best gain from preorder suffix i with s slots available.
+	// take[i][s]: whether T(pre[i]) is taken at this state.
+	dp := make([][]int64, n+1)
+	take := make([][]bool, n)
+	for i := range dp {
+		dp[i] = make([]int64, k+1)
+	}
+	for i := range take {
+		take[i] = make([]bool, k+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := pre[i]
+		sz := t.SubtreeSize(v)
+		for s := 0; s <= k; s++ {
+			best := dp[i+1][s] // skip v
+			if sz <= s {
+				j := i + sz
+				var cand int64
+				if dp[j][s-sz] <= negInf {
+					cand = negInf
+				} else {
+					cand = wSub[v] + dp[j][s-sz]
+				}
+				if cand > best {
+					best = cand
+					take[i][s] = true
+				}
+			}
+			dp[i][s] = best
+		}
+	}
+	// Backtrack.
+	var set []tree.NodeID
+	i, s := 0, k
+	for i < n {
+		if take[i][s] {
+			v := pre[i]
+			sz := t.SubtreeSize(v)
+			set = append(set, t.Subtree(v)...)
+			i += sz
+			s -= sz
+		} else {
+			i++
+		}
+	}
+	gain := dp[0][k]
+	if gain < 0 {
+		// Caching nothing is better.
+		set = nil
+		gain = 0
+	}
+	// Total cost: the first round is served with an empty cache (the
+	// model fetches only after a round), then S is fetched once and
+	// every later positive request misses unless in S, every negative
+	// request hits iff in S.
+	inSet := make([]bool, n)
+	for _, v := range set {
+		inSet[v] = true
+	}
+	var cost int64
+	for i, r := range input {
+		cached := i > 0 && inSet[r.Node]
+		if r.Kind == trace.Positive && !cached {
+			cost++
+		}
+		if r.Kind == trace.Negative && cached {
+			cost++
+		}
+	}
+	cost += alpha * int64(len(set))
+	return StaticResult{Set: set, Cost: cost, Gain: gain}
+}
+
+// StaticAlgo replays a fixed cache set as a sim.Algorithm: it serves
+// the first round with an empty cache, then fetches the set and never
+// moves again.
+type StaticAlgo struct {
+	t       *tree.Tree
+	set     []tree.NodeID
+	in      []bool
+	led     cache.Ledger
+	fetched bool
+}
+
+// NewStaticAlgo wraps a precomputed static set (must be a subforest).
+func NewStaticAlgo(t *tree.Tree, set []tree.NodeID, alpha int64) *StaticAlgo {
+	if !t.IsSubforest(set) {
+		panic("opt: static set is not a subforest")
+	}
+	in := make([]bool, t.Len())
+	for _, v := range set {
+		in[v] = true
+	}
+	return &StaticAlgo{t: t, set: set, in: in, led: cache.Ledger{Alpha: alpha}}
+}
+
+// Name implements sim.Algorithm.
+func (s *StaticAlgo) Name() string { return "Static-OPT" }
+
+// Serve implements sim.Algorithm.
+func (s *StaticAlgo) Serve(req trace.Request) (int64, int64) {
+	var serve int64
+	cached := s.fetched && s.in[req.Node]
+	if (req.Kind == trace.Positive && !cached) || (req.Kind == trace.Negative && cached) {
+		s.led.PayServe()
+		serve = 1
+	}
+	var move int64
+	if !s.fetched {
+		s.led.PayFetch(len(s.set))
+		move = s.led.Alpha * int64(len(s.set))
+		s.fetched = true
+	}
+	return serve, move
+}
+
+// Cached implements sim.Algorithm.
+func (s *StaticAlgo) Cached(v tree.NodeID) bool { return s.fetched && s.in[v] }
+
+// CacheLen implements sim.Algorithm.
+func (s *StaticAlgo) CacheLen() int {
+	if !s.fetched {
+		return 0
+	}
+	return len(s.set)
+}
+
+// Ledger implements sim.Algorithm.
+func (s *StaticAlgo) Ledger() cache.Ledger { return s.led }
+
+// Reset implements sim.Algorithm.
+func (s *StaticAlgo) Reset() {
+	s.led.Reset()
+	s.fetched = false
+}

@@ -1,0 +1,242 @@
+package opt
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// TestStatesAreValidSubforests: every enumerated state is downward
+// closed and within capacity; the enumeration contains no duplicates
+// and includes the empty set first.
+func TestStatesAreValidSubforests(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for inst := 0; inst < 40; inst++ {
+		n := 1 + rng.Intn(12)
+		tr := tree.RandomShape(rng, n)
+		k := 1 + rng.Intn(n)
+		states := States(tr, k)
+		if states[0] != 0 {
+			t.Fatalf("states[0] = %b, want empty", states[0])
+		}
+		seen := make(map[uint64]bool)
+		for _, m := range states {
+			if seen[m] {
+				t.Fatalf("duplicate state %b", m)
+			}
+			seen[m] = true
+			if err := checkState(tr, m, k); err != nil {
+				t.Fatalf("invalid state %b: %v", m, err)
+			}
+		}
+	}
+}
+
+// TestStatesCountPath: on a path, downward-closed sets are suffixes
+// (bottom-up), so there are exactly min(k,n)+1 states.
+func TestStatesCountPath(t *testing.T) {
+	tr := tree.Path(6)
+	for k := 1; k <= 7; k++ {
+		want := k + 1
+		if k > 6 {
+			want = 7
+		}
+		if got := len(States(tr, k)); got != want {
+			t.Fatalf("path(6) k=%d: %d states, want %d", k, got, want)
+		}
+	}
+}
+
+// TestStatesCountStar: on a star with m leaves, states are subsets of
+// leaves (≤ k) plus the full tree if it fits.
+func TestStatesCountStar(t *testing.T) {
+	tr := tree.Star(4) // 3 leaves
+	// k=2: all subsets of 3 leaves with ≤ 2 elements: 1+3+3 = 7.
+	if got := len(States(tr, 2)); got != 7 {
+		t.Fatalf("star k=2: %d states, want 7", got)
+	}
+	// k=4: all 8 leaf subsets + full tree = 9.
+	if got := len(States(tr, 4)); got != 9 {
+		t.Fatalf("star k=4: %d states, want 9", got)
+	}
+}
+
+// bruteOpt exhaustively searches over all state sequences (per-round
+// state choice) for tiny instances — an independent check of the DP.
+func bruteOpt(tr *tree.Tree, input trace.Trace, k int, alpha int64) int64 {
+	states := States(tr, k)
+	best := int64(1) << 60
+	var rec func(i int, cur uint64, cost int64)
+	rec = func(i int, cur uint64, cost int64) {
+		if cost >= best {
+			return
+		}
+		if i == len(input) {
+			best = cost
+			return
+		}
+		req := input[i]
+		for _, next := range states {
+			c := cost
+			// Serve round i under `cur`... the state during round i+1 is
+			// chosen after serving; the state during round i is cur.
+			inCache := cur&(1<<uint(req.Node)) != 0
+			if (req.Kind == trace.Positive && !inCache) || (req.Kind == trace.Negative && inCache) {
+				c++
+			}
+			c += alpha * int64(bits.OnesCount64(cur^next))
+			rec(i+1, next, c)
+		}
+	}
+	rec(0, 0, 0)
+	return best
+}
+
+// TestExactMatchesBruteForce cross-validates the DP against exhaustive
+// search on tiny instances.
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for inst := 0; inst < 25; inst++ {
+		n := 2 + rng.Intn(3) // 2..4 nodes
+		tr := tree.RandomShape(rng, n)
+		k := 1 + rng.Intn(n)
+		alpha := int64(2)
+		input := trace.RandomMixed(rng, tr, 5)
+		got := Exact(tr, input, k, alpha)
+		want := bruteOpt(tr, input, k, alpha)
+		if got.Cost != want {
+			t.Fatalf("inst %d: Exact=%d brute=%d (n=%d k=%d)", inst, got.Cost, want, n, k)
+		}
+	}
+}
+
+// TestExactScheduleReplays: the DP's schedule must be feasible and
+// reproduce the DP cost exactly.
+func TestExactScheduleReplays(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for inst := 0; inst < 30; inst++ {
+		n := 2 + rng.Intn(8)
+		tr := tree.RandomShape(rng, n)
+		k := 1 + rng.Intn(n)
+		alpha := int64(2 * (1 + rng.Intn(2)))
+		input := trace.RandomMixed(rng, tr, 40)
+		res := Exact(tr, input, k, alpha)
+		replayed, err := ReplayCost(tr, input, res.Schedule, k, alpha)
+		if err != nil {
+			t.Fatalf("inst %d: %v", inst, err)
+		}
+		if replayed != res.Cost {
+			t.Fatalf("inst %d: replay=%d dp=%d", inst, replayed, res.Cost)
+		}
+	}
+}
+
+// TestOptNeverExceedsTC: the offline optimum is a lower bound for the
+// online algorithm with the same (or smaller) capacity.
+func TestOptNeverExceedsTC(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for inst := 0; inst < 40; inst++ {
+		n := 2 + rng.Intn(9)
+		tr := tree.RandomShape(rng, n)
+		k := 1 + rng.Intn(n)
+		alpha := int64(2)
+		input := trace.RandomMixed(rng, tr, 80)
+		tc := core.New(tr, core.Config{Alpha: alpha, Capacity: k})
+		for _, req := range input {
+			tc.Serve(req)
+		}
+		o := Exact(tr, input, k, alpha)
+		if o.Cost > tc.Ledger().Total() {
+			t.Fatalf("inst %d: OPT=%d > TC=%d", inst, o.Cost, tc.Ledger().Total())
+		}
+	}
+}
+
+// TestStaticNeverBeatsExact: the best static cache can never beat the
+// dynamic offline optimum with the same capacity.
+func TestStaticNeverBeatsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for inst := 0; inst < 40; inst++ {
+		n := 2 + rng.Intn(9)
+		tr := tree.RandomShape(rng, n)
+		k := 1 + rng.Intn(n)
+		alpha := int64(2)
+		input := trace.RandomMixed(rng, tr, 60)
+		st := Static(tr, input, k, alpha)
+		ex := Exact(tr, input, k, alpha)
+		if st.Cost < ex.Cost {
+			t.Fatalf("inst %d: static=%d < exact=%d", inst, st.Cost, ex.Cost)
+		}
+		if !tr.IsSubforest(st.Set) {
+			t.Fatalf("inst %d: static set %v not a subforest", inst, st.Set)
+		}
+		if len(st.Set) > k {
+			t.Fatalf("inst %d: static set size %d > k=%d", inst, len(st.Set), k)
+		}
+	}
+}
+
+// TestStaticKnapsackPicksHotSubtree: on a star with one hot leaf the
+// static optimum must cache exactly that leaf.
+func TestStaticKnapsackPicksHotSubtree(t *testing.T) {
+	tr := tree.Star(5)
+	var input trace.Trace
+	for i := 0; i < 100; i++ {
+		input = append(input, trace.Pos(2))
+	}
+	input = append(input, trace.Pos(1), trace.Pos(3))
+	st := Static(tr, input, 1, 4)
+	if len(st.Set) != 1 || st.Set[0] != 2 {
+		t.Fatalf("static set = %v, want [2]", st.Set)
+	}
+	// Cost: the first request misses (cache starts empty), then the set
+	// is fetched (α=4) and the two requests to leaves 1,3 miss: 1+4+2.
+	if st.Cost != 7 {
+		t.Fatalf("static cost = %d, want 7", st.Cost)
+	}
+}
+
+// TestStaticPrefersEmptyWhenChurnDominates: when negative requests
+// dominate, caching nothing is optimal.
+func TestStaticPrefersEmptyWhenChurnDominates(t *testing.T) {
+	tr := tree.Star(4)
+	var input trace.Trace
+	for i := 0; i < 50; i++ {
+		input = append(input, trace.Neg(1))
+	}
+	st := Static(tr, input, 3, 2)
+	if len(st.Set) != 0 {
+		t.Fatalf("static set = %v, want empty", st.Set)
+	}
+	if st.Cost != 0 {
+		t.Fatalf("static cost = %d, want 0", st.Cost)
+	}
+}
+
+// TestStaticAlgoReplayMatchesCost: the StaticAlgo wrapper reproduces
+// Static's cost (up to the first-round fetch timing, which Static's
+// accounting already uses).
+func TestStaticAlgoReplayMatchesCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for inst := 0; inst < 20; inst++ {
+		n := 3 + rng.Intn(8)
+		tr := tree.RandomShape(rng, n)
+		k := 1 + rng.Intn(n)
+		alpha := int64(2)
+		input := trace.RandomMixed(rng, tr, 60)
+		st := Static(tr, input, k, alpha)
+		algo := NewStaticAlgo(tr, st.Set, alpha)
+		var total int64
+		for _, req := range input {
+			s, m := algo.Serve(req)
+			total += s + m
+		}
+		if total != st.Cost {
+			t.Fatalf("inst %d: replay=%d static=%d", inst, total, st.Cost)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package paging implements the classic paging algorithms and
+// adversaries that Appendix C of the paper reduces from: LRU, FIFO,
+// Flush-When-Full, the offline Belady (furthest-in-future) algorithm,
+// and the Sleator–Tarjan adaptive adversary that forces the
+// k_ONL/(k_ONL−k_OPT+1) lower bound.
+//
+// Paging here is the standard non-bypassing model: a miss costs 1 and
+// forces the page into the cache (evicting if full); a hit is free.
+package paging
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Algorithm is an online paging algorithm over pages 0..n-1.
+type Algorithm interface {
+	// Name identifies the algorithm.
+	Name() string
+	// Access requests a page and returns whether it missed.
+	Access(page int) bool
+	// Has reports whether the page is currently cached.
+	Has(page int) bool
+	// Len returns the current cache occupancy.
+	Len() int
+	// Misses returns the total misses so far.
+	Misses() int64
+	// Reset clears the cache and counters.
+	Reset()
+}
+
+// ---------------------------------------------------------------------------
+// LRU
+// ---------------------------------------------------------------------------
+
+// LRUCache is least-recently-used paging with capacity k.
+type LRUCache struct {
+	k      int
+	order  *list.List // front = most recent
+	where  map[int]*list.Element
+	misses int64
+}
+
+// NewLRU returns an LRU cache of capacity k ≥ 1.
+func NewLRU(k int) *LRUCache {
+	if k < 1 {
+		panic(fmt.Sprintf("paging: capacity %d < 1", k))
+	}
+	return &LRUCache{k: k, order: list.New(), where: make(map[int]*list.Element)}
+}
+
+// Name implements Algorithm.
+func (c *LRUCache) Name() string { return "LRU" }
+
+// Access implements Algorithm.
+func (c *LRUCache) Access(page int) bool {
+	if e, ok := c.where[page]; ok {
+		c.order.MoveToFront(e)
+		return false
+	}
+	c.misses++
+	if c.order.Len() >= c.k {
+		back := c.order.Back()
+		delete(c.where, back.Value.(int))
+		c.order.Remove(back)
+	}
+	c.where[page] = c.order.PushFront(page)
+	return true
+}
+
+// Has implements Algorithm.
+func (c *LRUCache) Has(page int) bool { _, ok := c.where[page]; return ok }
+
+// Len implements Algorithm.
+func (c *LRUCache) Len() int { return c.order.Len() }
+
+// Misses implements Algorithm.
+func (c *LRUCache) Misses() int64 { return c.misses }
+
+// Reset implements Algorithm.
+func (c *LRUCache) Reset() {
+	c.order.Init()
+	c.where = make(map[int]*list.Element)
+	c.misses = 0
+}
+
+// ---------------------------------------------------------------------------
+// FIFO
+// ---------------------------------------------------------------------------
+
+// FIFOCache is first-in-first-out paging with capacity k.
+type FIFOCache struct {
+	k      int
+	order  *list.List // front = newest
+	where  map[int]*list.Element
+	misses int64
+}
+
+// NewFIFO returns a FIFO cache of capacity k ≥ 1.
+func NewFIFO(k int) *FIFOCache {
+	if k < 1 {
+		panic(fmt.Sprintf("paging: capacity %d < 1", k))
+	}
+	return &FIFOCache{k: k, order: list.New(), where: make(map[int]*list.Element)}
+}
+
+// Name implements Algorithm.
+func (c *FIFOCache) Name() string { return "FIFO" }
+
+// Access implements Algorithm.
+func (c *FIFOCache) Access(page int) bool {
+	if _, ok := c.where[page]; ok {
+		return false
+	}
+	c.misses++
+	if c.order.Len() >= c.k {
+		back := c.order.Back()
+		delete(c.where, back.Value.(int))
+		c.order.Remove(back)
+	}
+	c.where[page] = c.order.PushFront(page)
+	return true
+}
+
+// Has implements Algorithm.
+func (c *FIFOCache) Has(page int) bool { _, ok := c.where[page]; return ok }
+
+// Len implements Algorithm.
+func (c *FIFOCache) Len() int { return c.order.Len() }
+
+// Misses implements Algorithm.
+func (c *FIFOCache) Misses() int64 { return c.misses }
+
+// Reset implements Algorithm.
+func (c *FIFOCache) Reset() {
+	c.order.Init()
+	c.where = make(map[int]*list.Element)
+	c.misses = 0
+}
+
+// ---------------------------------------------------------------------------
+// Flush-When-Full
+// ---------------------------------------------------------------------------
+
+// FWFCache is the flush-when-full paging algorithm: on a miss with a
+// full cache, empty everything.
+type FWFCache struct {
+	k      int
+	in     map[int]bool
+	misses int64
+}
+
+// NewFWF returns a flush-when-full cache of capacity k ≥ 1.
+func NewFWF(k int) *FWFCache {
+	if k < 1 {
+		panic(fmt.Sprintf("paging: capacity %d < 1", k))
+	}
+	return &FWFCache{k: k, in: make(map[int]bool)}
+}
+
+// Name implements Algorithm.
+func (c *FWFCache) Name() string { return "FWF" }
+
+// Access implements Algorithm.
+func (c *FWFCache) Access(page int) bool {
+	if c.in[page] {
+		return false
+	}
+	c.misses++
+	if len(c.in) >= c.k {
+		c.in = make(map[int]bool)
+	}
+	c.in[page] = true
+	return true
+}
+
+// Has implements Algorithm.
+func (c *FWFCache) Has(page int) bool { return c.in[page] }
+
+// Len implements Algorithm.
+func (c *FWFCache) Len() int { return len(c.in) }
+
+// Misses implements Algorithm.
+func (c *FWFCache) Misses() int64 { return c.misses }
+
+// Reset implements Algorithm.
+func (c *FWFCache) Reset() {
+	c.in = make(map[int]bool)
+	c.misses = 0
+}
+
+// ---------------------------------------------------------------------------
+// Belady (offline optimum for standard paging)
+// ---------------------------------------------------------------------------
+
+// Belady computes the offline minimum number of misses for the
+// sequence with capacity k using the furthest-in-future rule, and
+// returns the per-round hit/miss outcomes.
+func Belady(seq []int, k int) (misses int64, missAt []bool) {
+	if k < 1 {
+		panic(fmt.Sprintf("paging: capacity %d < 1", k))
+	}
+	n := len(seq)
+	missAt = make([]bool, n)
+	// nextUse[i] = next position after i where seq[i] appears again.
+	next := make([]int, n)
+	last := make(map[int]int)
+	for i := n - 1; i >= 0; i-- {
+		if j, ok := last[seq[i]]; ok {
+			next[i] = j
+		} else {
+			next[i] = n
+		}
+		last[seq[i]] = i
+	}
+	in := make(map[int]int) // page -> its next use position
+	for i, p := range seq {
+		if _, ok := in[p]; ok {
+			in[p] = next[i]
+			continue
+		}
+		misses++
+		missAt[i] = true
+		if len(in) >= k {
+			// Evict the page whose next use is furthest in the future.
+			worstPage, worstNext := -1, -1
+			for q, nu := range in {
+				if nu > worstNext {
+					worstPage, worstNext = q, nu
+				}
+			}
+			delete(in, worstPage)
+		}
+		in[p] = next[i]
+	}
+	return misses, missAt
+}
+
+// ---------------------------------------------------------------------------
+// Sleator–Tarjan adaptive adversary
+// ---------------------------------------------------------------------------
+
+// Adversary generates, against any online paging algorithm with
+// capacity kONL, a sequence over kONL+1 pages that always requests a
+// page missing from the online cache. Its cost for the online
+// algorithm is one miss per request, while Belady with capacity kOPT
+// pays roughly (kONL−kOPT+1)/kONL per request, yielding the
+// kONL/(kONL−kOPT+1) ratio.
+type Adversary struct {
+	pages int
+}
+
+// NewAdversary returns an adversary over kONL+1 pages.
+func NewAdversary(kONL int) *Adversary { return &Adversary{pages: kONL + 1} }
+
+// Pages returns the universe size kONL+1.
+func (a *Adversary) Pages() int { return a.pages }
+
+// Next returns a page missing from the online cache (the smallest one;
+// existence is guaranteed since the universe exceeds the capacity).
+func (a *Adversary) Next(online Algorithm) int {
+	for p := 0; p < a.pages; p++ {
+		if !online.Has(p) {
+			return p
+		}
+	}
+	// Full universe cached: impossible when capacity < pages, but fall
+	// back gracefully.
+	return 0
+}
+
+// Drive runs the adversary for rounds requests against online and
+// returns the generated sequence.
+func (a *Adversary) Drive(online Algorithm, rounds int) []int {
+	seq := make([]int, rounds)
+	for i := 0; i < rounds; i++ {
+		p := a.Next(online)
+		seq[i] = p
+		online.Access(p)
+	}
+	return seq
+}

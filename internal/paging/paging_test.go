@@ -1,0 +1,159 @@
+package paging
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := NewLRU(2)
+	if !c.Access(1) || !c.Access(2) {
+		t.Fatal("cold accesses must miss")
+	}
+	if c.Access(1) {
+		t.Fatal("warm access must hit")
+	}
+	c.Access(3) // evicts 2 (LRU)
+	if c.Has(2) {
+		t.Fatal("LRU should have evicted page 2")
+	}
+	if !c.Has(1) || !c.Has(3) {
+		t.Fatal("pages 1 and 3 should be resident")
+	}
+	if c.Misses() != 3 {
+		t.Fatalf("misses = %d, want 3", c.Misses())
+	}
+}
+
+func TestFIFOBasics(t *testing.T) {
+	c := NewFIFO(2)
+	c.Access(1)
+	c.Access(2)
+	c.Access(1) // hit; FIFO order unchanged
+	c.Access(3) // evicts 1 (first in)
+	if c.Has(1) {
+		t.Fatal("FIFO should have evicted page 1")
+	}
+	if !c.Has(2) || !c.Has(3) {
+		t.Fatal("pages 2 and 3 should be resident")
+	}
+}
+
+func TestFWFFlushes(t *testing.T) {
+	c := NewFWF(2)
+	c.Access(1)
+	c.Access(2)
+	c.Access(3) // full: flush, then insert 3
+	if c.Has(1) || c.Has(2) {
+		t.Fatal("FWF must flush on overflow")
+	}
+	if !c.Has(3) || c.Len() != 1 {
+		t.Fatal("page 3 should be the only resident")
+	}
+}
+
+func TestResetAll(t *testing.T) {
+	algs := []Algorithm{NewLRU(2), NewFIFO(2), NewFWF(2)}
+	for _, a := range algs {
+		a.Access(1)
+		a.Reset()
+		if a.Len() != 0 || a.Misses() != 0 || a.Has(1) {
+			t.Fatalf("%s: Reset incomplete", a.Name())
+		}
+	}
+}
+
+func TestBeladySimple(t *testing.T) {
+	// Classic example: with k=2, Belady keeps the page used sooner.
+	seq := []int{1, 2, 3, 1, 2}
+	misses, missAt := Belady(seq, 2)
+	// 1 miss, 2 miss, 3 miss (evict 2, next use of 1 is sooner... evict
+	// the page with the furthest next use: 1 used at index 3, 2 at 4 →
+	// evict 2), 1 hit, 2 miss.
+	if misses != 4 {
+		t.Fatalf("Belady misses = %d, want 4", misses)
+	}
+	if !missAt[0] || !missAt[1] || !missAt[2] || missAt[3] || !missAt[4] {
+		t.Fatalf("missAt = %v", missAt)
+	}
+}
+
+// TestBeladyNeverWorseThanOnline: on random sequences Belady's miss
+// count lower-bounds every online algorithm with the same capacity.
+func TestBeladyNeverWorseThanOnline(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for inst := 0; inst < 50; inst++ {
+		k := 2 + rng.Intn(6)
+		pages := k + 1 + rng.Intn(10)
+		seq := make([]int, 300)
+		for i := range seq {
+			seq[i] = rng.Intn(pages)
+		}
+		opt, _ := Belady(seq, k)
+		for _, a := range []Algorithm{NewLRU(k), NewFIFO(k), NewFWF(k)} {
+			for _, p := range seq {
+				a.Access(p)
+			}
+			if a.Misses() < opt {
+				t.Fatalf("inst %d: %s misses %d < Belady %d", inst, a.Name(), a.Misses(), opt)
+			}
+		}
+	}
+}
+
+// TestSleatorTarjanLowerBound: the adaptive adversary forces the online
+// algorithm to miss every request while Belady with the same capacity
+// misses roughly once per k requests — the classic k-competitiveness
+// lower bound, measured.
+func TestSleatorTarjanLowerBound(t *testing.T) {
+	for _, k := range []int{4, 8, 16} {
+		online := NewLRU(k)
+		adv := NewAdversary(k)
+		seq := adv.Drive(online, 200*k)
+		if online.Misses() != int64(len(seq)) {
+			t.Fatalf("k=%d: adversary let the online algorithm hit (%d misses of %d)", k, online.Misses(), len(seq))
+		}
+		opt, _ := Belady(seq, k)
+		ratio := float64(online.Misses()) / float64(opt)
+		if ratio < float64(k)*0.8 {
+			t.Fatalf("k=%d: measured ratio %.2f, want ≈ k=%d", k, ratio, k)
+		}
+	}
+}
+
+// TestAdversaryWithAugmentation: with k_OPT < k_ONL the measured ratio
+// drops to ≈ k_ONL/(k_ONL−k_OPT+1).
+func TestAdversaryWithAugmentation(t *testing.T) {
+	kONL := 16
+	online := NewLRU(kONL)
+	adv := NewAdversary(kONL)
+	seq := adv.Drive(online, 6000)
+	for _, kOPT := range []int{4, 8, 16} {
+		opt, _ := Belady(seq, kOPT)
+		ratio := float64(online.Misses()) / float64(opt)
+		want := float64(kONL) / float64(kONL-kOPT+1)
+		if ratio < want*0.6 || ratio > want*2.5 {
+			t.Fatalf("kOPT=%d: ratio %.2f, want ≈ %.2f", kOPT, ratio, want)
+		}
+	}
+	// Reset online between different kOPT evaluations is unnecessary:
+	// the sequence is fixed; only Belady's capacity varies.
+}
+
+func TestCapacityValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLRU(0) },
+		func() { NewFIFO(0) },
+		func() { NewFWF(0) },
+		func() { Belady(nil, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("zero capacity accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

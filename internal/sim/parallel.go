@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Job is one unit of a parameter sweep: a factory for a fresh
+// algorithm instance and the trace to serve. Factories (not instances)
+// are submitted so each worker builds its own state and no Algorithm
+// is shared across goroutines.
+type Job struct {
+	// Label tags the job in the results (e.g. "k=64/zipf").
+	Label string
+	// Make builds the algorithm; called exactly once, in the worker.
+	Make func() Algorithm
+	// Input is the request sequence to serve.
+	Input trace.Trace
+}
+
+// SweepResult pairs a job label with its run result.
+type SweepResult struct {
+	Label  string
+	Result Result
+}
+
+// RunParallel executes the jobs across workers goroutines (default:
+// GOMAXPROCS when workers ≤ 0) and returns results in job order.
+// Traces may be shared between jobs — they are read-only — but every
+// algorithm instance is confined to one worker.
+func RunParallel(jobs []Job, workers int) []SweepResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out := make([]SweepResult, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				job := jobs[i]
+				out[i] = SweepResult{Label: job.Label, Result: Run(job.Make(), job.Input)}
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// TestRunParallelMatchesSequential: the parallel sweep must produce
+// exactly the results of running each job sequentially, in job order.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	tr := tree.CompleteKary(63, 2)
+	inputs := make([]trace.Trace, 3)
+	for i := range inputs {
+		inputs[i] = trace.RandomMixed(rng, tr, 500)
+	}
+	var jobs []Job
+	for _, capa := range []int{4, 8, 16, 32} {
+		capa := capa
+		for i, in := range inputs {
+			jobs = append(jobs, Job{
+				Label: fmt.Sprintf("k=%d/t=%d", capa, i),
+				Make:  func() Algorithm { return core.New(tr, core.Config{Alpha: 4, Capacity: capa}) },
+				Input: in,
+			})
+		}
+	}
+	seq := make([]Result, len(jobs))
+	for i, j := range jobs {
+		seq[i] = Run(j.Make(), j.Input)
+	}
+	for _, workers := range []int{1, 3, 16} {
+		par := RunParallel(jobs, workers)
+		if len(par) != len(jobs) {
+			t.Fatalf("workers=%d: %d results for %d jobs", workers, len(par), len(jobs))
+		}
+		for i := range jobs {
+			if par[i].Label != jobs[i].Label {
+				t.Fatalf("workers=%d: result %d label %q, want %q", workers, i, par[i].Label, jobs[i].Label)
+			}
+			if par[i].Result.Total() != seq[i].Total() {
+				t.Fatalf("workers=%d job %s: parallel %d != sequential %d",
+					workers, jobs[i].Label, par[i].Result.Total(), seq[i].Total())
+			}
+		}
+	}
+}
+
+// TestRunParallelEmpty handles the degenerate cases.
+func TestRunParallelEmpty(t *testing.T) {
+	if got := RunParallel(nil, 4); len(got) != 0 {
+		t.Fatalf("empty sweep returned %d results", len(got))
+	}
+}

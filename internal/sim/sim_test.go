@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+func TestRunAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	tr := tree.RandomShape(rng, 12)
+	input := trace.RandomMixed(rng, tr, 400)
+	tc := core.New(tr, core.Config{Alpha: 4, Capacity: 6})
+	res := Run(tc, input)
+	led := tc.Ledger()
+	if res.Rounds != 400 || res.Serve != led.Serve || res.Move != led.Move {
+		t.Fatalf("result %v does not match ledger %+v", res, led)
+	}
+	if res.Total() != led.Total() {
+		t.Fatalf("total %d != ledger %d", res.Total(), led.Total())
+	}
+	if res.MaxCache > 6 {
+		t.Fatalf("max cache %d exceeds capacity", res.MaxCache)
+	}
+	if !strings.Contains(res.String(), "TC") {
+		t.Fatalf("result string %q", res.String())
+	}
+}
+
+func TestCompareResetsEachAlgorithm(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	tr := tree.RandomShape(rng, 10)
+	input := trace.RandomMixed(rng, tr, 200)
+	algos := []Algorithm{
+		core.New(tr, core.Config{Alpha: 2, Capacity: 5}),
+		baseline.NewEager(tr, baseline.Config{Alpha: 2, Capacity: 5, Policy: baseline.LRU}),
+		baseline.NewNoCache(2),
+	}
+	first := Compare(algos, input)
+	second := Compare(algos, input)
+	for i := range first {
+		if first[i].Total() != second[i].Total() {
+			t.Fatalf("algorithm %s not reset-deterministic: %d vs %d",
+				first[i].Algorithm, first[i].Total(), second[i].Total())
+		}
+	}
+}
+
+// fixedAdversary replays a canned trace through the Adversary interface.
+type fixedAdversary struct {
+	tr trace.Trace
+	i  int
+}
+
+func (f *fixedAdversary) Next(Algorithm) (trace.Request, bool) {
+	if f.i >= len(f.tr) {
+		return trace.Request{}, false
+	}
+	r := f.tr[f.i]
+	f.i++
+	return r, true
+}
+
+func TestRunAdversarialMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	tr := tree.RandomShape(rng, 10)
+	input := trace.RandomMixed(rng, tr, 150)
+	a1 := core.New(tr, core.Config{Alpha: 2, Capacity: 4})
+	r1 := Run(a1, input)
+	a2 := core.New(tr, core.Config{Alpha: 2, Capacity: 4})
+	r2, emitted := RunAdversarial(a2, &fixedAdversary{tr: input})
+	if r1.Total() != r2.Total() || len(emitted) != len(input) {
+		t.Fatalf("adversarial run diverges: %d vs %d", r1.Total(), r2.Total())
+	}
+}

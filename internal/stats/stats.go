@@ -1,0 +1,157 @@
+// Package stats provides small deterministic statistics helpers used by
+// workload generators and the experiment harness: a Zipf sampler over
+// arbitrary support, summary statistics, and a tiny fixed-width table
+// writer for experiment output.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Zipf samples indices 0..n-1 with P(i) ∝ 1/(i+1)^s using inverse-CDF
+// lookup (binary search over the cumulative weights). Unlike
+// rand.Zipf it supports any s > 0 (including s ≤ 1) and allows
+// re-ranking the support via a permutation.
+type Zipf struct {
+	cum  []float64
+	perm []int
+	rng  *rand.Rand
+}
+
+// NewZipf returns a Zipf sampler over n items with exponent s. If
+// shuffled, ranks are assigned to items in a random permutation
+// (otherwise item 0 is the most popular). Panics if n < 1 or s < 0.
+func NewZipf(rng *rand.Rand, n int, s float64, shuffled bool) *Zipf {
+	if n < 1 {
+		panic("stats: Zipf needs n >= 1")
+	}
+	if s < 0 {
+		panic("stats: Zipf needs s >= 0")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1.0 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	z := &Zipf{cum: cum, rng: rng}
+	if shuffled {
+		z.perm = rng.Perm(n)
+	}
+	return z
+}
+
+// Draw samples one index.
+func (z *Zipf) Draw() int {
+	r := z.rng.Float64() * z.cum[len(z.cum)-1]
+	i := sort.SearchFloat64s(z.cum, r)
+	if i >= len(z.cum) {
+		i = len(z.cum) - 1
+	}
+	if z.perm != nil {
+		return z.perm[i]
+	}
+	return i
+}
+
+// Summary holds simple summary statistics of a sample.
+type Summary struct {
+	N              int
+	Min, Max, Mean float64
+	P50, P90, P99  float64
+}
+
+// Summarize computes summary statistics; returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, x := range s {
+		sum += x
+	}
+	q := func(p float64) float64 {
+		i := int(p * float64(len(s)-1))
+		return s[i]
+	}
+	return Summary{
+		N:    len(s),
+		Min:  s[0],
+		Max:  s[len(s)-1],
+		Mean: sum / float64(len(s)),
+		P50:  q(0.50),
+		P90:  q(0.90),
+		P99:  q(0.99),
+	}
+}
+
+// Table is a minimal fixed-width text table used by cmd/experiments to
+// print the rows each experiment regenerates.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", width[i], c)
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.header)
+	seps := make([]string, len(t.header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", width[i])
+	}
+	line(seps)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.header, ","))
+	for _, r := range t.rows {
+		fmt.Fprintln(w, strings.Join(r, ","))
+	}
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestZipfRanking(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	z := NewZipf(rng, 50, 1.0, false)
+	counts := make([]int, 50)
+	for i := 0; i < 50000; i++ {
+		counts[z.Draw()]++
+	}
+	// Without shuffling, item 0 is the most popular and popularity is
+	// roughly monotone; check the endpoints with slack.
+	if counts[0] < counts[10] || counts[0] < counts[49]*5 {
+		t.Fatalf("Zipf head not dominant: c0=%d c10=%d c49=%d", counts[0], counts[10], counts[49])
+	}
+}
+
+func TestZipfShuffled(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	z := NewZipf(rng, 20, 1.1, true)
+	counts := make([]int, 20)
+	for i := 0; i < 20000; i++ {
+		counts[z.Draw()]++
+	}
+	// With shuffling the head is somewhere; overall skew must persist.
+	max, min := 0, 1<<30
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max < min*3 {
+		t.Fatalf("shuffled Zipf lost its skew: max=%d min=%d", max, min)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	z := NewZipf(rng, 10, 0, false)
+	counts := make([]int, 10)
+	for i := 0; i < 50000; i++ {
+		counts[z.Draw()]++
+	}
+	for i, c := range counts {
+		if c < 3500 || c > 6500 {
+			t.Fatalf("s=0 should be uniform; counts[%d]=%d", i, c)
+		}
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for _, f := range []func(){
+		func() { NewZipf(rng, 0, 1, false) },
+		func() { NewZipf(rng, 5, -1, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid Zipf config accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("bb", 42)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "name") || !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") || !strings.Contains(out, "42") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Fatalf("render has %d lines:\n%s", len(lines), out)
+	}
+	var csv bytes.Buffer
+	tb.CSV(&csv)
+	if !strings.HasPrefix(csv.String(), "name,value\n") {
+		t.Fatalf("csv output:\n%s", csv.String())
+	}
+}

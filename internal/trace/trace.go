@@ -1,0 +1,272 @@
+// Package trace defines the request model of online tree caching and a
+// collection of workload generators.
+//
+// A request targets one tree node and is either positive (pay 1 if the
+// node is not cached) or negative (pay 1 if the node is cached); see
+// Section 3 of the paper. Traces are plain slices of Requests; the
+// package also provides a line-based text round-trip format so traces
+// can be saved and replayed.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/tree"
+)
+
+// Kind distinguishes positive from negative requests.
+type Kind uint8
+
+const (
+	// Positive requests pay 1 when the node is outside the cache.
+	Positive Kind = iota
+	// Negative requests pay 1 when the node is inside the cache.
+	Negative
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Positive {
+		return "+"
+	}
+	return "-"
+}
+
+// Request is one round's request to a single tree node.
+type Request struct {
+	Node tree.NodeID
+	Kind Kind
+}
+
+// Pos and Neg are convenience constructors.
+func Pos(v tree.NodeID) Request { return Request{Node: v, Kind: Positive} }
+func Neg(v tree.NodeID) Request { return Request{Node: v, Kind: Negative} }
+
+// Trace is a sequence of requests, one per round.
+type Trace []Request
+
+// CountKinds returns the number of positive and negative requests.
+func (tr Trace) CountKinds() (pos, neg int) {
+	for _, r := range tr {
+		if r.Kind == Positive {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	return
+}
+
+// Write emits the trace in the text format "+<node>" / "-<node>" per line.
+func (tr Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range tr {
+		if _, err := fmt.Fprintf(bw, "%s%d\n", r.Kind, r.Node); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format written by Write. Blank lines and lines
+// starting with '#' are ignored.
+func Read(r io.Reader) (Trace, error) {
+	var tr Trace
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(line) < 2 {
+			return nil, fmt.Errorf("trace: line %d: malformed %q", lineNo, line)
+		}
+		var k Kind
+		switch line[0] {
+		case '+':
+			k = Positive
+		case '-':
+			k = Negative
+		default:
+			return nil, fmt.Errorf("trace: line %d: expected +/- prefix in %q", lineNo, line)
+		}
+		v, err := strconv.Atoi(line[1:])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad node id: %v", lineNo, err)
+		}
+		tr = append(tr, Request{Node: tree.NodeID(v), Kind: k})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Validate checks every request targets an existing node of t.
+func (tr Trace) Validate(t *tree.Tree) error {
+	for i, r := range tr {
+		if r.Node < 0 || int(r.Node) >= t.Len() {
+			return fmt.Errorf("trace: round %d: node %d out of range [0,%d)", i+1, r.Node, t.Len())
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Generators. All generators are deterministic functions of the supplied
+// *rand.Rand.
+// ---------------------------------------------------------------------------
+
+// UniformPositive draws n positive requests uniformly over all nodes.
+func UniformPositive(rng *rand.Rand, t *tree.Tree, n int) Trace {
+	tr := make(Trace, n)
+	for i := range tr {
+		tr[i] = Pos(tree.NodeID(rng.Intn(t.Len())))
+	}
+	return tr
+}
+
+// UniformMixed draws n requests uniformly over nodes; each request is
+// negative with probability negFrac.
+func UniformMixed(rng *rand.Rand, t *tree.Tree, n int, negFrac float64) Trace {
+	tr := make(Trace, n)
+	for i := range tr {
+		v := tree.NodeID(rng.Intn(t.Len()))
+		if rng.Float64() < negFrac {
+			tr[i] = Neg(v)
+		} else {
+			tr[i] = Pos(v)
+		}
+	}
+	return tr
+}
+
+// ZipfLeaves draws n positive requests over the leaves of t with Zipf
+// exponent s (the skewed traffic model the paper's application cites).
+// Leaf popularity ranks are randomly permuted.
+func ZipfLeaves(rng *rand.Rand, t *tree.Tree, n int, s float64) Trace {
+	leaves := t.Leaves()
+	z := stats.NewZipf(rng, len(leaves), s, true)
+	tr := make(Trace, n)
+	for i := range tr {
+		tr[i] = Pos(leaves[z.Draw()])
+	}
+	return tr
+}
+
+// ZipfNodes draws n positive requests over all nodes with Zipf exponent s.
+func ZipfNodes(rng *rand.Rand, t *tree.Tree, n int, s float64) Trace {
+	z := stats.NewZipf(rng, t.Len(), s, true)
+	tr := make(Trace, n)
+	for i := range tr {
+		tr[i] = Pos(tree.NodeID(z.Draw()))
+	}
+	return tr
+}
+
+// ChurnConfig parameterises the mixed traffic+updates workload.
+type ChurnConfig struct {
+	// Rounds is the total number of requests to generate.
+	Rounds int
+	// ZipfS is the Zipf exponent for positive (traffic) requests.
+	ZipfS float64
+	// UpdateFrac is the probability that a round belongs to an update
+	// burst instead of traffic.
+	UpdateFrac float64
+	// BurstLen is the length of each negative update burst; the paper's
+	// Appendix B reduction uses bursts of exactly α negative requests to
+	// encode one rule update.
+	BurstLen int
+	// LeavesOnly restricts positive requests to leaves.
+	LeavesOnly bool
+}
+
+// Churn generates Zipf-skewed positive traffic interleaved with bursts
+// of negative requests (BGP-style rule updates, Section 2 / Appendix B).
+// Negative bursts target a Zipf-drawn node as well, so popular (likely
+// cached) rules are updated more often — the painful case for caching.
+func Churn(rng *rand.Rand, t *tree.Tree, cfg ChurnConfig) Trace {
+	support := t.Len()
+	var leaves []tree.NodeID
+	if cfg.LeavesOnly {
+		leaves = t.Leaves()
+		support = len(leaves)
+	}
+	zTraffic := stats.NewZipf(rng, support, cfg.ZipfS, true)
+	zUpdate := stats.NewZipf(rng, t.Len(), cfg.ZipfS, true)
+	pick := func() tree.NodeID {
+		i := zTraffic.Draw()
+		if cfg.LeavesOnly {
+			return leaves[i]
+		}
+		return tree.NodeID(i)
+	}
+	burst := cfg.BurstLen
+	if burst < 1 {
+		burst = 1
+	}
+	tr := make(Trace, 0, cfg.Rounds)
+	for len(tr) < cfg.Rounds {
+		if rng.Float64() < cfg.UpdateFrac {
+			v := tree.NodeID(zUpdate.Draw())
+			for j := 0; j < burst && len(tr) < cfg.Rounds; j++ {
+				tr = append(tr, Neg(v))
+			}
+		} else {
+			tr = append(tr, Pos(pick()))
+		}
+	}
+	return tr
+}
+
+// WorkingSet generates positive requests with temporal locality: a
+// working set of wsSize nodes is sampled uniformly; each request comes
+// from the working set with probability hitFrac, and the working set is
+// re-drawn (drifts by one node) every shiftEvery rounds.
+func WorkingSet(rng *rand.Rand, t *tree.Tree, n, wsSize, shiftEvery int, hitFrac float64) Trace {
+	if wsSize < 1 {
+		wsSize = 1
+	}
+	if wsSize > t.Len() {
+		wsSize = t.Len()
+	}
+	ws := make([]tree.NodeID, wsSize)
+	for i := range ws {
+		ws[i] = tree.NodeID(rng.Intn(t.Len()))
+	}
+	tr := make(Trace, n)
+	for i := 0; i < n; i++ {
+		if shiftEvery > 0 && i > 0 && i%shiftEvery == 0 {
+			ws[rng.Intn(wsSize)] = tree.NodeID(rng.Intn(t.Len()))
+		}
+		if rng.Float64() < hitFrac {
+			tr[i] = Pos(ws[rng.Intn(wsSize)])
+		} else {
+			tr[i] = Pos(tree.NodeID(rng.Intn(t.Len())))
+		}
+	}
+	return tr
+}
+
+// RandomMixed is the fuzzing workload: every round picks a uniformly
+// random node and a random sign. Used by differential tests.
+func RandomMixed(rng *rand.Rand, t *tree.Tree, n int) Trace {
+	return UniformMixed(rng, t, n, 0.5)
+}
+
+// Repeat repeats an atom trace k times.
+func Repeat(atom Trace, k int) Trace {
+	out := make(Trace, 0, len(atom)*k)
+	for i := 0; i < k; i++ {
+		out = append(out, atom...)
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Path returns a path of n nodes: 0 → 1 → ... → n-1 (root at 0).
+// Height is n-1; this is the worst case for the h(T) factor.
+func Path(n int) *Tree {
+	parents := make([]NodeID, n)
+	parents[0] = None
+	for v := 1; v < n; v++ {
+		parents[v] = NodeID(v - 1)
+	}
+	return MustNew(parents)
+}
+
+// Star returns a root with n-1 leaf children. Height 1, the shape used
+// by the Appendix C lower bound (leaves = pages, the rest irrelevant).
+func Star(n int) *Tree {
+	parents := make([]NodeID, n)
+	parents[0] = None
+	for v := 1; v < n; v++ {
+		parents[v] = 0
+	}
+	return MustNew(parents)
+}
+
+// CompleteKary returns the complete k-ary tree with exactly n nodes,
+// filled level by level (node v>0 has parent (v-1)/k).
+func CompleteKary(n, k int) *Tree {
+	if k < 1 {
+		panic(fmt.Sprintf("tree: CompleteKary branching factor %d < 1", k))
+	}
+	parents := make([]NodeID, n)
+	parents[0] = None
+	for v := 1; v < n; v++ {
+		parents[v] = NodeID((v - 1) / k)
+	}
+	return MustNew(parents)
+}
+
+// Caterpillar returns a spine of spine nodes, each spine node carrying
+// legs leaf children. Total size spine*(legs+1).
+func Caterpillar(spine, legs int) *Tree {
+	n := spine * (legs + 1)
+	parents := make([]NodeID, n)
+	parents[0] = None
+	for s := 1; s < spine; s++ {
+		parents[s] = NodeID(s - 1)
+	}
+	next := spine
+	for s := 0; s < spine; s++ {
+		for l := 0; l < legs; l++ {
+			parents[next] = NodeID(s)
+			next++
+		}
+	}
+	return MustNew(parents)
+}
+
+// TwoSubtrees returns the Appendix-D shape: a root r whose two children
+// are the roots of two disjoint complete binary subtrees of size s each
+// (so s must be of the form 2^d − 1 for a perfect shape; any s ≥ 1 is
+// accepted and filled level by level). Total size 2s+1.
+// It also returns the roots of T1 and T2.
+func TwoSubtrees(s int) (t *Tree, root, r1, r2 NodeID) {
+	if s < 1 {
+		panic("tree: TwoSubtrees needs s >= 1")
+	}
+	n := 2*s + 1
+	parents := make([]NodeID, n)
+	parents[0] = None
+	// T1 occupies nodes 1..s, T2 occupies nodes s+1..2s, each a complete
+	// binary tree hanging off the root.
+	build := func(base int) {
+		parents[base] = 0
+		for i := 1; i < s; i++ {
+			parents[base+i] = NodeID(base + (i-1)/2)
+		}
+	}
+	build(1)
+	build(s + 1)
+	return MustNew(parents), 0, 1, NodeID(s + 1)
+}
+
+// TwoPathSubtrees is the Appendix-D shape with path-shaped subtrees: a
+// root whose two children each head a path of s nodes, so the height
+// is s (the tallest shape at this size). Total size 2s+1. Returns the
+// roots of P1 and P2.
+func TwoPathSubtrees(s int) (t *Tree, root, r1, r2 NodeID) {
+	if s < 1 {
+		panic("tree: TwoPathSubtrees needs s >= 1")
+	}
+	n := 2*s + 1
+	parents := make([]NodeID, n)
+	parents[0] = None
+	parents[1] = 0
+	for i := 2; i <= s; i++ {
+		parents[i] = NodeID(i - 1)
+	}
+	parents[s+1] = 0
+	for i := s + 2; i <= 2*s; i++ {
+		parents[i] = NodeID(i - 1)
+	}
+	return MustNew(parents), 0, 1, NodeID(s + 1)
+}
+
+// Random returns a random recursive tree with n nodes: node v attaches
+// to a uniformly random earlier node, biased toward deeper nodes as
+// depthBias grows (depthBias = 0 gives the uniform random recursive
+// tree, higher values give taller trees). Deterministic in rng.
+func Random(rng *rand.Rand, n int, depthBias float64) *Tree {
+	parents := make([]NodeID, n)
+	parents[0] = None
+	depth := make([]int, n)
+	for v := 1; v < n; v++ {
+		// Pick a parent among 0..v-1, with weight (1+depth)^depthBias.
+		var p int
+		if depthBias == 0 {
+			p = rng.Intn(v)
+		} else {
+			total := 0.0
+			w := make([]float64, v)
+			for u := 0; u < v; u++ {
+				x := 1.0
+				for i := 0; i < int(depthBias); i++ {
+					x *= float64(1 + depth[u])
+				}
+				w[u] = x
+				total += x
+			}
+			r := rng.Float64() * total
+			for u := 0; u < v; u++ {
+				r -= w[u]
+				if r <= 0 {
+					p = u
+					break
+				}
+				p = u
+			}
+		}
+		parents[v] = NodeID(p)
+		depth[v] = depth[p] + 1
+	}
+	return MustNew(parents)
+}
+
+// RandomShape draws one of the canonical shapes (path, star, binary,
+// ternary, caterpillar, random recursive) with n nodes, for fuzzing.
+func RandomShape(rng *rand.Rand, n int) *Tree {
+	if n < 1 {
+		panic("tree: RandomShape needs n >= 1")
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return Path(n)
+	case 1:
+		return Star(n)
+	case 2:
+		return CompleteKary(n, 2)
+	case 3:
+		return CompleteKary(n, 3)
+	case 4:
+		legs := 1 + rng.Intn(3)
+		spine := n / (legs + 1)
+		if spine < 1 {
+			spine = 1
+		}
+		t := Caterpillar(spine, legs)
+		if t.Len() == n {
+			return t
+		}
+		return Random(rng, n, 0)
+	default:
+		return Random(rng, n, float64(rng.Intn(3)))
+	}
+}

@@ -1,0 +1,284 @@
+// Package tree provides the rooted-tree universe for online tree caching.
+//
+// A Tree is an immutable rooted tree over nodes 0..N-1. Node 0 is always
+// the root. The package offers O(1) parent/children/depth/subtree-size
+// queries, preorder traversal, and the tree-cap and subforest predicates
+// used throughout the paper (Bienkowski et al., SPAA 2017, Section 3).
+package tree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a tree node. Nodes are dense integers in [0, Len()).
+// The root is always node 0. None denotes "no node".
+type NodeID int32
+
+// None is the NodeID used for "no node" (e.g. the parent of the root).
+const None NodeID = -1
+
+// Tree is an immutable rooted tree. Construct one with New or one of the
+// shape builders (Path, Star, CompleteKary, Caterpillar, Random...).
+type Tree struct {
+	parent   []NodeID
+	children [][]NodeID
+	depth    []int32
+	subSize  []int32
+	preorder []NodeID
+	preIndex []int32 // preIndex[v] = position of v in preorder
+	height   int
+	maxDeg   int
+}
+
+// New builds a tree from a parent vector. parents[0] must be None and
+// parents[v] must be a valid node for v > 0. The parent of a node may be
+// any other node (the builder sorts out ordering), but the relation must
+// be acyclic and connected, i.e. a single rooted tree with root 0.
+func New(parents []NodeID) (*Tree, error) {
+	n := len(parents)
+	if n == 0 {
+		return nil, fmt.Errorf("tree: empty parent vector")
+	}
+	if parents[0] != None {
+		return nil, fmt.Errorf("tree: node 0 must be the root (parent None), got %d", parents[0])
+	}
+	t := &Tree{
+		parent:   make([]NodeID, n),
+		children: make([][]NodeID, n),
+		depth:    make([]int32, n),
+		subSize:  make([]int32, n),
+		preorder: make([]NodeID, 0, n),
+		preIndex: make([]int32, n),
+	}
+	copy(t.parent, parents)
+	for v := 1; v < n; v++ {
+		p := parents[v]
+		if p < 0 || int(p) >= n {
+			return nil, fmt.Errorf("tree: node %d has out-of-range parent %d", v, p)
+		}
+		if p == NodeID(v) {
+			return nil, fmt.Errorf("tree: node %d is its own parent", v)
+		}
+		t.children[p] = append(t.children[p], NodeID(v))
+	}
+	// Iterative DFS from the root: establishes connectivity/acyclicity,
+	// depths, preorder and subtree sizes.
+	visited := make([]bool, n)
+	stack := make([]NodeID, 0, n)
+	stack = append(stack, 0)
+	visited[0] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t.preIndex[v] = int32(len(t.preorder))
+		t.preorder = append(t.preorder, v)
+		if d := int(t.depth[v]); d > t.height {
+			t.height = d
+		}
+		if deg := len(t.children[v]); deg > t.maxDeg {
+			t.maxDeg = deg
+		}
+		// Push children in reverse so preorder visits them in order.
+		cs := t.children[v]
+		for i := len(cs) - 1; i >= 0; i-- {
+			c := cs[i]
+			if visited[c] {
+				return nil, fmt.Errorf("tree: node %d reachable twice (cycle or multi-parent)", c)
+			}
+			visited[c] = true
+			t.depth[c] = t.depth[v] + 1
+			stack = append(stack, c)
+		}
+	}
+	if len(t.preorder) != n {
+		return nil, fmt.Errorf("tree: %d of %d nodes unreachable from root", n-len(t.preorder), n)
+	}
+	// Subtree sizes in reverse preorder (children before parents).
+	for i := n - 1; i >= 0; i-- {
+		v := t.preorder[i]
+		t.subSize[v] = 1
+		for _, c := range t.children[v] {
+			t.subSize[v] += t.subSize[c]
+		}
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error. Intended for tests and builders
+// whose inputs are correct by construction.
+func MustNew(parents []NodeID) *Tree {
+	t, err := New(parents)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len returns the number of nodes |T|.
+func (t *Tree) Len() int { return len(t.parent) }
+
+// Root returns the root node (always 0).
+func (t *Tree) Root() NodeID { return 0 }
+
+// Parent returns the parent of v, or None for the root.
+func (t *Tree) Parent(v NodeID) NodeID { return t.parent[v] }
+
+// Children returns the children of v. The returned slice must not be
+// modified.
+func (t *Tree) Children(v NodeID) []NodeID { return t.children[v] }
+
+// Degree returns the number of children of v.
+func (t *Tree) Degree(v NodeID) int { return len(t.children[v]) }
+
+// Depth returns the number of edges from the root to v.
+func (t *Tree) Depth(v NodeID) int { return int(t.depth[v]) }
+
+// Height returns h(T): the maximum depth over all nodes. A single-node
+// tree has height 0; the paper's bounds use h(T) ≥ 1 implicitly, so
+// callers typically use max(1, Height()).
+func (t *Tree) Height() int { return t.height }
+
+// MaxDegree returns deg(T): the maximum number of children of any node.
+func (t *Tree) MaxDegree() int { return t.maxDeg }
+
+// SubtreeSize returns |T(v)|: the number of nodes in the subtree rooted
+// at v (including v).
+func (t *Tree) SubtreeSize(v NodeID) int { return int(t.subSize[v]) }
+
+// IsLeaf reports whether v has no children.
+func (t *Tree) IsLeaf(v NodeID) bool { return len(t.children[v]) == 0 }
+
+// Preorder returns the nodes in preorder (root first, every subtree
+// contiguous). The returned slice must not be modified.
+func (t *Tree) Preorder() []NodeID { return t.preorder }
+
+// PreorderIndex returns v's position in the preorder sequence. Because
+// every subtree is a contiguous preorder range, u is an ancestor-or-self
+// of v iff PreorderIndex(u) ≤ PreorderIndex(v) <
+// PreorderIndex(u)+SubtreeSize(u).
+func (t *Tree) PreorderIndex(v NodeID) int { return int(t.preIndex[v]) }
+
+// IsAncestorOrSelf reports whether u is v or an ancestor of v, in O(1)
+// via preorder ranges.
+func (t *Tree) IsAncestorOrSelf(u, v NodeID) bool {
+	ui := t.preIndex[u]
+	vi := t.preIndex[v]
+	return ui <= vi && vi < ui+t.subSize[u]
+}
+
+// Ancestors returns the path root..v inclusive, from the root downward.
+// The result has length Depth(v)+1.
+func (t *Tree) Ancestors(v NodeID) []NodeID {
+	path := make([]NodeID, t.depth[v]+1)
+	for i := len(path) - 1; i >= 0; i-- {
+		path[i] = v
+		v = t.parent[v]
+	}
+	return path
+}
+
+// AppendAncestors appends the path v..root (note: upward order, v first)
+// to dst and returns it. Allocation-free when dst has capacity.
+func (t *Tree) AppendAncestors(dst []NodeID, v NodeID) []NodeID {
+	for v != None {
+		dst = append(dst, v)
+		v = t.parent[v]
+	}
+	return dst
+}
+
+// Subtree returns the nodes of T(v) in preorder.
+func (t *Tree) Subtree(v NodeID) []NodeID {
+	i := t.preIndex[v]
+	out := make([]NodeID, t.subSize[v])
+	copy(out, t.preorder[i:int(i)+int(t.subSize[v])])
+	return out
+}
+
+// Leaves returns all leaves of the tree in preorder.
+func (t *Tree) Leaves() []NodeID {
+	var out []NodeID
+	for _, v := range t.preorder {
+		if t.IsLeaf(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsTreeCap reports whether set is a non-empty tree cap rooted at root:
+// it contains root, every element lies in T(root), and the path from any
+// element up to root stays inside the set (Section 3 of the paper).
+// set is given as a membership predicate over the nodes in members.
+func (t *Tree) IsTreeCap(root NodeID, members []NodeID) bool {
+	if len(members) == 0 {
+		return false
+	}
+	in := make(map[NodeID]bool, len(members))
+	for _, v := range members {
+		in[v] = true
+	}
+	if !in[root] {
+		return false
+	}
+	for _, v := range members {
+		if !t.IsAncestorOrSelf(root, v) {
+			return false
+		}
+		if v != root && !in[t.parent[v]] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubforest reports whether the given node set is a subforest of T:
+// whenever v is in the set, all of T(v) is too (i.e. the set is
+// downward-closed, a union of disjoint complete subtrees).
+func (t *Tree) IsSubforest(members []NodeID) bool {
+	in := make(map[NodeID]bool, len(members))
+	for _, v := range members {
+		in[v] = true
+	}
+	for _, v := range members {
+		for _, c := range t.children[v] {
+			if !in[c] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CapMembers returns, for a set X (as membership slice) that is a tree
+// cap rooted at root, the sizes |X ∩ T(x)| for every x in X. It is used
+// by cache bookkeeping. Returns an error if X is not a cap rooted at root.
+func (t *Tree) CapMembers(root NodeID, members []NodeID) (map[NodeID]int, error) {
+	if !t.IsTreeCap(root, members) {
+		return nil, fmt.Errorf("tree: set of %d nodes is not a tree cap rooted at %d", len(members), root)
+	}
+	in := make(map[NodeID]bool, len(members))
+	for _, v := range members {
+		in[v] = true
+	}
+	sz := make(map[NodeID]int, len(members))
+	// Process deepest-first so children are done before parents.
+	ms := append([]NodeID(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return t.depth[ms[i]] > t.depth[ms[j]] })
+	for _, v := range ms {
+		s := 1
+		for _, c := range t.children[v] {
+			if in[c] {
+				s += sz[c]
+			}
+		}
+		sz[v] = s
+	}
+	return sz, nil
+}
+
+// String returns a short description of the tree.
+func (t *Tree) String() string {
+	return fmt.Sprintf("Tree{n=%d h=%d deg=%d}", t.Len(), t.Height(), t.MaxDegree())
+}

@@ -1,0 +1,460 @@
+// Package variants provides ablation and extension variants of TC,
+// built on a generalized counter engine with three knobs the paper's
+// design fixes implicitly:
+//
+//   - Scan order: TC picks the MAXIMAL saturated changeset (scan the
+//     root path top-down). The ablation scans bottom-up and applies
+//     the minimal saturated cap instead.
+//   - Overflow policy: TC flushes the whole cache and starts a new
+//     phase when a fetch would overflow. The ablation evicts the
+//     least-recently-touched cached trees just enough to fit.
+//   - Thresholds: TC saturates a set when cnt(X) ≥ |X|·α. The
+//     extension draws a per-node threshold θ_v uniformly from
+//     [α·(1−j), α·(1+j)] at every state change (j = jitter), a
+//     marking-flavoured randomization probing the paper's closing
+//     conjecture that the h(T) factor may be avoidable.
+//
+// With Scan=TopDown, Overflow=Flush and Jitter=0 the engine reproduces
+// TC move for move; a differential test asserts this, making the
+// engine an independent second implementation of the algorithm.
+package variants
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// ScanOrder picks which saturated changeset is applied.
+type ScanOrder uint8
+
+const (
+	// TopDown applies the maximal saturated cap (the paper's choice).
+	TopDown ScanOrder = iota
+	// BottomUp applies the minimal saturated cap (ablation).
+	BottomUp
+)
+
+// OverflowPolicy decides what happens when a fetch does not fit.
+type OverflowPolicy uint8
+
+const (
+	// Flush evicts everything and starts a new phase (the paper).
+	Flush OverflowPolicy = iota
+	// EvictColdest evicts the least-recently-touched cached trees until
+	// the fetch fits (ablation; no phases).
+	EvictColdest
+)
+
+// Config parameterises the engine.
+type Config struct {
+	Alpha    int64
+	Capacity int
+	Scan     ScanOrder
+	Overflow OverflowPolicy
+	// Jitter j draws per-node thresholds from [α(1−j), α(1+j)] at every
+	// state change; 0 keeps the deterministic θ_v = α.
+	Jitter float64
+	// Seed drives the jitter.
+	Seed int64
+}
+
+// Engine is the generalized counter algorithm. It is not optimized to
+// the letter of Theorem 6.1 (the ablations change the structures), but
+// it keeps the same O(h) aggregate maintenance per request.
+type Engine struct {
+	t   *tree.Tree
+	cfg Config
+	c   *cache.Subforest
+	led cache.Ledger
+	rng *rand.Rand
+
+	round int64
+	phase int64
+
+	cnt []int64 // per-node counter
+	thr []int64 // per-node threshold θ_v
+
+	// Positive aggregates over P(u) = non-cached nodes of T(u).
+	pcnt []int64
+	pthr []int64
+	psz  []int32
+
+	// Negative structure: exact pair for the best cap rooted at u
+	// (a = cnt−θ sums, b = size), plus running child sums.
+	hvalA []int64
+	hvalB []int64
+	sumA  []int64
+	sumB  []int64
+
+	// lastTouch[r] for cached-tree roots (EvictColdest policy).
+	lastTouch []int64
+
+	path []tree.NodeID
+	xbuf []tree.NodeID
+}
+
+// New builds an engine over t.
+func New(t *tree.Tree, cfg Config) *Engine {
+	if cfg.Alpha < 2 || cfg.Alpha%2 != 0 {
+		panic(fmt.Sprintf("variants: Alpha must be an even integer >= 2, got %d", cfg.Alpha))
+	}
+	if cfg.Capacity < 1 {
+		panic(fmt.Sprintf("variants: Capacity must be >= 1, got %d", cfg.Capacity))
+	}
+	if cfg.Jitter < 0 || cfg.Jitter >= 1 {
+		panic(fmt.Sprintf("variants: Jitter must be in [0,1), got %f", cfg.Jitter))
+	}
+	n := t.Len()
+	e := &Engine{
+		t:   t,
+		cfg: cfg,
+		c:   cache.NewSubforest(t),
+		led: cache.Ledger{Alpha: cfg.Alpha},
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+
+		cnt:       make([]int64, n),
+		thr:       make([]int64, n),
+		pcnt:      make([]int64, n),
+		pthr:      make([]int64, n),
+		psz:       make([]int32, n),
+		hvalA:     make([]int64, n),
+		hvalB:     make([]int64, n),
+		sumA:      make([]int64, n),
+		sumB:      make([]int64, n),
+		lastTouch: make([]int64, n),
+		path:      make([]tree.NodeID, 0, t.Height()+1),
+	}
+	e.initState()
+	return e
+}
+
+// initState resets counters, thresholds and aggregates for an empty
+// cache.
+func (e *Engine) initState() {
+	for v := 0; v < e.t.Len(); v++ {
+		e.cnt[v] = 0
+		e.thr[v] = e.drawThreshold()
+	}
+	// Bottom-up aggregate build.
+	pre := e.t.Preorder()
+	for i := len(pre) - 1; i >= 0; i-- {
+		v := pre[i]
+		e.pcnt[v] = 0
+		e.pthr[v] = e.thr[v]
+		e.psz[v] = 1
+		for _, ch := range e.t.Children(v) {
+			e.pcnt[v] += e.pcnt[ch]
+			e.pthr[v] += e.pthr[ch]
+			e.psz[v] += e.psz[ch]
+		}
+	}
+}
+
+// drawThreshold samples θ_v.
+func (e *Engine) drawThreshold() int64 {
+	if e.cfg.Jitter == 0 {
+		return e.cfg.Alpha
+	}
+	lo := float64(e.cfg.Alpha) * (1 - e.cfg.Jitter)
+	hi := float64(e.cfg.Alpha) * (1 + e.cfg.Jitter)
+	th := int64(lo + e.rng.Float64()*(hi-lo))
+	if th < 1 {
+		th = 1
+	}
+	return th
+}
+
+// Name implements sim.Algorithm.
+func (e *Engine) Name() string {
+	name := "TC"
+	if e.cfg.Scan == BottomUp {
+		name += "-min"
+	}
+	if e.cfg.Overflow == EvictColdest {
+		name += "-noflush"
+	}
+	if e.cfg.Jitter > 0 {
+		name += fmt.Sprintf("-jitter%.1f", e.cfg.Jitter)
+	}
+	return name
+}
+
+// Cached implements sim.Algorithm.
+func (e *Engine) Cached(v tree.NodeID) bool { return e.c.Contains(v) }
+
+// CacheLen implements sim.Algorithm.
+func (e *Engine) CacheLen() int { return e.c.Len() }
+
+// CacheMembers returns the cached nodes in preorder.
+func (e *Engine) CacheMembers() []tree.NodeID { return e.c.Members() }
+
+// Ledger implements sim.Algorithm.
+func (e *Engine) Ledger() cache.Ledger { return e.led }
+
+// Phase returns the number of phase flushes performed.
+func (e *Engine) Phase() int64 { return e.phase }
+
+// Reset implements sim.Algorithm.
+func (e *Engine) Reset() {
+	e.c.Clear()
+	e.led.Reset()
+	e.round, e.phase = 0, 0
+	e.rng = rand.New(rand.NewSource(e.cfg.Seed))
+	e.initState()
+}
+
+// Serve implements sim.Algorithm.
+func (e *Engine) Serve(req trace.Request) (serveCost, moveCost int64) {
+	e.round++
+	v := req.Node
+	cached := e.c.Contains(v)
+	paid := (req.Kind == trace.Positive && !cached) || (req.Kind == trace.Negative && cached)
+	if !paid {
+		return 0, 0
+	}
+	e.led.PayServe()
+	moveBefore := e.led.Move
+	if req.Kind == trace.Positive {
+		e.servePositive(v)
+	} else {
+		e.serveNegative(v)
+	}
+	return 1, e.led.Move - moveBefore
+}
+
+func (e *Engine) servePositive(v tree.NodeID) {
+	e.cnt[v]++
+	e.path = e.path[:0]
+	e.path = e.t.AppendAncestors(e.path, v) // v..root
+	for _, u := range e.path {
+		e.pcnt[u]++
+	}
+	if e.cfg.Scan == TopDown {
+		for i := len(e.path) - 1; i >= 0; i-- {
+			if u := e.path[i]; e.pcnt[u] >= e.pthr[u] {
+				e.applyFetch(u)
+				return
+			}
+		}
+	} else {
+		for _, u := range e.path {
+			if e.pcnt[u] >= e.pthr[u] {
+				e.applyFetch(u)
+				return
+			}
+		}
+	}
+}
+
+func (e *Engine) applyFetch(u tree.NodeID) {
+	x := e.collectP(u)
+	if e.c.Len()+len(x) > e.cfg.Capacity {
+		switch e.cfg.Overflow {
+		case Flush:
+			e.flush()
+			return
+		case EvictColdest:
+			// makeRoom reuses the scratch buffer backing x; detach first.
+			x = append([]tree.NodeID(nil), x...)
+			if !e.makeRoom(len(x), u) {
+				return // cannot fit without touching the fetch region
+			}
+		}
+	}
+	oldCnt, oldThr, oldSz := e.pcnt[u], e.pthr[u], e.psz[u]
+	if err := e.c.Fetch(x); err != nil {
+		panic("variants: " + err.Error())
+	}
+	e.led.PayFetch(len(x))
+	for _, w := range x {
+		e.cnt[w] = 0
+		e.thr[w] = e.drawThreshold()
+	}
+	for p := e.t.Parent(u); p != tree.None; p = e.t.Parent(p) {
+		e.pcnt[p] -= oldCnt
+		e.pthr[p] -= oldThr
+		e.psz[p] -= oldSz
+	}
+	for i := len(x) - 1; i >= 0; i-- {
+		e.initHval(x[i])
+	}
+	e.lastTouch[u] = e.round
+}
+
+// collectP gathers the non-cached nodes of T(u).
+func (e *Engine) collectP(u tree.NodeID) []tree.NodeID {
+	x := e.xbuf[:0]
+	stack := append([]tree.NodeID(nil), u)
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		x = append(x, w)
+		for _, ch := range e.t.Children(w) {
+			if !e.c.Contains(ch) {
+				stack = append(stack, ch)
+			}
+		}
+	}
+	e.xbuf = x
+	return x
+}
+
+func (e *Engine) initHval(w tree.NodeID) {
+	var sa, sb int64
+	for _, ch := range e.t.Children(w) {
+		if e.hvalA[ch] >= 0 {
+			sa += e.hvalA[ch]
+			sb += e.hvalB[ch]
+		}
+	}
+	e.sumA[w], e.sumB[w] = sa, sb
+	e.hvalA[w] = e.cnt[w] - e.thr[w] + sa
+	e.hvalB[w] = 1 + sb
+}
+
+func (e *Engine) serveNegative(v tree.NodeID) {
+	e.cnt[v]++
+	x := v
+	for {
+		oldA, oldB := e.hvalA[x], e.hvalB[x]
+		e.hvalA[x] = e.cnt[x] - e.thr[x] + e.sumA[x]
+		e.hvalB[x] = 1 + e.sumB[x]
+		p := e.t.Parent(x)
+		if p == tree.None || !e.c.Contains(p) {
+			e.lastTouch[x] = e.round
+			if e.hvalA[x] >= 0 {
+				e.applyEvict(x)
+			}
+			return
+		}
+		var dA, dB int64
+		if oldA >= 0 {
+			dA -= oldA
+			dB -= oldB
+		}
+		if e.hvalA[x] >= 0 {
+			dA += e.hvalA[x]
+			dB += e.hvalB[x]
+		}
+		e.sumA[p] += dA
+		e.sumB[p] += dB
+		x = p
+	}
+}
+
+// applyEvict evicts the best cap rooted at the cached-tree root r.
+func (e *Engine) applyEvict(r tree.NodeID) {
+	x := e.xbuf[:0]
+	stack := append([]tree.NodeID(nil), r)
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		x = append(x, w)
+		for _, ch := range e.t.Children(w) {
+			if e.hvalA[ch] >= 0 {
+				stack = append(stack, ch)
+			}
+		}
+	}
+	e.xbuf = x
+	e.evictSet(r, x, true)
+}
+
+// evictSet removes a cap x rooted at r from the cache, rebuilding the
+// positive aggregates. resetCounters controls whether the evicted
+// nodes' counters restart (true for algorithmic evictions).
+func (e *Engine) evictSet(r tree.NodeID, x []tree.NodeID, resetCounters bool) {
+	if err := e.c.Evict(x); err != nil {
+		panic("variants: " + err.Error())
+	}
+	e.led.PayEvict(len(x))
+	inX := make(map[tree.NodeID]bool, len(x))
+	for _, w := range x {
+		inX[w] = true
+	}
+	var capCnt, capThr int64
+	var capSz int32
+	for i := len(x) - 1; i >= 0; i-- {
+		w := x[i]
+		if resetCounters {
+			e.cnt[w] = 0
+			e.thr[w] = e.drawThreshold()
+		}
+		e.pcnt[w] = e.cnt[w]
+		e.pthr[w] = e.thr[w]
+		e.psz[w] = 1
+		for _, ch := range e.t.Children(w) {
+			if inX[ch] {
+				e.pcnt[w] += e.pcnt[ch]
+				e.pthr[w] += e.pthr[ch]
+				e.psz[w] += e.psz[ch]
+			}
+		}
+	}
+	capCnt, capThr, capSz = e.pcnt[r], e.pthr[r], e.psz[r]
+	for p := e.t.Parent(r); p != tree.None; p = e.t.Parent(p) {
+		e.pcnt[p] += capCnt
+		e.pthr[p] += capThr
+		e.psz[p] += int32(capSz)
+	}
+	// Children of evicted nodes that remain cached become roots.
+	for _, w := range x {
+		for _, ch := range e.t.Children(w) {
+			if e.c.Contains(ch) {
+				e.lastTouch[ch] = e.round
+			}
+		}
+	}
+}
+
+// flush empties the cache and starts a new phase.
+func (e *Engine) flush() {
+	if n := e.c.Len(); n > 0 {
+		e.led.PayEvict(n)
+		e.c.Clear()
+	}
+	e.phase++
+	e.initState()
+}
+
+// makeRoom evicts whole least-recently-touched cached trees until need
+// nodes fit, never touching trees inside T(fetchRoot) or above it.
+// Returns false if it cannot make room.
+func (e *Engine) makeRoom(need int, fetchRoot tree.NodeID) bool {
+	for e.c.Len()+need > e.cfg.Capacity {
+		roots := e.c.Roots()
+		victim := tree.None
+		var coldest int64
+		for _, r := range roots {
+			if e.t.IsAncestorOrSelf(r, fetchRoot) || e.t.IsAncestorOrSelf(fetchRoot, r) {
+				continue
+			}
+			if victim == tree.None || e.lastTouch[r] < coldest {
+				victim, coldest = r, e.lastTouch[r]
+			}
+		}
+		if victim == tree.None {
+			return false
+		}
+		// Evict the whole cached tree rooted at victim.
+		x := e.xbuf[:0]
+		stack := append([]tree.NodeID(nil), victim)
+		for len(stack) > 0 {
+			w := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			x = append(x, w)
+			for _, ch := range e.t.Children(w) {
+				if e.c.Contains(ch) {
+					stack = append(stack, ch)
+				}
+			}
+		}
+		e.xbuf = x
+		e.evictSet(victim, x, true)
+	}
+	return true
+}

@@ -1,0 +1,191 @@
+package variants
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// TestEngineReproducesTC is the anchor: with the paper's knob settings
+// (top-down scan, flush on overflow, no jitter) the generalized engine
+// must match the optimized core implementation round for round — cache
+// contents, costs and phases. This makes the engine an independent
+// third implementation of TC (after core.TC and core.Reference).
+func TestEngineReproducesTC(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	for inst := 0; inst < 150; inst++ {
+		n := 2 + rng.Intn(16)
+		tr := tree.RandomShape(rng, n)
+		alpha := int64(2 * (1 + rng.Intn(3)))
+		capa := 1 + rng.Intn(n+2)
+		eng := New(tr, Config{Alpha: alpha, Capacity: capa})
+		ref := core.New(tr, core.Config{Alpha: alpha, Capacity: capa})
+		for round, req := range trace.RandomMixed(rng, tr, 250) {
+			s1, m1 := eng.Serve(req)
+			s2, m2 := ref.Serve(req)
+			if s1 != s2 || m1 != m2 {
+				t.Fatalf("inst %d round %d: cost mismatch engine=(%d,%d) core=(%d,%d)", inst, round, s1, m1, s2, m2)
+			}
+			if eng.CacheLen() != ref.CacheLen() {
+				t.Fatalf("inst %d round %d: cache len %d vs %d", inst, round, eng.CacheLen(), ref.CacheLen())
+			}
+		}
+		if eng.Ledger().Total() != ref.Ledger().Total() || eng.Phase() != ref.Phase() {
+			t.Fatalf("inst %d: totals/phases diverge", inst)
+		}
+	}
+}
+
+// TestBottomUpFetchesMinimalCap: with the minimal-scan ablation, a
+// saturated leaf is fetched alone even when a larger cap is saturated
+// too.
+func TestBottomUpFetchesMinimalCap(t *testing.T) {
+	tr := tree.Path(3) // 0 -> 1 -> 2
+	alpha := int64(2)
+	eMin := New(tr, Config{Alpha: alpha, Capacity: 3, Scan: BottomUp})
+	eMax := New(tr, Config{Alpha: alpha, Capacity: 3, Scan: TopDown})
+	// Load counters so that both {2} and {0,1,2} saturate on the same
+	// request: 4 requests at node 0, then node 2's j-th request gives
+	// cnt(P(2)) = j and cnt(P(0)) = 4+j — at j = 2 both P(2) (2 = α)
+	// and P(0) (6 = 3α) saturate at once, and nothing earlier.
+	input := trace.Trace{
+		trace.Pos(0), trace.Pos(0), trace.Pos(0), trace.Pos(0),
+		trace.Pos(2), trace.Pos(2),
+	}
+	for _, r := range input {
+		eMin.Serve(r)
+		eMax.Serve(r)
+	}
+	if got := eMin.CacheLen(); got != 1 {
+		t.Fatalf("bottom-up cached %d nodes (%v), want the single leaf", got, eMin.CacheMembers())
+	}
+	if !eMin.Cached(2) {
+		t.Fatal("bottom-up should have fetched leaf 2")
+	}
+	if got := eMax.CacheLen(); got != 3 {
+		t.Fatalf("top-down cached %d nodes (%v), want the whole path", got, eMax.CacheMembers())
+	}
+}
+
+// TestEvictColdestAvoidsFlush: with the no-flush ablation an overflow
+// evicts only as much as needed, so the cache never empties.
+func TestEvictColdestAvoidsFlush(t *testing.T) {
+	tr := tree.Star(6)
+	alpha := int64(2)
+	e := New(tr, Config{Alpha: alpha, Capacity: 2, Overflow: EvictColdest})
+	fill := func(v tree.NodeID) {
+		e.Serve(trace.Pos(v))
+		e.Serve(trace.Pos(v))
+	}
+	fill(1)
+	fill(2)
+	if e.CacheLen() != 2 {
+		t.Fatalf("cache len %d, want 2", e.CacheLen())
+	}
+	fill(3) // overflow: must evict one leaf, not everything
+	if e.CacheLen() != 2 {
+		t.Fatalf("after overflow cache len %d, want 2 (evict-one, no flush)", e.CacheLen())
+	}
+	if !e.Cached(3) {
+		t.Fatal("newly saturated leaf 3 should be cached")
+	}
+	if e.Phase() != 0 {
+		t.Fatalf("no-flush engine recorded %d phases", e.Phase())
+	}
+}
+
+// TestJitterStaysWithinModel: the randomized variant still respects
+// capacity and the subforest constraint, and its thresholds change
+// behaviour (different cost trajectory than deterministic TC on a
+// churny workload).
+func TestJitterStaysWithinModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	tr := tree.RandomShape(rng, 20)
+	input := trace.RandomMixed(rng, tr, 2000)
+	e := New(tr, Config{Alpha: 8, Capacity: 10, Jitter: 0.5, Seed: 3})
+	det := core.New(tr, core.Config{Alpha: 8, Capacity: 10})
+	differs := false
+	for _, req := range input {
+		s1, _ := e.Serve(req)
+		s2, _ := det.Serve(req)
+		if s1 != s2 {
+			differs = true
+		}
+		if e.CacheLen() > 10 {
+			t.Fatalf("capacity violated: %d", e.CacheLen())
+		}
+	}
+	if !tr.IsSubforest(e.CacheMembers()) {
+		t.Fatal("jittered engine broke the subforest invariant")
+	}
+	if !differs {
+		t.Fatal("jitter 0.5 never changed a decision; randomization inert")
+	}
+}
+
+// TestResetDeterminism: Reset replays identically, including the
+// jittered variant (seeded RNG).
+func TestResetDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	tr := tree.RandomShape(rng, 14)
+	input := trace.RandomMixed(rng, tr, 800)
+	for _, cfg := range []Config{
+		{Alpha: 4, Capacity: 6},
+		{Alpha: 4, Capacity: 6, Scan: BottomUp},
+		{Alpha: 4, Capacity: 6, Overflow: EvictColdest},
+		{Alpha: 4, Capacity: 6, Jitter: 0.4, Seed: 9},
+	} {
+		e := New(tr, cfg)
+		for _, r := range input {
+			e.Serve(r)
+		}
+		first := e.Ledger().Total()
+		e.Reset()
+		for _, r := range input {
+			e.Serve(r)
+		}
+		if got := e.Ledger().Total(); got != first {
+			t.Fatalf("%s: replay after Reset cost %d, first %d", e.Name(), got, first)
+		}
+	}
+}
+
+// TestNames pins the variant naming used in ablation tables.
+func TestNames(t *testing.T) {
+	tr := tree.Path(2)
+	cases := map[string]Config{
+		"TC":               {Alpha: 2, Capacity: 1},
+		"TC-min":           {Alpha: 2, Capacity: 1, Scan: BottomUp},
+		"TC-noflush":       {Alpha: 2, Capacity: 1, Overflow: EvictColdest},
+		"TC-jitter0.5":     {Alpha: 2, Capacity: 1, Jitter: 0.5},
+		"TC-min-jitter0.3": {Alpha: 2, Capacity: 1, Scan: BottomUp, Jitter: 0.3},
+	}
+	for want, cfg := range cases {
+		if got := New(tr, cfg).Name(); got != want {
+			t.Fatalf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestConfigValidation rejects invalid knobs.
+func TestConfigValidation(t *testing.T) {
+	tr := tree.Path(2)
+	for _, cfg := range []Config{
+		{Alpha: 3, Capacity: 1},
+		{Alpha: 2, Capacity: 0},
+		{Alpha: 2, Capacity: 1, Jitter: 1.0},
+		{Alpha: 2, Capacity: 1, Jitter: -0.1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(tr, cfg)
+		}()
+	}
+}

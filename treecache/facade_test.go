@@ -1,0 +1,107 @@
+package treecache_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/treecache"
+	"repro/treecache/fibcache"
+	"repro/treecache/inspect"
+)
+
+// TestPublicFIBFlow exercises the whole public surface an external
+// user would touch for the paper's application: generate a table,
+// wrap a TC cache into the controller/switch system, drive packets
+// and updates, and compare the Appendix B cost models.
+func TestPublicFIBFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	table, err := fibcache.GenerateTable(rng, fibcache.TableConfig{Rules: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := int64(8)
+	c := treecache.New(table.Tree(), treecache.Options{Alpha: alpha, Capacity: 64})
+	sys := fibcache.NewSystem(table, c, alpha)
+	for i := 0; i < 3000; i++ {
+		sys.Packet(rng.Uint32())
+	}
+	if sys.Stats.Packets != 3000 || sys.Stats.SwitchHits+sys.Stats.Redirects != 3000 {
+		t.Fatalf("stats: %+v", sys.Stats)
+	}
+	w := fibcache.GenerateWorkload(rng, table, fibcache.WorkloadConfig{
+		Packets: 2000, ZipfS: 1.0, UpdateRate: 0.05, Alpha: alpha,
+	})
+	c.Reset()
+	mc := fibcache.CompareModels(w, c, alpha)
+	if r := mc.Ratio(); r < 0.5 || r > 2 {
+		t.Fatalf("model ratio %.3f outside Appendix B bounds", r)
+	}
+}
+
+// TestPublicInspectFlow exercises the analysis surface: record a run
+// through the facade, verify the invariants, render the space.
+func TestPublicInspectFlow(t *testing.T) {
+	tr := treecache.CompleteKary(15, 2)
+	alpha := int64(4)
+	rec := inspect.NewRecorder(tr, alpha)
+	c := treecache.New(tr, treecache.Options{Alpha: alpha, Capacity: 6, Observer: rec})
+	rng := rand.New(rand.NewSource(2))
+	for _, req := range treecache.MixedTrace(rng, tr, 600) {
+		c.Request(req)
+	}
+	phases := rec.Finish(c.CacheLen())
+	if len(phases) == 0 {
+		t.Fatal("no phases recorded")
+	}
+	for i, p := range phases {
+		if err := inspect.CheckFields(p, alpha); err != nil {
+			t.Fatalf("phase %d: %v", i, err)
+		}
+		if _, _, err := inspect.CheckCostAccounting(p, alpha); err != nil {
+			t.Fatalf("phase %d: %v", i, err)
+		}
+		if _, _, err := inspect.Periods(p); err != nil {
+			t.Fatalf("phase %d: %v", i, err)
+		}
+		for _, f := range p.Fields {
+			var err error
+			if f.Positive {
+				_, err = inspect.ShiftPositive(tr, f, alpha)
+			} else {
+				_, err = inspect.ShiftNegative(tr, f, alpha)
+			}
+			if err != nil {
+				t.Fatalf("phase %d: %v", i, err)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	inspect.RenderEventSpace(&buf, tr, phases[0], 80)
+	if buf.Len() == 0 {
+		t.Fatal("empty rendering")
+	}
+}
+
+// TestWorkloadGenerators sanity-checks the facade generators.
+func TestWorkloadGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := treecache.CompleteKary(31, 2)
+	if got := len(treecache.ZipfTrace(rng, tr, 100, 1.0)); got != 100 {
+		t.Fatalf("ZipfTrace length %d", got)
+	}
+	for _, r := range treecache.ZipfLeafTrace(rng, tr, 100, 1.0) {
+		if tr.Degree(r.Node) != 0 {
+			t.Fatal("ZipfLeafTrace hit an inner node")
+		}
+	}
+	if got := len(treecache.UniformTrace(rng, tr, 50)); got != 50 {
+		t.Fatalf("UniformTrace length %d", got)
+	}
+	churn := treecache.ChurnTrace(rng, tr, treecache.ChurnConfig{
+		Rounds: 200, ZipfS: 1.0, UpdateFrac: 0.3, BurstLen: 4,
+	})
+	if len(churn) != 200 {
+		t.Fatalf("ChurnTrace length %d", len(churn))
+	}
+}

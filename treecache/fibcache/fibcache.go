@@ -1,0 +1,85 @@
+// Package fibcache is the public API of the FIB-caching application
+// (Section 2 of the paper): IPv4 forwarding tables as dependency
+// trees, longest-matching-prefix lookup, the controller/switch split
+// of Figure 1, and packet/update workload generation.
+//
+// Typical use:
+//
+//	rng := rand.New(rand.NewSource(1))
+//	table, _ := fibcache.GenerateTable(rng, fibcache.TableConfig{Rules: 4096})
+//	tc := treecache.New(table.Tree(), treecache.Options{Alpha: 8, Capacity: 256})
+//	sys := fibcache.NewSystem(table, tc, 8)
+//	sys.Packet(0x0A010203) // a packet; hits the cache or redirects
+//	fmt.Println(sys.Stats.HitRatio())
+package fibcache
+
+import (
+	"math/rand"
+
+	"repro/internal/fib"
+	"repro/internal/sim"
+)
+
+// Prefix is an IPv4 prefix (top Len bits of Addr).
+type Prefix = fib.Prefix
+
+// ParsePrefix parses "a.b.c.d/len" notation.
+func ParsePrefix(s string) (Prefix, error) { return fib.ParsePrefix(s) }
+
+// Rule is a forwarding rule: a prefix plus a next-hop action.
+type Rule = fib.Rule
+
+// Table is an immutable rule table with its dependency tree; rule i is
+// tree node i and node 0 is the default rule.
+type Table = fib.Table
+
+// NewTable builds a table from rules (a default rule is added if
+// missing; duplicates are rejected).
+func NewTable(rules []Rule) (*Table, error) { return fib.NewTable(rules) }
+
+// TableConfig parameterises GenerateTable.
+type TableConfig = fib.TableConfig
+
+// GenerateTable builds a synthetic rule table with a realistic
+// provider/subnet nesting structure. Deterministic in rng.
+func GenerateTable(rng *rand.Rand, cfg TableConfig) (*Table, error) {
+	return fib.GenerateTable(rng, cfg)
+}
+
+// WorkloadConfig parameterises GenerateWorkload.
+type WorkloadConfig = fib.WorkloadConfig
+
+// Workload is a generated packet/update stream with its tree-caching
+// trace.
+type Workload = fib.Workload
+
+// GenerateWorkload draws Zipf-skewed packets interleaved with update
+// bursts over the table. Deterministic in rng.
+func GenerateWorkload(rng *rand.Rand, tb *Table, cfg WorkloadConfig) *Workload {
+	return fib.GenerateWorkload(rng, tb, cfg)
+}
+
+// System is the controller/switch pair of Figure 1 wrapping a caching
+// algorithm.
+type System = fib.System
+
+// SystemStats aggregates the switch-side counters.
+type SystemStats = fib.SystemStats
+
+// NewSystem wraps an algorithm (e.g. a *treecache.Cache) into the
+// controller/switch simulation.
+func NewSystem(tb *Table, algo sim.Algorithm, alpha int64) *System {
+	return fib.NewSystem(tb, algo, alpha)
+}
+
+// SwitchDecision is the outcome of a cached-subset lookup.
+type SwitchDecision = fib.SwitchDecision
+
+// ModelCosts compares the Appendix B update-cost models on one run.
+type ModelCosts = fib.ModelCosts
+
+// CompareModels accounts a run under both the chunk and the penalty
+// update-cost models (Appendix B; they agree within ×2).
+func CompareModels(w *Workload, algo sim.Algorithm, alpha int64) ModelCosts {
+	return fib.CompareModels(w, algo, alpha)
+}

@@ -1,0 +1,77 @@
+// Package inspect is the public API of the analysis instrumentation
+// (Section 5 of the paper): attach a Recorder to a TC cache to
+// reconstruct the event space of each phase — the fields whose
+// requests triggered each fetch/eviction, the open field F∞, and k_P —
+// then verify the paper's invariants or render the space as ASCII
+// (Figure 2/3 style).
+//
+// Typical use:
+//
+//	rec := inspect.NewRecorder(t, alpha)
+//	c := treecache.New(t, treecache.Options{Alpha: alpha, Capacity: k, Observer: rec})
+//	... serve requests ...
+//	for _, p := range rec.Finish(c.CacheLen()) {
+//	    if err := inspect.CheckFields(p, alpha); err != nil { ... }
+//	    inspect.RenderEventSpace(os.Stdout, t, p, 120)
+//	}
+package inspect
+
+import (
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/tree"
+)
+
+// Recorder implements treecache.Observer and reconstructs phases.
+type Recorder = analysis.Recorder
+
+// NewRecorder returns a Recorder for a run over t with cost α.
+func NewRecorder(t *tree.Tree, alpha int64) *Recorder { return analysis.NewRecorder(t, alpha) }
+
+// Phase is one reconstructed TC phase (fields, open field, k_P).
+type Phase = analysis.Phase
+
+// Field is the slot set behind one changeset application.
+type Field = analysis.Field
+
+// Slot is one occupied (node, round) cell of the event space.
+type Slot = analysis.Slot
+
+// Distribution maps field nodes to their requests after a shift.
+type Distribution = analysis.Distribution
+
+// CheckFields verifies Observation 5.2 on every field of the phase.
+func CheckFields(p *Phase, alpha int64) error { return analysis.CheckFields(p, alpha) }
+
+// CheckCostAccounting verifies the Lemma 5.3 bound on the phase and
+// returns (cost, bound).
+func CheckCostAccounting(p *Phase, alpha int64) (int64, int64, error) {
+	return analysis.CheckCostAccounting(p, alpha)
+}
+
+// Periods verifies the p_out = p_in + k_P identity and returns the
+// period counts.
+func Periods(p *Phase) (pout, pin int, err error) { return analysis.Periods(p) }
+
+// ShiftNegative applies the Corollary 5.8 up-shift (every node of the
+// field ends with exactly α requests).
+func ShiftNegative(t *tree.Tree, f *Field, alpha int64) (Distribution, error) {
+	return analysis.ShiftNegative(t, f, alpha)
+}
+
+// ShiftPositive applies the repaired Lemma 5.9/5.10 down-shift and
+// verifies the ≥ size/(2·layers) guarantee.
+func ShiftPositive(t *tree.Tree, f *Field, alpha int64) (analysis.PositiveShiftResult, error) {
+	return analysis.ShiftPositive(t, f, alpha)
+}
+
+// RenderEventSpace draws the phase in the style of the paper's
+// Figure 2 (maxCols truncates wide phases; 0 means unlimited).
+func RenderEventSpace(w io.Writer, t *tree.Tree, p *Phase, maxCols int) {
+	analysis.RenderEventSpace(w, t, p, maxCols)
+}
+
+// RenderPeriods draws one node's alternating in/out periods
+// (Figure 3).
+func RenderPeriods(w io.Writer, p *Phase, v tree.NodeID) { analysis.RenderPeriods(w, p, v) }

@@ -1,0 +1,81 @@
+package treecache_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tree"
+	"repro/treecache"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	tr := treecache.Path(4)
+	c := treecache.New(tr, treecache.Options{Alpha: 2, Capacity: 4})
+	// α requests to the leaf saturate the singleton cap {3}.
+	c.Request(treecache.Pos(3))
+	if c.Cached(3) {
+		t.Fatal("cached too early")
+	}
+	c.Request(treecache.Pos(3))
+	if !c.Cached(3) {
+		t.Fatal("leaf should be cached after α paid requests")
+	}
+	if c.CacheLen() != 1 || c.Cost() != 2+2*1 {
+		t.Fatalf("len=%d cost=%d", c.CacheLen(), c.Cost())
+	}
+	c.Reset()
+	if c.Cost() != 0 || c.CacheLen() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestCacheImplementsAlgorithm(t *testing.T) {
+	var _ treecache.Algorithm = treecache.New(treecache.Star(3), treecache.Options{Alpha: 2, Capacity: 2})
+}
+
+func TestRunAndBaselines(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := tree.RandomShape(rng, 15)
+	input := trace.RandomMixed(rng, tr, 500)
+	tc := treecache.New(tr, treecache.Options{Alpha: 4, Capacity: 8})
+	lru := treecache.NewEagerBaseline(tr, 4, 8, treecache.LRU, false)
+	none := treecache.NewNoCache(4)
+	for _, a := range []treecache.Algorithm{tc, lru, none} {
+		res := treecache.Run(a, input)
+		if res.Rounds != 500 {
+			t.Fatalf("%s: rounds = %d", res.Algorithm, res.Rounds)
+		}
+	}
+}
+
+func TestOfflineHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := tree.RandomShape(rng, 8)
+	input := trace.RandomMixed(rng, tr, 60)
+	optCost := treecache.OfflineOptimum(tr, input, 4, 2)
+	set, staticCost := treecache.BestStaticCache(tr, input, 4, 2)
+	if staticCost < optCost {
+		t.Fatalf("static %d beats exact optimum %d", staticCost, optCost)
+	}
+	if len(set) > 4 {
+		t.Fatalf("static set too large: %v", set)
+	}
+	tc := treecache.New(tr, treecache.Options{Alpha: 2, Capacity: 4})
+	res := treecache.Run(tc, input)
+	if res.Total() < optCost {
+		t.Fatalf("online TC (%d) beats the offline optimum (%d)", res.Total(), optCost)
+	}
+}
+
+// ExampleNew demonstrates the quickstart flow from the package comment.
+func ExampleNew() {
+	t := treecache.Path(8)
+	c := treecache.New(t, treecache.Options{Alpha: 4, Capacity: 6})
+	for i := 0; i < 4; i++ {
+		c.Request(treecache.Pos(7)) // four misses saturate the leaf
+	}
+	fmt.Println(c.Cached(7), c.Cost())
+	// Output: true 8
+}

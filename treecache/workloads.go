@@ -1,0 +1,42 @@
+package treecache
+
+import (
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// Workload generators, re-exported for library users. All are
+// deterministic functions of the supplied rng.
+
+// ZipfTrace draws n positive requests over all nodes with Zipf
+// exponent s (popularity ranks randomly permuted).
+func ZipfTrace(rng *rand.Rand, t *Tree, n int, s float64) Trace {
+	return trace.ZipfNodes(rng, t, n, s)
+}
+
+// ZipfLeafTrace draws n positive requests over the leaves only — the
+// typical shape of traffic to most-specific forwarding rules.
+func ZipfLeafTrace(rng *rand.Rand, t *Tree, n int, s float64) Trace {
+	return trace.ZipfLeaves(rng, t, n, s)
+}
+
+// UniformTrace draws n positive requests uniformly over all nodes.
+func UniformTrace(rng *rand.Rand, t *Tree, n int) Trace {
+	return trace.UniformPositive(rng, t, n)
+}
+
+// ChurnConfig configures ChurnTrace; see the field documentation in
+// the underlying type.
+type ChurnConfig = trace.ChurnConfig
+
+// ChurnTrace interleaves Zipf traffic with bursts of negative requests
+// (rule-update churn, Appendix B of the paper).
+func ChurnTrace(rng *rand.Rand, t *Tree, cfg ChurnConfig) Trace {
+	return trace.Churn(rng, t, cfg)
+}
+
+// MixedTrace is the fuzzing workload: uniform nodes, random signs.
+func MixedTrace(rng *rand.Rand, t *Tree, n int) Trace {
+	return trace.RandomMixed(rng, t, n)
+}
