@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+// The -bench-json mode records the TC serve-path microbenchmarks (the
+// same shapes as BenchmarkTC* in bench_test.go) into a JSON file, so
+// the repository keeps a perf trajectory across PRs. The file holds two
+// sections: "baseline" (written with -bench-baseline, kept untouched by
+// later runs) and "current" (rewritten on every run).
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchFile struct {
+	GeneratedBy string        `json:"generated_by"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	UpdatedAt   string        `json:"updated_at"`
+	Baseline    []benchResult `json:"baseline,omitempty"`
+	Current     []benchResult `json:"current"`
+}
+
+func runBenchCase(c experiments.BenchCase) benchResult {
+	t := c.Build()
+	rng := rand.New(rand.NewSource(1))
+	input := trace.RandomMixed(rng, t, 1<<16)
+	r := testing.Benchmark(func(b *testing.B) {
+		tc := core.New(t, core.Config{Alpha: 8, Capacity: c.Capacity})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tc.Serve(input[i&(1<<16-1)])
+		}
+	})
+	return benchResult{
+		Name:        c.Name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// emitBenchJSON runs the TC microbenchmarks and merges the results into
+// the JSON file at path. With asBaseline the results are stored under
+// "baseline" (preserving any existing "current"); otherwise under
+// "current" (preserving any existing "baseline").
+func emitBenchJSON(path string, asBaseline bool) error {
+	var file benchFile
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &file); err != nil {
+			return fmt.Errorf("bench-json: cannot parse existing %s: %v", path, err)
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh file.
+	default:
+		// Anything else (permissions, I/O): bail rather than silently
+		// rewriting the file without its recorded sections.
+		return fmt.Errorf("bench-json: cannot read existing %s: %v", path, err)
+	}
+	cases := experiments.TCBenchCases()
+	results := make([]benchResult, 0, len(cases))
+	for _, c := range cases {
+		fmt.Fprintf(os.Stderr, "bench %s...\n", c.Name)
+		results = append(results, runBenchCase(c))
+	}
+	file.GeneratedBy = "cmd/experiments -bench-json"
+	file.GoVersion = runtime.Version()
+	file.GOOS = runtime.GOOS
+	file.GOARCH = runtime.GOARCH
+	file.UpdatedAt = time.Now().UTC().Format(time.RFC3339)
+	if asBaseline {
+		file.Baseline = results
+	} else {
+		file.Current = results
+	}
+	out, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -5,9 +5,12 @@
 //
 // Usage:
 //
-//	experiments -run all          # run everything (few minutes)
-//	experiments -run e1,e4,e5     # run a subset
-//	experiments -run e7 -csv      # emit CSV instead of aligned tables
+//	experiments -run all                    # run everything (few minutes)
+//	experiments -run e1,e4,e5               # run a subset
+//	experiments -run e7 -csv                # emit CSV instead of aligned tables
+//	experiments -bench-json BENCH_core.json # record TC microbenchmarks
+//	experiments -bench-json BENCH_core.json -bench-baseline
+//	                                        # record them as the baseline section
 package main
 
 import (
@@ -23,7 +26,17 @@ import (
 func main() {
 	runFlag := flag.String("run", "all", "comma-separated experiment ids (e1..e8) or 'all'")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	benchJSON := flag.String("bench-json", "", "run the TC microbenchmarks and merge the results into this JSON file, then exit")
+	benchBaseline := flag.Bool("bench-baseline", false, "with -bench-json, store results under the persistent 'baseline' section instead of 'current'")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := emitBenchJSON(*benchJSON, *benchBaseline); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ids := experiments.IDs()
 	if *runFlag != "all" {

@@ -76,6 +76,7 @@ type Eager struct {
 	stamp   []int64 // per-node policy stamp (last use or fetch time)
 	pq      rootHeap
 	scratch []tree.NodeID
+	pathBuf []tree.NodeID
 }
 
 // NewEager builds an eager baseline over t.
@@ -160,18 +161,7 @@ func (e *Eager) Serve(req trace.Request) (serveCost, moveCost int64) {
 // T(v), evicting victims until the fetch fits. Bypasses if impossible.
 func (e *Eager) fetchSubtree(v tree.NodeID) {
 	// Collect the missing part of T(v).
-	x := e.scratch[:0]
-	stack := append([]tree.NodeID(nil), v)
-	for len(stack) > 0 {
-		w := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		x = append(x, w)
-		for _, ch := range e.t.Children(w) {
-			if !e.c.Contains(ch) {
-				stack = append(stack, ch)
-			}
-		}
-	}
+	x := e.c.AppendMissing(e.scratch[:0], v)
 	e.scratch = x
 	if len(x) > e.cfg.Capacity {
 		return // can never fit; bypass
@@ -272,7 +262,7 @@ func (e *Eager) evictRoot(r tree.NodeID) {
 // evictPathToRoot evicts the path from v up to its cached-tree root
 // (the minimal valid negative changeset containing v).
 func (e *Eager) evictPathToRoot(v tree.NodeID) {
-	var path []tree.NodeID
+	path := e.pathBuf[:0]
 	w := v
 	for {
 		path = append(path, w)
@@ -285,6 +275,7 @@ func (e *Eager) evictPathToRoot(v tree.NodeID) {
 	if err := e.c.Evict(path); err != nil {
 		panic("baseline: " + err.Error())
 	}
+	e.pathBuf = path
 	e.led.PayEvict(len(path))
 	// Children of evicted nodes that remain cached become roots.
 	for _, u := range path {

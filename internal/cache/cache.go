@@ -54,16 +54,17 @@ func (l *Ledger) Reset() {
 
 // Subforest is a mutable cache whose contents always form a subforest
 // of the underlying tree. The zero value is not usable; construct with
-// NewSubforest.
+// NewSubforest. A Subforest is not safe for concurrent use.
 type Subforest struct {
-	t  *tree.Tree
-	in []bool
-	n  int
+	t    *tree.Tree
+	in   []bool
+	n    int
+	mark []bool // scratch bitmap reused by changeset validation
 }
 
 // NewSubforest returns an empty cache over t.
 func NewSubforest(t *tree.Tree) *Subforest {
-	return &Subforest{t: t, in: make([]bool, t.Len())}
+	return &Subforest{t: t, in: make([]bool, t.Len()), mark: make([]bool, t.Len())}
 }
 
 // Tree returns the underlying tree.
@@ -77,25 +78,75 @@ func (s *Subforest) Contains(v tree.NodeID) bool { return s.in[v] }
 
 // Members returns the cached nodes in preorder.
 func (s *Subforest) Members() []tree.NodeID {
-	out := make([]tree.NodeID, 0, s.n)
-	for _, v := range s.t.Preorder() {
+	return s.AppendMembers(make([]tree.NodeID, 0, s.n))
+}
+
+// AppendMembers appends the cached nodes in preorder to dst and returns
+// it. Allocation-free when dst has capacity. Because the cache is
+// downward-closed, a cached node encountered in preorder heads a fully
+// cached subtree: its whole preorder interval is bulk-copied and then
+// skipped, so the scan costs O(#non-cached nodes) plus a bulk copy per
+// cached subtree — dense caches (e.g. phase-end snapshots) enumerate in
+// large contiguous copies instead of a per-node walk.
+func (s *Subforest) AppendMembers(dst []tree.NodeID) []tree.NodeID {
+	pre := s.t.Preorder()
+	for i := 0; i < len(pre); {
+		v := pre[i]
 		if s.in[v] {
-			out = append(out, v)
+			lo, hi := s.t.PreorderInterval(v)
+			dst = append(dst, pre[lo:hi]...)
+			i = int(hi)
+		} else {
+			i++
 		}
 	}
-	return out
+	return dst
 }
 
 // Roots returns the roots of the maximal cached subtrees (cached nodes
 // whose parent is not cached), in preorder.
 func (s *Subforest) Roots() []tree.NodeID {
-	var out []tree.NodeID
-	for _, v := range s.t.Preorder() {
-		if s.in[v] && (v == s.t.Root() || !s.in[s.t.Parent(v)]) {
-			out = append(out, v)
+	return s.AppendRoots(nil)
+}
+
+// AppendRoots appends the cached-tree roots in preorder to dst and
+// returns it. Each cached subtree is skipped in O(1) via its preorder
+// interval, so the cost is O(#non-cached nodes + #roots) — dense caches
+// enumerate their roots without rescanning their interiors.
+func (s *Subforest) AppendRoots(dst []tree.NodeID) []tree.NodeID {
+	pre := s.t.Preorder()
+	for i := 0; i < len(pre); {
+		v := pre[i]
+		if s.in[v] {
+			dst = append(dst, v)
+			_, hi := s.t.PreorderInterval(v)
+			i = int(hi)
+		} else {
+			i++
 		}
 	}
-	return out
+	return dst
+}
+
+// AppendMissing appends the non-cached nodes of T(v) in preorder to dst
+// and returns it: v's preorder interval is walked with cached subtrees
+// skipped in O(1) each, so the cost is O(#appended + #skipped subtrees).
+// When v itself is non-cached the result is exactly the tree cap P(v)
+// of the paper (the non-cached part of T(v)).
+func (s *Subforest) AppendMissing(dst []tree.NodeID, v tree.NodeID) []tree.NodeID {
+	pre := s.t.Preorder()
+	lo, hi := s.t.PreorderInterval(v)
+	for i := lo; i < hi; {
+		w := pre[i]
+		if s.in[w] {
+			_, wHi := s.t.PreorderInterval(w)
+			i = wHi
+		} else {
+			dst = append(dst, w)
+			i++
+		}
+	}
+	return dst
 }
 
 // CachedRoot returns the root of the maximal cached subtree containing
@@ -121,21 +172,31 @@ func (s *Subforest) ValidPositive(x []tree.NodeID) bool {
 	if len(x) == 0 {
 		return false
 	}
-	inX := make(map[tree.NodeID]bool, len(x))
+	ok := true
+	marked := 0
 	for _, v := range x {
-		if s.in[v] || inX[v] {
-			return false // intersects cache, or duplicate
+		if s.in[v] || s.mark[v] {
+			ok = false // intersects cache, or duplicate
+			break
 		}
-		inX[v] = true
+		s.mark[v] = true
+		marked++
 	}
-	for _, v := range x {
-		for _, c := range s.t.Children(v) {
-			if !s.in[c] && !inX[c] {
-				return false
+	if ok {
+	check:
+		for _, v := range x {
+			for _, c := range s.t.Children(v) {
+				if !s.in[c] && !s.mark[c] {
+					ok = false
+					break check
+				}
 			}
 		}
 	}
-	return true
+	for _, v := range x[:marked] {
+		s.mark[v] = false
+	}
+	return ok
 }
 
 // ValidNegative reports whether X is a valid negative changeset for the
@@ -145,20 +206,29 @@ func (s *Subforest) ValidNegative(x []tree.NodeID) bool {
 	if len(x) == 0 {
 		return false
 	}
-	inX := make(map[tree.NodeID]bool, len(x))
+	ok := true
+	marked := 0
 	for _, v := range x {
-		if !s.in[v] || inX[v] {
-			return false // outside cache, or duplicate
+		if !s.in[v] || s.mark[v] {
+			ok = false // outside cache, or duplicate
+			break
 		}
-		inX[v] = true
+		s.mark[v] = true
+		marked++
 	}
-	for _, v := range x {
-		p := s.t.Parent(v)
-		if p != tree.None && s.in[p] && !inX[p] {
-			return false
+	if ok {
+		for _, v := range x {
+			p := s.t.Parent(v)
+			if p != tree.None && s.in[p] && !s.mark[p] {
+				ok = false
+				break
+			}
 		}
 	}
-	return true
+	for _, v := range x[:marked] {
+		s.mark[v] = false
+	}
+	return ok
 }
 
 // Fetch adds all nodes of X to the cache. It returns an error (and
@@ -225,7 +295,7 @@ func (s *Subforest) CheckInvariant() error {
 func (s *Subforest) Clone() *Subforest {
 	in := make([]bool, len(s.in))
 	copy(in, s.in)
-	return &Subforest{t: s.t, in: in, n: s.n}
+	return &Subforest{t: s.t, in: in, n: s.n, mark: make([]bool, len(s.in))}
 }
 
 // Equal reports whether two caches over the same tree hold the same set.

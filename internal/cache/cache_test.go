@@ -210,3 +210,69 @@ func TestRandomizedSubforestInvariant(t *testing.T) {
 		}
 	}
 }
+
+// TestIntervalEnumerationMatchesScan cross-checks the interval-skipping
+// Members/Roots/AppendMembers/AppendRoots against brute-force preorder
+// scans on random subforests.
+func TestIntervalEnumerationMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 60; iter++ {
+		tr := tree.RandomShape(rng, 1+rng.Intn(120))
+		c := NewSubforest(tr)
+		// Build a random subforest by fetching random subtrees.
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			v := tree.NodeID(rng.Intn(tr.Len()))
+			var miss []tree.NodeID
+			for _, u := range tr.SubtreeView(v) {
+				if !c.Contains(u) {
+					miss = append(miss, u)
+				}
+			}
+			if len(miss) > 0 {
+				if err := c.Fetch(miss); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		var wantMembers, wantRoots []tree.NodeID
+		for _, v := range tr.Preorder() {
+			if c.Contains(v) {
+				wantMembers = append(wantMembers, v)
+				if p := tr.Parent(v); p == tree.None || !c.Contains(p) {
+					wantRoots = append(wantRoots, v)
+				}
+			}
+		}
+		gotMembers := c.Members()
+		gotRoots := c.Roots()
+		if len(gotMembers) != len(wantMembers) {
+			t.Fatalf("Members: got %d nodes, want %d", len(gotMembers), len(wantMembers))
+		}
+		for i := range wantMembers {
+			if gotMembers[i] != wantMembers[i] {
+				t.Fatalf("Members[%d] = %d, want %d", i, gotMembers[i], wantMembers[i])
+			}
+		}
+		if len(gotRoots) != len(wantRoots) {
+			t.Fatalf("Roots: got %v, want %v", gotRoots, wantRoots)
+		}
+		for i := range wantRoots {
+			if gotRoots[i] != wantRoots[i] {
+				t.Fatalf("Roots[%d] = %d, want %d", i, gotRoots[i], wantRoots[i])
+			}
+		}
+		// Append variants must be allocation-free given capacity.
+		mbuf := make([]tree.NodeID, 0, tr.Len())
+		rbuf := make([]tree.NodeID, 0, tr.Len())
+		allocs := testing.AllocsPerRun(10, func() {
+			mbuf = c.AppendMembers(mbuf[:0])
+			rbuf = c.AppendRoots(rbuf[:0])
+		})
+		if allocs != 0 {
+			t.Fatalf("AppendMembers/AppendRoots allocated %.1f per call, want 0", allocs)
+		}
+		if len(mbuf) != len(wantMembers) || len(rbuf) != len(wantRoots) {
+			t.Fatalf("Append variants disagree with Members/Roots")
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// TestServeZeroAllocs asserts that steady-state TC.Serve (no observer)
+// performs zero heap allocations per request, fetch/evict rounds
+// included: all scratch space (changeset buffer, membership bitmap) is
+// persistent, and changesets are collected by walking preorder
+// intervals rather than heap-allocated DFS stacks.
+//
+// The trace is replayed once to grow the scratch buffers to the trace's
+// maximum demand, then the TC is Reset (which keeps scratch capacity)
+// and the identical deterministic replay is measured.
+func TestServeZeroAllocs(t *testing.T) {
+	shapes := []struct {
+		name     string
+		t        *tree.Tree
+		capacity int
+	}{
+		{"star", tree.Star(512), 256},
+		{"path", tree.Path(256), 128},
+		{"binary", tree.CompleteKary(1024, 2), 512},
+	}
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			input := trace.RandomMixed(rng, sh.t, 4096)
+			tc := New(sh.t, Config{Alpha: 8, Capacity: sh.capacity})
+			for _, req := range input {
+				tc.Serve(req)
+			}
+			tc.Reset()
+			allocs := testing.AllocsPerRun(3, func() {
+				for _, req := range input {
+					tc.Serve(req)
+				}
+				tc.Reset()
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state Serve allocated %.1f times per %d-request replay, want 0", allocs, len(input))
+			}
+			if tc.Ledger().Total() != 0 {
+				t.Fatalf("Reset did not zero the ledger")
+			}
+		})
+	}
+}
+
+// TestLayoutEquivalenceAgainstReference replays identical deterministic
+// traces through the brute-force Section 4 reference implementation and
+// the CSR/interval-based TC on the canonical shapes, asserting equal
+// per-round costs, cache contents and phase counts — the flat layout is
+// purely a representation change.
+func TestLayoutEquivalenceAgainstReference(t *testing.T) {
+	shapes := []struct {
+		name   string
+		t      *tree.Tree
+		rounds int // reference cost is exponential in |T|; budget per shape
+	}{
+		{"star", tree.Star(12), 3000},
+		{"path", tree.Path(10), 3000},
+		{"binary", tree.CompleteKary(15, 2), 1200},
+	}
+	for _, sh := range shapes {
+		for _, capacity := range []int{2, 5, sh.t.Len()} {
+			name := fmt.Sprintf("%s/k=%d", sh.name, capacity)
+			t.Run(name, func(t *testing.T) {
+				cfg := Config{Alpha: 4, Capacity: capacity}
+				rng := rand.New(rand.NewSource(int64(capacity)*1000 + int64(sh.t.Len())))
+				input := trace.RandomMixed(rng, sh.t, sh.rounds)
+				tc := New(sh.t, cfg)
+				ref := NewReference(sh.t, cfg)
+				for i, req := range input {
+					s1, m1 := tc.Serve(req)
+					s2, m2 := ref.Serve(req)
+					if s1 != s2 || m1 != m2 {
+						t.Fatalf("round %d: TC cost (%d,%d) != reference (%d,%d)", i, s1, m1, s2, m2)
+					}
+					if tc.Phase() != ref.Phase() {
+						t.Fatalf("round %d: TC phase %d != reference %d", i, tc.Phase(), ref.Phase())
+					}
+					a, b := tc.CacheMembers(), ref.CacheMembers()
+					if len(a) != len(b) {
+						t.Fatalf("round %d: cache sizes differ: %v vs %v", i, a, b)
+					}
+					for j := range a {
+						if a[j] != b[j] {
+							t.Fatalf("round %d: caches differ: %v vs %v", i, a, b)
+						}
+					}
+				}
+				if tc.Ledger() != ref.Ledger() {
+					t.Fatalf("ledgers differ: %+v vs %+v", tc.Ledger(), ref.Ledger())
+				}
+			})
+		}
+	}
+}

@@ -14,8 +14,11 @@
 //
 //   - fetches are found by maintaining, for every non-cached node u, the
 //     counter sum and size of P_t(u), the tree cap of non-cached nodes of
-//     T(u); after a positive request the ancestors of the requested node
-//     are scanned root-down for the first saturated P_t(u);
+//     T(u); after a positive request a single upward pass over the
+//     ancestors of the requested node both bumps the aggregates and
+//     remembers the topmost saturated P_t(u) (equivalent to the paper's
+//     root-down scan, since the topmost saturated ancestor is the unique
+//     maximal saturated changeset);
 //
 //   - evictions are found by maintaining, for every cached node u, the
 //     exact value val_t(H_t(u)) of the best tree cap rooted at u, where
@@ -23,6 +26,13 @@
 //     (cnt−|A|α, |A|); a counter increment updates the chain to the
 //     cached-tree root in O(1) per level using per-node running sums of
 //     the positive children values.
+//
+// The per-node state is packed into cache-line-friendly structs-of-
+// arrays (one 16-byte record per node and side instead of 2–3 parallel
+// arrays), changesets are collected in O(|X|) by walking the tree's
+// preorder intervals instead of a heap-allocated DFS stack, and all
+// scratch space is persistent, so the steady-state serve path performs
+// zero heap allocations.
 //
 // Together a decision costs O(h(T) + max(h(T), deg(T))·|X_t|) time and
 // O(|T|) memory, matching Theorem 6.1.
@@ -74,6 +84,32 @@ type Config struct {
 	Observer Observer
 }
 
+// counter is a per-node request counter with lazy epoch reset, packed
+// to 16 bytes so a bump touches a single cache line.
+type counter struct {
+	val   int64
+	epoch int32
+	_     int32
+}
+
+// posAgg packs the positive-side aggregate (cnt(P_t(u)), |P_t(u)|) and
+// its validity epoch into 16 bytes; the ancestor walk of a positive
+// request reads and writes exactly one record per level.
+type posAgg struct {
+	cnt   int64
+	size  int32
+	epoch int32
+}
+
+// negAgg packs the negative-side structure of a cached node: hA/hB is
+// the exact pair for val_t(H_t(u)); sA/sB accumulate the positive
+// children pairs. Maintained eagerly while the node is cached; garbage
+// while not.
+type negAgg struct {
+	hA, hB int64
+	sA, sB int64
+}
+
 // TC is the efficient implementation of the paper's algorithm. Create
 // one with New. TC is not safe for concurrent use.
 type TC struct {
@@ -87,28 +123,12 @@ type TC struct {
 	epoch  int32 // incremented at each phase start; lazily resets state
 	rounds int64 // rounds within phase (diagnostics)
 
-	// Per-node counters, valid when cntEpoch matches epoch.
-	cnt      []int64
-	cntEpoch []int32
+	cnt []counter // per-node counters
+	pos []posAgg  // positive-side aggregates (meaningful for non-cached u)
+	neg []negAgg  // negative-side structure (meaningful for cached u)
 
-	// Positive-side aggregates over P_t(u) (meaningful for non-cached u),
-	// valid when pEpoch matches; stale values default to (0, |T(u)|)
-	// because each phase starts with an empty cache.
-	pcnt   []int64
-	psize  []int32
-	pEpoch []int32
-
-	// Negative-side structure (meaningful for cached u): hvalA/hvalB is
-	// the exact pair for val_t(H_t(u)); sumA/sumB accumulate the
-	// positive-valued children pairs. Maintained eagerly while a node is
-	// cached; garbage while not.
-	hvalA []int64
-	hvalB []int64
-	sumA  []int64
-	sumB  []int64
-
-	// Scratch buffers reused across rounds.
-	path    []tree.NodeID
+	// Scratch buffers reused across rounds; Serve never heap-allocates
+	// in steady state.
 	xbuf    []tree.NodeID
 	markBuf []bool
 }
@@ -124,23 +144,16 @@ func New(t *tree.Tree, cfg Config) *TC {
 	}
 	n := t.Len()
 	a := &TC{
-		t:        t,
-		cfg:      cfg,
-		cache:    cache.NewSubforest(t),
-		led:      cache.Ledger{Alpha: cfg.Alpha},
-		epoch:    1,
-		cnt:      make([]int64, n),
-		cntEpoch: make([]int32, n),
-		pcnt:     make([]int64, n),
-		psize:    make([]int32, n),
-		pEpoch:   make([]int32, n),
-		hvalA:    make([]int64, n),
-		hvalB:    make([]int64, n),
-		sumA:     make([]int64, n),
-		sumB:     make([]int64, n),
-		path:     make([]tree.NodeID, 0, t.Height()+1),
-		xbuf:     make([]tree.NodeID, 0, 64),
-		markBuf:  make([]bool, n),
+		t:       t,
+		cfg:     cfg,
+		cache:   cache.NewSubforest(t),
+		led:     cache.Ledger{Alpha: cfg.Alpha},
+		epoch:   1,
+		cnt:     make([]counter, n),
+		pos:     make([]posAgg, n),
+		neg:     make([]negAgg, n),
+		xbuf:    make([]tree.NodeID, 0, 64),
+		markBuf: make([]bool, n),
 	}
 	return a
 }
@@ -166,6 +179,17 @@ func (a *TC) CacheLen() int { return a.cache.Len() }
 // CacheMembers returns the cached nodes in preorder (copies).
 func (a *TC) CacheMembers() []tree.NodeID { return a.cache.Members() }
 
+// AppendCacheMembers appends the cached nodes in preorder to dst and
+// returns it. Allocation-free when dst has capacity; cached subtrees
+// are bulk-copied via their preorder intervals.
+func (a *TC) AppendCacheMembers(dst []tree.NodeID) []tree.NodeID {
+	return a.cache.AppendMembers(dst)
+}
+
+// CacheRoots returns the roots of the maximal cached subtrees in
+// preorder.
+func (a *TC) CacheRoots() []tree.NodeID { return a.cache.Roots() }
+
 // Ledger returns the accumulated costs.
 func (a *TC) Ledger() cache.Ledger { return a.led }
 
@@ -190,31 +214,30 @@ func (a *TC) Reset() {
 
 // count returns node v's counter within the current phase.
 func (a *TC) count(v tree.NodeID) int64 {
-	if a.cntEpoch[v] != a.epoch {
+	if a.cnt[v].epoch != a.epoch {
 		return 0
 	}
-	return a.cnt[v]
+	return a.cnt[v].val
 }
 
 // setCount stamps v's counter.
 func (a *TC) setCount(v tree.NodeID, c int64) {
-	a.cnt[v] = c
-	a.cntEpoch[v] = a.epoch
+	a.cnt[v] = counter{val: c, epoch: a.epoch}
 }
 
 // pAgg returns (cnt(P_t(u)), |P_t(u)|); stale entries default to the
 // phase-start state (0, |T(u)|).
 func (a *TC) pAgg(u tree.NodeID) (int64, int32) {
-	if a.pEpoch[u] != a.epoch {
+	p := a.pos[u]
+	if p.epoch != a.epoch {
 		return 0, int32(a.t.SubtreeSize(u))
 	}
-	return a.pcnt[u], a.psize[u]
+	return p.cnt, p.size
 }
 
 // pSet stamps u's positive aggregates.
 func (a *TC) pSet(u tree.NodeID, c int64, s int32) {
-	a.pcnt[u], a.psize[u] = c, s
-	a.pEpoch[u] = a.epoch
+	a.pos[u] = posAgg{cnt: c, size: s, epoch: a.epoch}
 }
 
 // Serve processes the request of the next round and returns the serving
@@ -249,47 +272,37 @@ func (a *TC) Serve(req trace.Request) (serveCost, moveCost int64) {
 
 func (a *TC) servePositive(v tree.NodeID) {
 	// v is non-cached, hence (downward closure) so is its whole root
-	// path. Bump v's counter and every ancestor's P-aggregate.
+	// path. A single upward pass bumps every ancestor's P-aggregate and
+	// remembers the topmost saturated one: that is exactly the first
+	// saturated P_t(u) of the paper's root-down scan, i.e. the unique
+	// maximal saturated changeset.
 	a.setCount(v, a.count(v)+1)
-	a.path = a.path[:0]
-	a.path = a.t.AppendAncestors(a.path, v) // v .. root
-	for _, u := range a.path {
-		c, s := a.pAgg(u)
-		a.pSet(u, c+1, s)
-	}
-	// Scan ancestors from the root down; the first saturated P_t(u) is
-	// the unique maximal saturated changeset (supersets checked first).
 	alpha := a.cfg.Alpha
-	for i := len(a.path) - 1; i >= 0; i-- {
-		u := a.path[i]
+	top := tree.None
+	var topC int64
+	var topS int32
+	for u := v; u != tree.None; u = a.t.Parent(u) {
 		c, s := a.pAgg(u)
+		c++
+		a.pSet(u, c, s)
 		if c >= int64(s)*alpha {
-			a.applyFetch(u, c, s)
-			return
+			top, topC, topS = u, c, s
 		}
+	}
+	if top != tree.None {
+		a.applyFetch(top, topC, topS)
 	}
 }
 
 // applyFetch fetches X = P_t(u) (cnt c, size s), or flushes the cache
 // and starts a new phase if X does not fit.
 func (a *TC) applyFetch(u tree.NodeID, c int64, s int32) {
-	// Collect X: the non-cached nodes of T(u). Children of a non-cached
-	// node may be cached (then their whole subtree is), so the DFS stops
-	// at cached children. X is collected before the capacity check so a
-	// phase-end observer can see the would-be fetch (the analysis'
-	// "artificial fetch" at end(P)).
-	x := a.xbuf[:0]
-	stack := append([]tree.NodeID(nil), u)
-	for len(stack) > 0 {
-		w := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		x = append(x, w)
-		for _, ch := range a.t.Children(w) {
-			if !a.cache.Contains(ch) {
-				stack = append(stack, ch)
-			}
-		}
-	}
+	// Collect X = P(u): the non-cached nodes of T(u) in preorder, via
+	// the interval walk of AppendMissing (O(|X|) plus one interval test
+	// per skipped cached subtree). X is collected before the capacity
+	// check so a phase-end observer can see the would-be fetch (the
+	// analysis' "artificial fetch" at end(P)).
+	x := a.cache.AppendMissing(a.xbuf[:0], u)
 	a.xbuf = x
 	if len(x) != int(s) {
 		panic(fmt.Sprintf("core: P(%d) size mismatch: aggregate %d, collected %d", u, s, len(x)))
@@ -313,8 +326,8 @@ func (a *TC) applyFetch(u tree.NodeID, c int64, s int32) {
 		a.pSet(p, pc-c, ps-s)
 	}
 	// Initialise the negative-side structure for the newly cached
-	// nodes, children before parents (x is in DFS preorder of the cap,
-	// so reverse order works).
+	// nodes, children before parents (x is in preorder of the cap, so
+	// reverse order works).
 	for i := len(x) - 1; i >= 0; i-- {
 		a.initHval(x[i])
 	}
@@ -329,14 +342,17 @@ func (a *TC) initHval(w tree.NodeID) {
 	var sa, sb int64
 	for _, ch := range a.t.Children(w) {
 		// Every child of a cached node is cached.
-		if a.hvalA[ch] >= 0 {
-			sa += a.hvalA[ch]
-			sb += a.hvalB[ch]
+		if a.neg[ch].hA >= 0 {
+			sa += a.neg[ch].hA
+			sb += a.neg[ch].hB
 		}
 	}
-	a.sumA[w], a.sumB[w] = sa, sb
-	a.hvalA[w] = a.count(w) - a.cfg.Alpha + sa
-	a.hvalB[w] = 1 + sb
+	a.neg[w] = negAgg{
+		hA: a.count(w) - a.cfg.Alpha + sa,
+		hB: 1 + sb,
+		sA: sa,
+		sB: sb,
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -350,13 +366,14 @@ func (a *TC) serveNegative(v tree.NodeID) {
 	// parent's running sums.
 	x := v
 	for {
-		oldA, oldB := a.hvalA[x], a.hvalB[x]
-		a.hvalA[x] = a.count(x) - a.cfg.Alpha + a.sumA[x]
-		a.hvalB[x] = 1 + a.sumB[x]
+		nx := &a.neg[x]
+		oldA, oldB := nx.hA, nx.hB
+		nx.hA = a.count(x) - a.cfg.Alpha + nx.sA
+		nx.hB = 1 + nx.sB
 		p := a.t.Parent(x)
 		if p == tree.None || !a.cache.Contains(p) {
 			// x is the root of its cached tree.
-			if a.hvalA[x] >= 0 {
+			if nx.hA >= 0 {
 				a.applyEvict(x)
 			}
 			return
@@ -366,12 +383,12 @@ func (a *TC) serveNegative(v tree.NodeID) {
 			dA -= oldA
 			dB -= oldB
 		}
-		if a.hvalA[x] >= 0 {
-			dA += a.hvalA[x]
-			dB += a.hvalB[x]
+		if nx.hA >= 0 {
+			dA += nx.hA
+			dB += nx.hB
 		}
-		a.sumA[p] += dA
-		a.sumB[p] += dB
+		a.neg[p].sA += dA
+		a.neg[p].sB += dB
 		x = p
 	}
 }
@@ -379,19 +396,27 @@ func (a *TC) serveNegative(v tree.NodeID) {
 // applyEvict evicts X = H_t(r) where r is a cached-tree root with
 // val_t(H_t(r)) > 0.
 func (a *TC) applyEvict(r tree.NodeID) {
-	// Recover H(r): start at r; include a cached child w iff
-	// val(H(w)) > 0. Record |X ∩ T(x)| for each x to rebuild the
-	// positive-side aggregates of the now-non-cached nodes.
+	// Recover H(r) by walking r's preorder interval: a node w ∈ T(r)
+	// belongs to H(r) iff its parent does and val(H(w)) > 0. An
+	// excluded node's whole subtree is skipped in O(1) via its
+	// interval, so every node the walk reaches has an included parent
+	// and the test reduces to w's own hval sign. The membership marks
+	// feed the |X ∩ T(x)| bookkeeping below.
 	x := a.xbuf[:0]
-	stack := append([]tree.NodeID(nil), r)
-	for len(stack) > 0 {
-		w := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		x = append(x, w)
-		for _, ch := range a.t.Children(w) {
-			if a.hvalA[ch] >= 0 {
-				stack = append(stack, ch)
-			}
+	inX := a.markSet(nil)
+	pre := a.t.Preorder()
+	lo, hi := a.t.PreorderInterval(r)
+	x = append(x, r)
+	inX[r] = true
+	for i := lo + 1; i < hi; {
+		w := pre[i]
+		if a.neg[w].hA >= 0 {
+			x = append(x, w)
+			inX[w] = true
+			i++
+		} else {
+			_, wHi := a.t.PreorderInterval(w)
+			i = wHi
 		}
 	}
 	a.xbuf = x
@@ -399,7 +424,6 @@ func (a *TC) applyEvict(r tree.NodeID) {
 		panic("core: " + err.Error())
 	}
 	a.led.PayEvict(len(x))
-	inX := a.markSet(x)
 	// Counters reset; rebuild P-aggregates bottom-up within the cap:
 	// psize[x] = |X ∩ T(x)| (all other descendants remain cached),
 	// pcnt[x] = 0.
@@ -427,8 +451,9 @@ func (a *TC) applyEvict(r tree.NodeID) {
 	}
 }
 
-// markSet returns a membership lookup for x. It reuses a persistent
-// bitmap sized to the tree to avoid per-call allocation.
+// markSet returns a membership lookup seeded with x (which may be nil).
+// It reuses a persistent bitmap sized to the tree to avoid per-call
+// allocation.
 func (a *TC) markSet(x []tree.NodeID) []bool {
 	if cap(a.markBuf) < a.t.Len() {
 		a.markBuf = make([]bool, a.t.Len())

@@ -1,0 +1,35 @@
+package experiments
+
+import "repro/internal/tree"
+
+// BenchCase is one cell of the TC serve-path microbenchmark grid. The
+// grid is the single source of truth shared by the repo-root
+// BenchmarkTC* benchmarks and the cmd/experiments -bench-json
+// recorder, so the recorded BENCH_core.json trajectory always measures
+// exactly the workloads CI smokes.
+type BenchCase struct {
+	Name     string // "<group>/<param>", e.g. "TCStar/n=1024"
+	Build    func() *tree.Tree
+	Capacity int
+}
+
+// TCBenchCases returns the canonical shape grid: stars (h=1, huge
+// degree), paths (h=n−1), complete binary trees, and fixed-size trees
+// of growing fanout. Alpha is fixed at 8 and the capacity at half the
+// node count by the harnesses.
+func TCBenchCases() []BenchCase {
+	return []BenchCase{
+		{"TCStar/n=1024", func() *tree.Tree { return tree.Star(1 << 10) }, 1 << 9},
+		{"TCStar/n=16384", func() *tree.Tree { return tree.Star(1 << 14) }, 1 << 13},
+		{"TCStar/n=262144", func() *tree.Tree { return tree.Star(1 << 18) }, 1 << 17},
+		{"TCPath/n=256", func() *tree.Tree { return tree.Path(1 << 8) }, 1 << 7},
+		{"TCPath/n=1024", func() *tree.Tree { return tree.Path(1 << 10) }, 1 << 9},
+		{"TCPath/n=4096", func() *tree.Tree { return tree.Path(1 << 12) }, 1 << 11},
+		{"TCBinary/n=1024", func() *tree.Tree { return tree.CompleteKary(1<<10, 2) }, 1 << 9},
+		{"TCBinary/n=16384", func() *tree.Tree { return tree.CompleteKary(1<<14, 2) }, 1 << 13},
+		{"TCBinary/n=262144", func() *tree.Tree { return tree.CompleteKary(1<<18, 2) }, 1 << 17},
+		{"TCWideFanout/deg=4", func() *tree.Tree { return tree.CompleteKary(1<<14, 4) }, 1 << 13},
+		{"TCWideFanout/deg=64", func() *tree.Tree { return tree.CompleteKary(1<<14, 64) }, 1 << 13},
+		{"TCWideFanout/deg=1024", func() *tree.Tree { return tree.CompleteKary(1<<14, 1024) }, 1 << 13},
+	}
+}

@@ -174,7 +174,7 @@ func newConstructionD(t *tree.Tree, root, r1, r2 tree.NodeID, s int, alpha int64
 	// Preamble: fetch the entire tree by saturating P(root).
 	add(int64(t.Len())*alpha, trace.Pos(root))
 	// Stage 1: α negative requests per node of T1 bottom-up, then at r.
-	sub1 := t.Subtree(r1)
+	sub1 := t.SubtreeView(r1)
 	for i := len(sub1) - 1; i >= 0; i-- {
 		add(alpha, trace.Neg(sub1[i]))
 	}
@@ -183,7 +183,7 @@ func newConstructionD(t *tree.Tree, root, r1, r2 tree.NodeID, s int, alpha int64
 	// Stage 2: (s+1)·α − ℓ positive requests at r.
 	add(int64(s+1)*alpha-int64(leaves), trace.Pos(root))
 	// Stage 3: α negative requests per node of T2 bottom-up.
-	sub2 := t.Subtree(r2)
+	sub2 := t.SubtreeView(r2)
 	for i := len(sub2) - 1; i >= 0; i-- {
 		add(alpha, trace.Neg(sub2[i]))
 	}

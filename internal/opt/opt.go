@@ -33,13 +33,12 @@ func States(t *tree.Tree, k int) []uint64 {
 	if t.Len() > MaxExactNodes {
 		panic(fmt.Sprintf("opt: tree too large for exact enumeration: %d > %d", t.Len(), MaxExactNodes))
 	}
-	// Subtree masks per node: contiguous preorder ranges.
+	// Subtree masks per node: contiguous preorder intervals.
 	subMask := make([]uint64, t.Len())
 	for _, v := range t.Preorder() {
 		var m uint64
-		i := t.PreorderIndex(v)
-		for j := 0; j < t.SubtreeSize(v); j++ {
-			m |= 1 << uint(t.Preorder()[i+j])
+		for _, u := range t.SubtreeView(v) {
+			m |= 1 << uint(u)
 		}
 		subMask[v] = m
 	}
@@ -283,7 +282,7 @@ func Static(t *tree.Tree, input trace.Trace, k int, alpha int64) StaticResult {
 		if take[i][s] {
 			v := pre[i]
 			sz := t.SubtreeSize(v)
-			set = append(set, t.Subtree(v)...)
+			set = append(set, t.SubtreeView(v)...)
 			i += sz
 			s -= sz
 		} else {

@@ -4,6 +4,14 @@
 // the root. The package offers O(1) parent/children/depth/subtree-size
 // queries, preorder traversal, and the tree-cap and subforest predicates
 // used throughout the paper (Bienkowski et al., SPAA 2017, Section 3).
+//
+// The tree is stored in a flat CSR (compressed sparse row) layout: the
+// children of every node live contiguously in one shared array, indexed
+// by per-node offsets, and every subtree is a contiguous half-open
+// interval [preIn, preOut) of the preorder sequence. Children(v) is a
+// zero-allocation subslice and ancestor/subtree membership is a
+// two-comparison interval test, so every traversal in the serving hot
+// path runs over dense, cache-friendly memory.
 package tree
 
 import (
@@ -22,11 +30,13 @@ const None NodeID = -1
 // shape builders (Path, Star, CompleteKary, Caterpillar, Random...).
 type Tree struct {
 	parent   []NodeID
-	children [][]NodeID
+	childArr []NodeID // all children, grouped by parent (CSR values)
+	childOff []int32  // len n+1; children of v are childArr[childOff[v]:childOff[v+1]]
 	depth    []int32
 	subSize  []int32
 	preorder []NodeID
-	preIndex []int32 // preIndex[v] = position of v in preorder
+	preIn    []int32 // preIn[v] = position of v in preorder
+	preOut   []int32 // preOut[v] = preIn[v] + subSize[v]; T(v) = preorder[preIn[v]:preOut[v]]
 	height   int
 	maxDeg   int
 }
@@ -45,13 +55,18 @@ func New(parents []NodeID) (*Tree, error) {
 	}
 	t := &Tree{
 		parent:   make([]NodeID, n),
-		children: make([][]NodeID, n),
+		childArr: make([]NodeID, n-1),
+		childOff: make([]int32, n+1),
 		depth:    make([]int32, n),
 		subSize:  make([]int32, n),
 		preorder: make([]NodeID, 0, n),
-		preIndex: make([]int32, n),
+		preIn:    make([]int32, n),
+		preOut:   make([]int32, n),
 	}
 	copy(t.parent, parents)
+	// Counting sort of the children by parent: degree histogram, prefix
+	// sums, then a fill pass in increasing node order (which preserves
+	// the increasing-child order the old slice-of-slices layout had).
 	for v := 1; v < n; v++ {
 		p := parents[v]
 		if p < 0 || int(p) >= n {
@@ -60,7 +75,17 @@ func New(parents []NodeID) (*Tree, error) {
 		if p == NodeID(v) {
 			return nil, fmt.Errorf("tree: node %d is its own parent", v)
 		}
-		t.children[p] = append(t.children[p], NodeID(v))
+		t.childOff[p+1]++
+	}
+	for v := 0; v < n; v++ {
+		t.childOff[v+1] += t.childOff[v]
+	}
+	next := make([]int32, n)
+	copy(next, t.childOff[:n])
+	for v := 1; v < n; v++ {
+		p := parents[v]
+		t.childArr[next[p]] = NodeID(v)
+		next[p]++
 	}
 	// Iterative DFS from the root: establishes connectivity/acyclicity,
 	// depths, preorder and subtree sizes.
@@ -71,16 +96,16 @@ func New(parents []NodeID) (*Tree, error) {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		t.preIndex[v] = int32(len(t.preorder))
+		t.preIn[v] = int32(len(t.preorder))
 		t.preorder = append(t.preorder, v)
 		if d := int(t.depth[v]); d > t.height {
 			t.height = d
 		}
-		if deg := len(t.children[v]); deg > t.maxDeg {
-			t.maxDeg = deg
+		cs := t.childArr[t.childOff[v]:t.childOff[v+1]]
+		if len(cs) > t.maxDeg {
+			t.maxDeg = len(cs)
 		}
 		// Push children in reverse so preorder visits them in order.
-		cs := t.children[v]
 		for i := len(cs) - 1; i >= 0; i-- {
 			c := cs[i]
 			if visited[c] {
@@ -94,13 +119,15 @@ func New(parents []NodeID) (*Tree, error) {
 	if len(t.preorder) != n {
 		return nil, fmt.Errorf("tree: %d of %d nodes unreachable from root", n-len(t.preorder), n)
 	}
-	// Subtree sizes in reverse preorder (children before parents).
+	// Subtree sizes in reverse preorder (children before parents), then
+	// the preorder intervals.
 	for i := n - 1; i >= 0; i-- {
 		v := t.preorder[i]
 		t.subSize[v] = 1
-		for _, c := range t.children[v] {
+		for _, c := range t.Children(v) {
 			t.subSize[v] += t.subSize[c]
 		}
+		t.preOut[v] = t.preIn[v] + t.subSize[v]
 	}
 	return t, nil
 }
@@ -124,12 +151,14 @@ func (t *Tree) Root() NodeID { return 0 }
 // Parent returns the parent of v, or None for the root.
 func (t *Tree) Parent(v NodeID) NodeID { return t.parent[v] }
 
-// Children returns the children of v. The returned slice must not be
-// modified.
-func (t *Tree) Children(v NodeID) []NodeID { return t.children[v] }
+// Children returns the children of v as a zero-allocation subslice of
+// the shared CSR child array. The returned slice must not be modified.
+func (t *Tree) Children(v NodeID) []NodeID {
+	return t.childArr[t.childOff[v]:t.childOff[v+1]]
+}
 
 // Degree returns the number of children of v.
-func (t *Tree) Degree(v NodeID) int { return len(t.children[v]) }
+func (t *Tree) Degree(v NodeID) int { return int(t.childOff[v+1] - t.childOff[v]) }
 
 // Depth returns the number of edges from the root to v.
 func (t *Tree) Depth(v NodeID) int { return int(t.depth[v]) }
@@ -147,7 +176,7 @@ func (t *Tree) MaxDegree() int { return t.maxDeg }
 func (t *Tree) SubtreeSize(v NodeID) int { return int(t.subSize[v]) }
 
 // IsLeaf reports whether v has no children.
-func (t *Tree) IsLeaf(v NodeID) bool { return len(t.children[v]) == 0 }
+func (t *Tree) IsLeaf(v NodeID) bool { return t.childOff[v] == t.childOff[v+1] }
 
 // Preorder returns the nodes in preorder (root first, every subtree
 // contiguous). The returned slice must not be modified.
@@ -157,14 +186,20 @@ func (t *Tree) Preorder() []NodeID { return t.preorder }
 // every subtree is a contiguous preorder range, u is an ancestor-or-self
 // of v iff PreorderIndex(u) ≤ PreorderIndex(v) <
 // PreorderIndex(u)+SubtreeSize(u).
-func (t *Tree) PreorderIndex(v NodeID) int { return int(t.preIndex[v]) }
+func (t *Tree) PreorderIndex(v NodeID) int { return int(t.preIn[v]) }
 
-// IsAncestorOrSelf reports whether u is v or an ancestor of v, in O(1)
-// via preorder ranges.
+// PreorderInterval returns the half-open interval [lo, hi) such that
+// Preorder()[lo:hi] is exactly the subtree T(v). Interval containment
+// of two nodes' intervals is subtree containment.
+func (t *Tree) PreorderInterval(v NodeID) (lo, hi int32) {
+	return t.preIn[v], t.preOut[v]
+}
+
+// IsAncestorOrSelf reports whether u is v or an ancestor of v, via a
+// two-comparison preorder-interval test.
 func (t *Tree) IsAncestorOrSelf(u, v NodeID) bool {
-	ui := t.preIndex[u]
-	vi := t.preIndex[v]
-	return ui <= vi && vi < ui+t.subSize[u]
+	vi := t.preIn[v]
+	return t.preIn[u] <= vi && vi < t.preOut[u]
 }
 
 // Ancestors returns the path root..v inclusive, from the root downward.
@@ -190,10 +225,16 @@ func (t *Tree) AppendAncestors(dst []NodeID, v NodeID) []NodeID {
 
 // Subtree returns the nodes of T(v) in preorder.
 func (t *Tree) Subtree(v NodeID) []NodeID {
-	i := t.preIndex[v]
 	out := make([]NodeID, t.subSize[v])
-	copy(out, t.preorder[i:int(i)+int(t.subSize[v])])
+	copy(out, t.preorder[t.preIn[v]:t.preOut[v]])
 	return out
+}
+
+// SubtreeView returns the nodes of T(v) in preorder as a zero-allocation
+// view into the shared preorder array. The returned slice must not be
+// modified.
+func (t *Tree) SubtreeView(v NodeID) []NodeID {
+	return t.preorder[t.preIn[v]:t.preOut[v]]
 }
 
 // Leaves returns all leaves of the tree in preorder.
@@ -242,7 +283,7 @@ func (t *Tree) IsSubforest(members []NodeID) bool {
 		in[v] = true
 	}
 	for _, v := range members {
-		for _, c := range t.children[v] {
+		for _, c := range t.Children(v) {
 			if !in[c] {
 				return false
 			}
@@ -268,7 +309,7 @@ func (t *Tree) CapMembers(root NodeID, members []NodeID) (map[NodeID]int, error)
 	sort.Slice(ms, func(i, j int) bool { return t.depth[ms[i]] > t.depth[ms[j]] })
 	for _, v := range ms {
 		s := 1
-		for _, c := range t.children[v] {
+		for _, c := range t.Children(v) {
 			if in[c] {
 				s += sz[c]
 			}

@@ -274,3 +274,71 @@ func TestStringer(t *testing.T) {
 		t.Fatalf("String() = %q", got)
 	}
 }
+
+func TestCSRChildrenMatchParentVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 50; iter++ {
+		tr := RandomShape(rng, 1+rng.Intn(200))
+		seen := 0
+		for v := 0; v < tr.Len(); v++ {
+			cs := tr.Children(NodeID(v))
+			if len(cs) != tr.Degree(NodeID(v)) {
+				t.Fatalf("Degree(%d) = %d, len(Children) = %d", v, tr.Degree(NodeID(v)), len(cs))
+			}
+			for i, c := range cs {
+				if tr.Parent(c) != NodeID(v) {
+					t.Fatalf("child %d of %d has parent %d", c, v, tr.Parent(c))
+				}
+				if i > 0 && cs[i-1] >= c {
+					t.Fatalf("children of %d not in increasing order: %v", v, cs)
+				}
+				seen++
+			}
+		}
+		if seen != tr.Len()-1 {
+			t.Fatalf("CSR holds %d children, want %d", seen, tr.Len()-1)
+		}
+	}
+}
+
+func TestPreorderIntervals(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for iter := 0; iter < 30; iter++ {
+		tr := RandomShape(rng, 1+rng.Intn(150))
+		pre := tr.Preorder()
+		for v := 0; v < tr.Len(); v++ {
+			lo, hi := tr.PreorderInterval(NodeID(v))
+			if int(hi-lo) != tr.SubtreeSize(NodeID(v)) {
+				t.Fatalf("interval of %d has length %d, want subtree size %d", v, hi-lo, tr.SubtreeSize(NodeID(v)))
+			}
+			if pre[lo] != NodeID(v) {
+				t.Fatalf("interval of %d does not start at itself", v)
+			}
+			view := tr.SubtreeView(NodeID(v))
+			sub := tr.Subtree(NodeID(v))
+			if len(view) != len(sub) {
+				t.Fatalf("SubtreeView and Subtree disagree on %d", v)
+			}
+			for i := range sub {
+				if view[i] != sub[i] {
+					t.Fatalf("SubtreeView and Subtree disagree on %d at %d", v, i)
+				}
+			}
+		}
+		// Interval containment must coincide with ancestry for all pairs.
+		n := tr.Len()
+		if n > 60 {
+			n = 60
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				ulo, uhi := tr.PreorderInterval(NodeID(u))
+				vlo, _ := tr.PreorderInterval(NodeID(v))
+				byInterval := ulo <= vlo && vlo < uhi
+				if byInterval != tr.IsAncestorOrSelf(NodeID(u), NodeID(v)) {
+					t.Fatalf("interval test and IsAncestorOrSelf disagree for (%d,%d)", u, v)
+				}
+			}
+		}
+	}
+}

@@ -95,6 +95,7 @@ type Engine struct {
 
 	path []tree.NodeID
 	xbuf []tree.NodeID
+	mark []bool // scratch membership bitmap (evictSet)
 }
 
 // New builds an engine over t.
@@ -258,8 +259,9 @@ func (e *Engine) applyFetch(u tree.NodeID) {
 			e.flush()
 			return
 		case EvictColdest:
-			// makeRoom reuses the scratch buffer backing x; detach first.
-			x = append([]tree.NodeID(nil), x...)
+			// makeRoom evicts whole cached trees, which are contiguous
+			// preorder intervals; it no longer touches the scratch
+			// buffer backing x.
 			if !e.makeRoom(len(x), u) {
 				return // cannot fit without touching the fetch region
 			}
@@ -285,20 +287,9 @@ func (e *Engine) applyFetch(u tree.NodeID) {
 	e.lastTouch[u] = e.round
 }
 
-// collectP gathers the non-cached nodes of T(u).
+// collectP gathers the non-cached nodes of T(u) in preorder.
 func (e *Engine) collectP(u tree.NodeID) []tree.NodeID {
-	x := e.xbuf[:0]
-	stack := append([]tree.NodeID(nil), u)
-	for len(stack) > 0 {
-		w := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		x = append(x, w)
-		for _, ch := range e.t.Children(w) {
-			if !e.c.Contains(ch) {
-				stack = append(stack, ch)
-			}
-		}
-	}
+	x := e.c.AppendMissing(e.xbuf[:0], u)
 	e.xbuf = x
 	return x
 }
@@ -346,18 +337,25 @@ func (e *Engine) serveNegative(v tree.NodeID) {
 	}
 }
 
-// applyEvict evicts the best cap rooted at the cached-tree root r.
+// applyEvict evicts the best cap rooted at the cached-tree root r: a
+// node of T(r) belongs to the cap iff its parent does and its own best
+// cap has positive value. The preorder-interval walk skips an excluded
+// node's whole subtree in O(1), so every node it reaches has an
+// included parent and the membership test reduces to the node's own
+// hval sign.
 func (e *Engine) applyEvict(r tree.NodeID) {
 	x := e.xbuf[:0]
-	stack := append([]tree.NodeID(nil), r)
-	for len(stack) > 0 {
-		w := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		x = append(x, w)
-		for _, ch := range e.t.Children(w) {
-			if e.hvalA[ch] >= 0 {
-				stack = append(stack, ch)
-			}
+	pre := e.t.Preorder()
+	lo, hi := e.t.PreorderInterval(r)
+	x = append(x, r)
+	for i := lo + 1; i < hi; {
+		w := pre[i]
+		if e.hvalA[w] >= 0 {
+			x = append(x, w)
+			i++
+		} else {
+			_, wHi := e.t.PreorderInterval(w)
+			i = wHi
 		}
 	}
 	e.xbuf = x
@@ -372,7 +370,7 @@ func (e *Engine) evictSet(r tree.NodeID, x []tree.NodeID, resetCounters bool) {
 		panic("variants: " + err.Error())
 	}
 	e.led.PayEvict(len(x))
-	inX := make(map[tree.NodeID]bool, len(x))
+	inX := e.markBuf()
 	for _, w := range x {
 		inX[w] = true
 	}
@@ -409,6 +407,18 @@ func (e *Engine) evictSet(r tree.NodeID, x []tree.NodeID, resetCounters bool) {
 			}
 		}
 	}
+	for _, w := range x {
+		inX[w] = false
+	}
+}
+
+// markBuf returns the persistent scratch bitmap, allocating it on first
+// use. Callers must clear every bit they set before returning.
+func (e *Engine) markBuf() []bool {
+	if cap(e.mark) < e.t.Len() {
+		e.mark = make([]bool, e.t.Len())
+	}
+	return e.mark[:e.t.Len()]
 }
 
 // flush empties the cache and starts a new phase.
@@ -440,21 +450,10 @@ func (e *Engine) makeRoom(need int, fetchRoot tree.NodeID) bool {
 		if victim == tree.None {
 			return false
 		}
-		// Evict the whole cached tree rooted at victim.
-		x := e.xbuf[:0]
-		stack := append([]tree.NodeID(nil), victim)
-		for len(stack) > 0 {
-			w := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			x = append(x, w)
-			for _, ch := range e.t.Children(w) {
-				if e.c.Contains(ch) {
-					stack = append(stack, ch)
-				}
-			}
-		}
-		e.xbuf = x
-		e.evictSet(victim, x, true)
+		// Evict the whole cached tree rooted at victim. The cache is
+		// downward-closed, so T(victim) is entirely cached and the
+		// eviction set is exactly victim's preorder interval.
+		e.evictSet(victim, e.t.SubtreeView(victim), true)
 	}
 	return true
 }

@@ -123,6 +123,15 @@ func (c *Cache) CacheLen() int { return c.tc.CacheLen() }
 // Members returns the cached nodes in preorder.
 func (c *Cache) Members() []NodeID { return c.tc.CacheMembers() }
 
+// AppendMembers appends the cached nodes in preorder to dst and returns
+// it. Allocation-free when dst has capacity — the snapshot variant for
+// callers polling the cache on a hot path.
+func (c *Cache) AppendMembers(dst []NodeID) []NodeID { return c.tc.AppendCacheMembers(dst) }
+
+// Roots returns the roots of the maximal cached subtrees in preorder
+// (the tops of the cached subforest).
+func (c *Cache) Roots() []NodeID { return c.tc.CacheRoots() }
+
 // Cost returns the total cost paid so far.
 func (c *Cache) Cost() int64 { return c.tc.Ledger().Total() }
 
