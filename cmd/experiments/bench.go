@@ -30,13 +30,34 @@ type benchResult struct {
 }
 
 type benchFile struct {
-	GeneratedBy string        `json:"generated_by"`
-	GoVersion   string        `json:"go_version"`
-	GOOS        string        `json:"goos"`
-	GOARCH      string        `json:"goarch"`
-	UpdatedAt   string        `json:"updated_at"`
-	Baseline    []benchResult `json:"baseline,omitempty"`
-	Current     []benchResult `json:"current"`
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	// GoMaxProcs records the scheduler width of the recording host:
+	// the EngineFleet shards>1 rows only show aggregate speedup over
+	// shards=1 when it is > 1 (on a 1-core host they tie by physics).
+	GoMaxProcs int           `json:"gomaxprocs"`
+	UpdatedAt  string        `json:"updated_at"`
+	Baseline   []benchResult `json:"baseline,omitempty"`
+	Current    []benchResult `json:"current"`
+}
+
+// runEngineBench measures one cell of the sharded-engine fleet grid:
+// ns/op is per request served anywhere in the fleet, so aggregate
+// ops/s = 1e9/ns_per_op and the shards=k row is directly comparable
+// to shards=1 (the single-instance serve path behind one worker). The
+// body is experiments.EngineFleetBench, shared with the repo-root
+// BenchmarkEngineFleet so the two measurements cannot drift apart.
+func runEngineBench(c experiments.EngineBenchCase) benchResult {
+	r := testing.Benchmark(func(b *testing.B) { experiments.EngineFleetBench(b, c) })
+	return benchResult{
+		Name:        c.Name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
 }
 
 func runBenchCase(c experiments.BenchCase) benchResult {
@@ -80,15 +101,21 @@ func emitBenchJSON(path string, asBaseline bool) error {
 		return fmt.Errorf("bench-json: cannot read existing %s: %v", path, err)
 	}
 	cases := experiments.TCBenchCases()
-	results := make([]benchResult, 0, len(cases))
+	engineCases := experiments.EngineBenchCases()
+	results := make([]benchResult, 0, len(cases)+len(engineCases))
 	for _, c := range cases {
 		fmt.Fprintf(os.Stderr, "bench %s...\n", c.Name)
 		results = append(results, runBenchCase(c))
+	}
+	for _, c := range engineCases {
+		fmt.Fprintf(os.Stderr, "bench %s...\n", c.Name)
+		results = append(results, runEngineBench(c))
 	}
 	file.GeneratedBy = "cmd/experiments -bench-json"
 	file.GoVersion = runtime.Version()
 	file.GOOS = runtime.GOOS
 	file.GOARCH = runtime.GOARCH
+	file.GoMaxProcs = runtime.GOMAXPROCS(0)
 	file.UpdatedAt = time.Now().UTC().Format(time.RFC3339)
 	if asBaseline {
 		file.Baseline = results

@@ -1,0 +1,324 @@
+// Package engine implements a goroutine-safe sharded serving engine:
+// a fleet of independent tree-caching instances (one per tree/tenant)
+// served by per-shard worker goroutines, the way a FIB controller
+// drives many switches concurrently.
+//
+// Concurrency model — single writer per shard:
+//
+//   - Every shard owns exactly one Algorithm instance and exactly one
+//     worker goroutine; only that goroutine ever calls Serve, so the
+//     serve path needs no locks and the zero-allocation property of
+//     the underlying algorithm is preserved.
+//   - Submit routes a batch to the shard's FIFO channel; batches of
+//     one tenant are therefore served in submission order, which makes
+//     a concurrent run equivalent to per-tenant sequential replay (the
+//     differential tests assert exactly this).
+//   - Cost ledgers and latency statistics are accumulated in worker-
+//     local variables and published as one immutable snapshot per
+//     batch (a single atomic pointer store), so Stats may be called at
+//     any time from any goroutine without contending with the serve
+//     path and never observes a torn (cross-field inconsistent) state.
+//   - The optional Parallelism cap is a batch-granularity token
+//     channel: it bounds how many workers serve simultaneously without
+//     adding any per-request synchronization.
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// Algorithm is the minimal surface the engine drives. It is a
+// structural subset of sim.Algorithm, so TC, the Section-4 Reference,
+// the eager baselines and the variants engine all satisfy it without
+// this package importing them (internal/sim builds on this package).
+type Algorithm interface {
+	// Name identifies the algorithm in stats.
+	Name() string
+	// Serve processes one request; see sim.Algorithm.
+	Serve(req trace.Request) (serveCost, moveCost int64)
+	// CacheLen returns the current cache occupancy.
+	CacheLen() int
+	// Ledger returns the accumulated costs.
+	Ledger() cache.Ledger
+}
+
+// Config parameterises an Engine.
+type Config struct {
+	// Shards is the number of independent instances (tenants); ≥ 1.
+	Shards int
+	// NewShard builds shard i's algorithm. It is called exactly once
+	// per shard inside New; the instance is confined to that shard's
+	// worker goroutine afterwards. Must not be nil.
+	NewShard func(shard int) Algorithm
+	// QueueLen is the per-shard batch queue capacity; Submit blocks
+	// while a shard's queue is full (backpressure). Default 64.
+	QueueLen int
+	// Parallelism caps how many shard workers serve batches at the
+	// same time; 0 means no cap beyond one goroutine per shard.
+	Parallelism int
+}
+
+// ShardStats is one shard's published counters: a consistent snapshot
+// taken at the shard's last completed batch (published atomically as a
+// whole, so fields are never mutually torn). After Drain the snapshot
+// covers all drained work exactly.
+type ShardStats struct {
+	Shard     int
+	Algorithm string
+	Rounds    int64 // requests served
+	Serve     int64 // serving cost
+	Move      int64 // movement cost
+	Fetched   int64 // nodes fetched
+	Evicted   int64 // nodes evicted
+	MaxCache  int   // peak cache occupancy observed
+	Batches   int64 // batches served
+	BusyNs    int64 // total wall time spent serving batches
+	MaxBatch  int64 // slowest single batch, ns
+}
+
+// Total returns Serve + Move.
+func (s ShardStats) Total() int64 { return s.Serve + s.Move }
+
+// Stats aggregates the fleet: the per-shard snapshots plus their sums.
+type Stats struct {
+	Shards []ShardStats
+	// Sums over all shards.
+	Rounds  int64
+	Serve   int64
+	Move    int64
+	Fetched int64
+	Evicted int64
+	Batches int64
+	BusyNs  int64
+}
+
+// Total returns the fleet-wide Serve + Move.
+func (s Stats) Total() int64 { return s.Serve + s.Move }
+
+// message is one queue entry: either a batch of requests or a drain
+// token carrying the channel to acknowledge on.
+type message struct {
+	batch trace.Trace
+	flush chan<- struct{}
+}
+
+type shard struct {
+	id   int
+	name string
+	algo Algorithm
+	in   chan message
+	done chan struct{}
+	// pub is the published snapshot: a fresh immutable ShardStats is
+	// stored once per batch by the shard's single writer, so readers
+	// always see an internally consistent (never torn) snapshot.
+	pub atomic.Pointer[ShardStats]
+}
+
+// Engine is the sharded serving engine. Create one with New. Submit,
+// SubmitMulti, Drain and Stats are safe for concurrent use; Close must
+// not race with Submit or Drain (standard channel-close semantics).
+type Engine struct {
+	shards []*shard
+	tokens chan struct{} // nil when Parallelism is uncapped
+	closed atomic.Bool
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = fmt.Errorf("engine: closed")
+
+// New builds the fleet and starts one worker goroutine per shard. It
+// panics on invalid configuration (programmer input).
+func New(cfg Config) *Engine {
+	if cfg.Shards < 1 {
+		panic(fmt.Sprintf("engine: Shards must be >= 1, got %d", cfg.Shards))
+	}
+	if cfg.NewShard == nil {
+		panic("engine: NewShard must not be nil")
+	}
+	queue := cfg.QueueLen
+	if queue <= 0 {
+		queue = 64
+	}
+	e := &Engine{shards: make([]*shard, cfg.Shards)}
+	if cfg.Parallelism > 0 && cfg.Parallelism < cfg.Shards {
+		e.tokens = make(chan struct{}, cfg.Parallelism)
+		for i := 0; i < cfg.Parallelism; i++ {
+			e.tokens <- struct{}{}
+		}
+	}
+	for i := range e.shards {
+		algo := cfg.NewShard(i)
+		s := &shard{
+			id:   i,
+			name: algo.Name(),
+			algo: algo,
+			in:   make(chan message, queue),
+			done: make(chan struct{}),
+		}
+		e.shards[i] = s
+		go e.worker(s)
+	}
+	return e
+}
+
+// Shards returns the number of shards.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Algorithm returns shard i's instance. The instance is owned by the
+// shard's worker: callers may only touch it while the engine is
+// quiescent (after Drain with no in-flight Submit, or after Close).
+func (e *Engine) Algorithm(i int) Algorithm { return e.shards[i].algo }
+
+// Submit enqueues a batch for one shard and returns once the batch is
+// queued (it blocks while the shard's queue is full). The batch is
+// retained until served; callers must not mutate it before the next
+// Drain. Requests of one shard are served in submission order.
+func (e *Engine) Submit(shard int, batch trace.Trace) error {
+	if shard < 0 || shard >= len(e.shards) {
+		return fmt.Errorf("engine: shard %d out of range [0,%d)", shard, len(e.shards))
+	}
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	e.shards[shard].in <- message{batch: batch}
+	return nil
+}
+
+// SubmitMulti routes a multi-tenant trace to the fleet (tenant i →
+// shard i), re-batching each tenant's stream into chunks of up to
+// batchLen requests (default 1024). Per-tenant order is preserved, so
+// the run is equivalent to serving mt.Split(Shards()) sequentially.
+func (e *Engine) SubmitMulti(mt trace.MultiTrace, batchLen int) error {
+	if batchLen <= 0 {
+		batchLen = 1024
+	}
+	pending := make([]trace.Trace, len(e.shards))
+	for _, tr := range mt {
+		if tr.Tenant < 0 || tr.Tenant >= len(e.shards) {
+			return fmt.Errorf("engine: tenant %d out of range [0,%d)", tr.Tenant, len(e.shards))
+		}
+		if pending[tr.Tenant] == nil {
+			pending[tr.Tenant] = make(trace.Trace, 0, batchLen)
+		}
+		pending[tr.Tenant] = append(pending[tr.Tenant], tr.Req)
+		if len(pending[tr.Tenant]) == batchLen {
+			if err := e.Submit(tr.Tenant, pending[tr.Tenant]); err != nil {
+				return err
+			}
+			pending[tr.Tenant] = nil
+		}
+	}
+	for t, b := range pending {
+		if len(b) > 0 {
+			if err := e.Submit(t, b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Drain blocks until every batch submitted before the call has been
+// served. Concurrent Submits are allowed; they are simply not covered
+// by this Drain. Stats read after Drain are exact for the drained work.
+func (e *Engine) Drain() {
+	acks := make(chan struct{}, len(e.shards))
+	for _, s := range e.shards {
+		s.in <- message{flush: acks}
+	}
+	for range e.shards {
+		<-acks
+	}
+}
+
+// Close serves all queued batches, stops the workers and releases the
+// engine. It must not race with Submit or Drain. Close is idempotent.
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	for _, s := range e.shards {
+		close(s.in)
+	}
+	for _, s := range e.shards {
+		<-s.done
+	}
+}
+
+// Stats snapshots the fleet counters. Safe to call at any time; values
+// are exact as of each shard's last completed batch.
+func (e *Engine) Stats() Stats {
+	st := Stats{Shards: make([]ShardStats, len(e.shards))}
+	for i, s := range e.shards {
+		ss := ShardStats{Shard: i, Algorithm: s.name}
+		if p := s.pub.Load(); p != nil {
+			ss = *p
+		}
+		st.Shards[i] = ss
+		st.Rounds += ss.Rounds
+		st.Serve += ss.Serve
+		st.Move += ss.Move
+		st.Fetched += ss.Fetched
+		st.Evicted += ss.Evicted
+		st.Batches += ss.Batches
+		st.BusyNs += ss.BusyNs
+	}
+	return st
+}
+
+// worker is the single goroutine that owns shard s. All algorithm
+// state and the running counters below are confined to it; only the
+// per-batch atomic publication escapes.
+func (e *Engine) worker(s *shard) {
+	defer close(s.done)
+	var rounds, batches, busyNs, maxBatch int64
+	maxCache := 0
+	for msg := range s.in {
+		if msg.flush != nil {
+			msg.flush <- struct{}{}
+			continue
+		}
+		if e.tokens != nil {
+			<-e.tokens
+		}
+		start := time.Now()
+		for _, req := range msg.batch {
+			s.algo.Serve(req)
+			if c := s.algo.CacheLen(); c > maxCache {
+				maxCache = c
+			}
+		}
+		elapsed := time.Since(start).Nanoseconds()
+		if e.tokens != nil {
+			e.tokens <- struct{}{}
+		}
+		rounds += int64(len(msg.batch))
+		batches++
+		busyNs += elapsed
+		if elapsed > maxBatch {
+			maxBatch = elapsed
+		}
+		led := s.algo.Ledger()
+		s.pub.Store(&ShardStats{
+			Shard:     s.id,
+			Algorithm: s.name,
+			Rounds:    rounds,
+			Serve:     led.Serve,
+			Move:      led.Move,
+			Fetched:   led.Fetched,
+			Evicted:   led.Evicted,
+			MaxCache:  maxCache,
+			Batches:   batches,
+			BusyNs:    busyNs,
+			MaxBatch:  maxBatch,
+		})
+	}
+}

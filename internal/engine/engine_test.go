@@ -1,0 +1,275 @@
+package engine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// fleet builds a mixed-shape fleet of trees for the tests.
+func fleet(tenants int) []*tree.Tree {
+	trees := make([]*tree.Tree, tenants)
+	for i := range trees {
+		switch i % 4 {
+		case 0:
+			trees[i] = tree.CompleteKary(63+i, 2)
+		case 1:
+			trees[i] = tree.Star(40 + i)
+		case 2:
+			trees[i] = tree.Path(30 + i)
+		default:
+			trees[i] = tree.Caterpillar(8, 3)
+		}
+	}
+	return trees
+}
+
+// TestEngineMatchesSequential: a concurrent fleet run must be
+// equivalent to serving each tenant's projected trace sequentially —
+// identical ledgers, rounds, peak occupancy and final cache contents.
+func TestEngineMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	const tenants = 6
+	trees := fleet(tenants)
+	mt := trace.MultiTenant(rng, trees, trace.MultiTenantConfig{
+		Rounds: 20000, TenantS: 1.1, NodeS: 1.0, NegFrac: 0.3, BurstFrac: 0.05, BurstLen: 6,
+	})
+	if err := mt.Validate(trees); err != nil {
+		t.Fatal(err)
+	}
+
+	mkTC := func(i int) *core.TC {
+		return core.New(trees[i], core.Config{Alpha: 4, Capacity: 1 + trees[i].Len()/2})
+	}
+	tcs := make([]*core.TC, tenants)
+	e := engine.New(engine.Config{
+		Shards: tenants,
+		NewShard: func(i int) engine.Algorithm {
+			tcs[i] = mkTC(i)
+			return tcs[i]
+		},
+		QueueLen: 4,
+	})
+	for _, batchLen := range []int{1, 7, 1024} {
+		if err := e.SubmitMulti(mt, batchLen); err != nil {
+			t.Fatal(err)
+		}
+		e.Drain()
+	}
+	st := e.Stats()
+	e.Close()
+
+	split := mt.Split(tenants)
+	for i := 0; i < tenants; i++ {
+		seq := mkTC(i)
+		// The engine served the trace 3 times (three batch
+		// granularities); its MaxCache is the peak across all of them.
+		maxCache := 0
+		for rep := 0; rep < 3; rep++ {
+			if r := sim.Run(seq, split[i]); r.MaxCache > maxCache {
+				maxCache = r.MaxCache
+			}
+		}
+		ss := st.Shards[i]
+		if ss.Rounds != 3*int64(len(split[i])) {
+			t.Fatalf("shard %d: rounds %d, want %d", i, ss.Rounds, 3*len(split[i]))
+		}
+		led := seq.Ledger()
+		if ss.Serve != led.Serve || ss.Move != led.Move || ss.Fetched != led.Fetched || ss.Evicted != led.Evicted {
+			t.Fatalf("shard %d ledger: %+v, want %+v", i, ss, led)
+		}
+		if ss.MaxCache != maxCache {
+			t.Fatalf("shard %d maxCache %d, want %d", i, ss.MaxCache, maxCache)
+		}
+		if !equalNodes(tcs[i].CacheMembers(), seq.CacheMembers()) {
+			t.Fatalf("shard %d final cache differs: %v vs %v", i, tcs[i].CacheMembers(), seq.CacheMembers())
+		}
+	}
+	// Aggregates are the shard sums.
+	var rounds int64
+	for _, ss := range st.Shards {
+		rounds += ss.Rounds
+	}
+	if st.Rounds != rounds || st.Rounds != 3*int64(len(mt)) {
+		t.Fatalf("aggregate rounds %d, shard sum %d, want %d", st.Rounds, rounds, 3*len(mt))
+	}
+	if st.Total() != st.Serve+st.Move {
+		t.Fatalf("stats total %d != serve %d + move %d", st.Total(), st.Serve, st.Move)
+	}
+}
+
+// TestEngineMixedAlgorithms: shards may run different algorithm types.
+func TestEngineMixedAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	tr := tree.CompleteKary(31, 2)
+	e := engine.New(engine.Config{
+		Shards: 2,
+		NewShard: func(i int) engine.Algorithm {
+			if i == 0 {
+				return core.New(tr, core.Config{Alpha: 4, Capacity: 8})
+			}
+			return baseline.NewEager(tr, baseline.Config{Alpha: 4, Capacity: 8, Policy: baseline.LRU})
+		},
+	})
+	defer e.Close()
+	in := trace.RandomMixed(rng, tr, 2000)
+	if err := e.Submit(0, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Submit(1, in); err != nil {
+		t.Fatal(err)
+	}
+	e.Drain()
+	st := e.Stats()
+	if st.Shards[0].Algorithm != "TC" {
+		t.Fatalf("shard 0 algorithm %q", st.Shards[0].Algorithm)
+	}
+	if st.Shards[1].Algorithm == "TC" || st.Shards[1].Rounds != 2000 {
+		t.Fatalf("shard 1: %+v", st.Shards[1])
+	}
+}
+
+// TestEngineDrainIsExact: after Drain, Stats must reflect every
+// submitted request, and latency counters must be populated.
+func TestEngineDrainIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	tr := tree.Star(64)
+	e := engine.New(engine.Config{
+		Shards:   3,
+		NewShard: func(i int) engine.Algorithm { return core.New(tr, core.Config{Alpha: 2, Capacity: 32}) },
+		QueueLen: 2,
+	})
+	defer e.Close()
+	total := 0
+	for round := 0; round < 5; round++ {
+		for s := 0; s < 3; s++ {
+			n := 100 + rng.Intn(400)
+			if err := e.Submit(s, trace.RandomMixed(rng, tr, n)); err != nil {
+				t.Fatal(err)
+			}
+			total += n
+		}
+		e.Drain()
+		st := e.Stats()
+		if st.Rounds != int64(total) {
+			t.Fatalf("after drain %d: rounds %d, want %d", round, st.Rounds, total)
+		}
+	}
+	st := e.Stats()
+	if st.Batches != 15 {
+		t.Fatalf("batches %d, want 15", st.Batches)
+	}
+	for _, ss := range st.Shards {
+		if ss.BusyNs <= 0 || ss.MaxBatch <= 0 || ss.MaxBatch > ss.BusyNs {
+			t.Fatalf("shard %d latency counters: %+v", ss.Shard, ss)
+		}
+	}
+}
+
+// TestEngineSubmitErrors: shard range and closed-engine errors.
+func TestEngineSubmitErrors(t *testing.T) {
+	tr := tree.Path(4)
+	e := engine.New(engine.Config{
+		Shards:   2,
+		NewShard: func(i int) engine.Algorithm { return core.New(tr, core.Config{Alpha: 2, Capacity: 2}) },
+	})
+	if err := e.Submit(-1, trace.Trace{trace.Pos(0)}); err == nil {
+		t.Fatal("negative shard accepted")
+	}
+	if err := e.Submit(2, trace.Trace{trace.Pos(0)}); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if err := e.Submit(0, nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := e.SubmitMulti(trace.MultiTrace{{Tenant: 5, Req: trace.Pos(0)}}, 0); err == nil {
+		t.Fatal("out-of-range tenant accepted")
+	}
+	e.Close()
+	e.Close() // idempotent
+	if err := e.Submit(0, trace.Trace{trace.Pos(0)}); err != engine.ErrClosed {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+// TestEngineParallelismCap: results must be independent of the
+// parallelism cap (the cap only schedules, never reorders one shard).
+func TestEngineParallelismCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	const tenants = 5
+	trees := fleet(tenants)
+	mt := trace.FIBUpdateReplay(rng, trees, 10000, 1.0, 0.1, 4)
+	var want []int64
+	for _, par := range []int{0, 1, 2, tenants + 3} {
+		e := engine.New(engine.Config{
+			Shards: tenants,
+			NewShard: func(i int) engine.Algorithm {
+				return core.New(trees[i], core.Config{Alpha: 4, Capacity: 1 + trees[i].Len()/3})
+			},
+			Parallelism: par,
+		})
+		if err := e.SubmitMulti(mt, 64); err != nil {
+			t.Fatal(err)
+		}
+		e.Drain()
+		st := e.Stats()
+		e.Close()
+		totals := make([]int64, tenants)
+		for i, ss := range st.Shards {
+			totals[i] = ss.Total()
+		}
+		if want == nil {
+			want = totals
+			continue
+		}
+		for i := range totals {
+			if totals[i] != want[i] {
+				t.Fatalf("parallelism %d: shard %d total %d, want %d", par, i, totals[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunParallelOnEngine: the sim sweep runner (now engine-backed)
+// must agree with sequential runs; this complements the existing
+// sim-side test from the engine package's perspective.
+func TestRunParallelOnEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	tr := tree.CompleteKary(127, 2)
+	var jobs []sim.Job
+	for _, capa := range []int{8, 32, 64} {
+		capa := capa
+		in := trace.RandomMixed(rng, tr, 3000)
+		jobs = append(jobs, sim.Job{
+			Label: fmt.Sprintf("k=%d", capa),
+			Make:  func() sim.Algorithm { return core.New(tr, core.Config{Alpha: 4, Capacity: capa}) },
+			Input: in,
+		})
+	}
+	got := sim.RunParallel(jobs, 2)
+	for i, j := range jobs {
+		want := sim.Run(j.Make(), j.Input)
+		if got[i].Result != want {
+			t.Fatalf("job %s: %+v, want %+v", j.Label, got[i].Result, want)
+		}
+	}
+}
+
+func equalNodes(a, b []tree.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,122 @@
+package engine_test
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// TestEngineRace hammers one engine from many submitter goroutines
+// while other goroutines poll Stats and Drain concurrently. It is the
+// stress test behind the CI -race job: any serve-path data race, a
+// torn stats publication, or a lost batch shows up here.
+func TestEngineRace(t *testing.T) {
+	const (
+		tenants    = 4
+		submitters = 8
+		batches    = 30
+		batchLen   = 50
+	)
+	trees := fleet(tenants)
+	e := engine.New(engine.Config{
+		Shards: tenants,
+		NewShard: func(i int) engine.Algorithm {
+			return core.New(trees[i], core.Config{Alpha: 4, Capacity: 1 + trees[i].Len()/2})
+		},
+		QueueLen:    8,
+		Parallelism: 2,
+	})
+
+	var submitted atomic.Int64
+	var wg, readers sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Concurrent readers: Stats must be safe, monotone, and every
+	// per-shard snapshot internally consistent (snapshots are published
+	// whole, so a torn read would break the accounting identity).
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var last int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := e.Stats()
+				if st.Rounds < last {
+					t.Error("stats went backwards")
+					return
+				}
+				last = st.Rounds
+				for _, ss := range st.Shards {
+					if ss.Move != 4*(ss.Fetched+ss.Evicted) {
+						t.Errorf("torn snapshot: shard %d Move=%d Fetched=%d Evicted=%d",
+							ss.Shard, ss.Move, ss.Fetched, ss.Evicted)
+						return
+					}
+					if ss.Serve > ss.Rounds || ss.MaxBatch > ss.BusyNs {
+						t.Errorf("inconsistent snapshot: %+v", ss)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// A concurrent drainer: Drain during submission must not deadlock
+	// or corrupt anything (it only bounds the work it covers).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			e.Drain()
+		}
+	}()
+
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(300 + seed))
+			for b := 0; b < batches; b++ {
+				shard := rng.Intn(tenants)
+				batch := make(trace.Trace, batchLen)
+				n := trees[shard].Len()
+				for i := range batch {
+					v := tree.NodeID(rng.Intn(n))
+					if rng.Intn(2) == 0 {
+						batch[i] = trace.Neg(v)
+					} else {
+						batch[i] = trace.Pos(v)
+					}
+				}
+				if err := e.Submit(shard, batch); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				submitted.Add(batchLen)
+			}
+		}(int64(s))
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	e.Drain()
+	st := e.Stats()
+	if st.Rounds != submitted.Load() {
+		t.Fatalf("served %d rounds, submitted %d", st.Rounds, submitted.Load())
+	}
+	if st.Batches != submitters*batches {
+		t.Fatalf("served %d batches, submitted %d", st.Batches, submitters*batches)
+	}
+	e.Close()
+}

@@ -1,6 +1,14 @@
 package experiments
 
-import "repro/internal/tree"
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
 
 // BenchCase is one cell of the TC serve-path microbenchmark grid. The
 // grid is the single source of truth shared by the repo-root
@@ -32,4 +40,80 @@ func TCBenchCases() []BenchCase {
 		{"TCWideFanout/deg=64", func() *tree.Tree { return tree.CompleteKary(1<<14, 64) }, 1 << 13},
 		{"TCWideFanout/deg=1024", func() *tree.Tree { return tree.CompleteKary(1<<14, 1024) }, 1 << 13},
 	}
+}
+
+// EngineBenchCase is one cell of the sharded-engine throughput grid:
+// a fleet of Shards TC instances, each over a complete binary tree of
+// 2^14 nodes (the TCBinary/n=16384 single-instance workload), served
+// in batches of Batch requests. The recorded ns_per_op is per request
+// across the whole fleet, so aggregate ops/s = 1e9 / ns_per_op; on a
+// multi-core host shards=4 must beat shards=1 (the single-instance
+// serve path) by the core count, on a single-core host they tie.
+type EngineBenchCase struct {
+	Name   string
+	Shards int
+	Batch  int
+}
+
+// EngineBenchCases returns the canonical fleet grid, shared by the
+// repo-root BenchmarkEngineFleet and the cmd/experiments -bench-json
+// recorder.
+func EngineBenchCases() []EngineBenchCase {
+	return []EngineBenchCase{
+		{"EngineFleet/shards=1", 1, 1024},
+		{"EngineFleet/shards=2", 2, 1024},
+		{"EngineFleet/shards=4", 4, 1024},
+		{"EngineFleet/shards=8", 8, 1024},
+	}
+}
+
+// EngineBenchTree builds the per-shard tree of the engine grid.
+func EngineBenchTree() *tree.Tree { return tree.CompleteKary(1<<14, 2) }
+
+// EngineBenchCapacity is the per-shard cache capacity of the grid.
+const EngineBenchCapacity = 1 << 13
+
+// EngineFleetBench is the single benchmark body behind one grid cell,
+// shared by the repo-root BenchmarkEngineFleet and the -bench-json
+// recorder so the two measurements can never drift apart: b.N total
+// requests are submitted round-robin across the fleet in pre-chunked
+// batches, then drained, so ns/op is per request served anywhere in
+// the fleet.
+func EngineFleetBench(b *testing.B, c EngineBenchCase) {
+	t := EngineBenchTree()
+	inputs := make([][]trace.Trace, c.Shards)
+	for s := 0; s < c.Shards; s++ {
+		rng := rand.New(rand.NewSource(int64(1 + s)))
+		full := trace.RandomMixed(rng, t, 1<<16)
+		for lo := 0; lo < len(full); lo += c.Batch {
+			hi := lo + c.Batch
+			if hi > len(full) {
+				hi = len(full)
+			}
+			inputs[s] = append(inputs[s], full[lo:hi])
+		}
+	}
+	e := engine.New(engine.Config{
+		Shards: c.Shards,
+		NewShard: func(i int) engine.Algorithm {
+			return core.New(t, core.Config{Alpha: 8, Capacity: EngineBenchCapacity})
+		},
+	})
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	remaining := b.N
+	for i := 0; remaining > 0; i++ {
+		for s := 0; s < c.Shards && remaining > 0; s++ {
+			chunk := inputs[s][i%len(inputs[s])]
+			if len(chunk) > remaining {
+				chunk = chunk[:remaining]
+			}
+			if err := e.Submit(s, chunk); err != nil {
+				b.Fatal(err)
+			}
+			remaining -= len(chunk)
+		}
+	}
+	e.Drain()
 }

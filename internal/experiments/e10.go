@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lowerbound"
 	"repro/internal/opt"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/tree"
@@ -58,30 +59,47 @@ func E10HeightConjecture() []Report {
 	}
 
 	// Probe 2: random worst case over paths of growing height at fixed
-	// augmentation k_ONL = k_OPT = 2.
-	search := stats.NewTable("h(T)", "instances", "maxRatio", "meanRatio")
-	for _, n := range []int{3, 5, 7, 9, 11} {
+	// augmentation k_ONL = k_OPT = 2. The TC runs for all (height,
+	// seed) instances go through the sharded serving engine as one
+	// sweep (sim.RunParallel); the exponential OPT DP stays sequential.
+	heights := []int{3, 5, 7, 9, 11}
+	type inst struct {
+		t     *tree.Tree
+		input trace.Trace
+	}
+	var insts []inst
+	var jobs []sim.Job
+	for _, n := range heights {
 		t := tree.Path(n)
-		maxR, sumR, cnt := 0.0, 0.0, 0
 		for seed := int64(0); seed < 20; seed++ {
 			rng := rand.New(rand.NewSource(10000 + seed))
 			input := trace.RandomMixed(rng, t, 300)
-			tc := core.New(t, core.Config{Alpha: alpha, Capacity: 2})
-			for _, req := range input {
-				tc.Serve(req)
-			}
-			o := opt.Exact(t, input, 2, alpha)
+			insts = append(insts, inst{t: t, input: input})
+			jobs = append(jobs, sim.Job{
+				Label: fmt.Sprintf("h=%d/seed=%d", n-1, seed),
+				Make:  func() sim.Algorithm { return core.New(t, core.Config{Alpha: alpha, Capacity: 2}) },
+				Input: input,
+			})
+		}
+	}
+	sweep := sim.RunParallel(jobs, 0)
+	search := stats.NewTable("h(T)", "instances", "maxRatio", "meanRatio")
+	for hi, n := range heights {
+		maxR, sumR, cnt := 0.0, 0.0, 0
+		for seed := 0; seed < 20; seed++ {
+			i := hi*20 + seed
+			o := opt.Exact(insts[i].t, insts[i].input, 2, alpha)
 			if o.Cost == 0 {
 				continue
 			}
-			r := float64(tc.Ledger().Total()) / float64(o.Cost)
+			r := float64(sweep[i].Result.Total()) / float64(o.Cost)
 			sumR += r
 			cnt++
 			if r > maxR {
 				maxR = r
 			}
 		}
-		search.AddRow(t.Height(), cnt, maxR, fmt.Sprintf("%.3f", sumR/float64(cnt)))
+		search.AddRow(n-1, cnt, maxR, fmt.Sprintf("%.3f", sumR/float64(cnt)))
 	}
 
 	return []Report{

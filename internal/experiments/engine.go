@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// EngineFleet measures the sharded serving engine: a fleet of tenants
+// with a Zipf-skewed multi-tenant workload, served at increasing
+// parallelism. Two claims are checked:
+//
+//  1. Correctness under concurrency: for every parallelism level the
+//     per-tenant costs equal the per-tenant sequential replay (the
+//     single-writer-per-shard invariant makes the concurrent run
+//     deterministic).
+//  2. Throughput: aggregate ops/s grows with parallelism up to the
+//     core count (on a single-core host the rows collapse to ~1×,
+//     which the gomaxprocs note makes explicit).
+func EngineFleet() []Report {
+	const tenants = 8
+	trees := make([]*tree.Tree, tenants)
+	for i := range trees {
+		switch i % 4 {
+		case 0:
+			trees[i] = tree.CompleteKary(1<<12, 2)
+		case 1:
+			trees[i] = tree.Star(1 << 12)
+		case 2:
+			trees[i] = tree.Path(1 << 9)
+		default:
+			trees[i] = tree.CompleteKary(1<<12, 16)
+		}
+	}
+	mkTC := func(i int) *core.TC {
+		return core.New(trees[i], core.Config{Alpha: 8, Capacity: trees[i].Len() / 2})
+	}
+	mkShard := func(i int) engine.Algorithm { return mkTC(i) }
+
+	rng := rand.New(rand.NewSource(600))
+	mt := trace.MultiTenant(rng, trees, trace.MultiTenantConfig{
+		Rounds: 400000, TenantS: 1.1, NodeS: 1.0, NegFrac: 0.2, BurstFrac: 0.02, BurstLen: 16,
+	})
+
+	// Sequential per-tenant ground truth.
+	split := mt.Split(tenants)
+	seqTotals := make([]int64, tenants)
+	seqStart := time.Now()
+	for i := range trees {
+		seqTotals[i] = sim.Run(mkTC(i), split[i]).Total()
+	}
+	seqElapsed := time.Since(seqStart)
+
+	tb := stats.NewTable("parallelism", "rounds", "wall ms", "Mops/s", "speedup", "cost parity")
+	baseOps := float64(len(mt)) / seqElapsed.Seconds()
+	tb.AddRow("sequential", len(mt), seqElapsed.Milliseconds(),
+		fmt.Sprintf("%.2f", baseOps/1e6), "1.00", "—")
+	parityOK := true
+	for _, par := range []int{1, 2, 4, 8} {
+		e := engine.New(engine.Config{Shards: tenants, NewShard: mkShard, Parallelism: par})
+		start := time.Now()
+		if err := e.SubmitMulti(mt, 1024); err != nil {
+			panic("experiments: " + err.Error())
+		}
+		e.Drain()
+		elapsed := time.Since(start)
+		st := e.Stats()
+		e.Close()
+		parity := true
+		for i, ss := range st.Shards {
+			if ss.Total() != seqTotals[i] {
+				parity, parityOK = false, false
+			}
+		}
+		ops := float64(st.Rounds) / elapsed.Seconds()
+		tb.AddRow(par, st.Rounds, elapsed.Milliseconds(),
+			fmt.Sprintf("%.2f", ops/1e6),
+			fmt.Sprintf("%.2f", ops/baseOps),
+			parity)
+	}
+
+	// FIB-update replay: the same parity check under the Appendix-B
+	// update encoding (bursts of exactly α negatives per rule update).
+	fibTB := stats.NewTable("tenants", "rounds", "updates share", "wall ms", "Mops/s", "cost parity")
+	fib := trace.FIBUpdateReplay(rng, trees, 200000, 1.0, 0.05, 8)
+	pos, neg := 0, 0
+	for _, r := range fib {
+		if r.Req.Kind == trace.Negative {
+			neg++
+		} else {
+			pos++
+		}
+	}
+	fibSplit := fib.Split(tenants)
+	fibSeq := make([]int64, tenants)
+	for i := range trees {
+		fibSeq[i] = sim.Run(mkTC(i), fibSplit[i]).Total()
+	}
+	e := engine.New(engine.Config{Shards: tenants, NewShard: mkShard, Parallelism: runtime.GOMAXPROCS(0)})
+	start := time.Now()
+	if err := e.SubmitMulti(fib, 1024); err != nil {
+		panic("experiments: " + err.Error())
+	}
+	e.Drain()
+	elapsed := time.Since(start)
+	st := e.Stats()
+	e.Close()
+	fibParity := true
+	for i, ss := range st.Shards {
+		if ss.Total() != fibSeq[i] {
+			fibParity, parityOK = false, false
+		}
+	}
+	fibTB.AddRow(tenants, len(fib), fmt.Sprintf("%.1f%%", 100*float64(neg)/float64(len(fib))),
+		elapsed.Milliseconds(), fmt.Sprintf("%.2f", float64(st.Rounds)/elapsed.Seconds()/1e6), fibParity)
+
+	notes := []string{
+		fmt.Sprintf("%d tenants (binary/star/path/16-ary mix), zipf tenant mix s=1.1, GOMAXPROCS=%d", tenants, runtime.GOMAXPROCS(0)),
+		"cost parity: every shard's concurrent ledger equals its sequential per-tenant replay (single-writer-per-shard determinism)",
+	}
+	if !parityOK {
+		notes = append(notes, "WARNING: cost parity FAILED — engine run diverged from sequential replay")
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		notes = append(notes, "single-core host: speedup column is expected to be ~1.0×; run on a multi-core machine to see the scaling")
+	}
+	return []Report{
+		{ID: "ENGINE-a", Title: "Sharded engine — multi-tenant throughput and cost parity by parallelism", Table: tb, Notes: notes},
+		{ID: "ENGINE-b", Title: "Sharded engine — FIB-update replay (Appendix B bursts) across the fleet", Table: fibTB},
+	}
+}

@@ -16,6 +16,8 @@
 //	E8  Appendix B    — update-cost model equivalence
 //	E9  (extension)   — design-choice ablations on the generalized engine
 //	E10 (extension, id "ea") — probing the h(T)-independence conjecture
+//	ENGINE (extension, id "engine") — sharded multi-tenant serving engine:
+//	       concurrent throughput scaling and cost parity with sequential replay
 package experiments
 
 import (
@@ -37,16 +39,17 @@ type Report struct {
 
 // Registry maps experiment IDs to their runners.
 var Registry = map[string]func() []Report{
-	"e1": E1CompetitiveRatio,
-	"e2": E2LowerBound,
-	"e3": E3DecisionCost,
-	"e4": E4FieldInvariants,
-	"e5": E5Shifting,
-	"e6": E6ConstructionD,
-	"e7": E7FIBCaching,
-	"e8": E8UpdateModels,
-	"e9": E9Ablations,
-	"ea": E10HeightConjecture,
+	"e1":     E1CompetitiveRatio,
+	"e2":     E2LowerBound,
+	"e3":     E3DecisionCost,
+	"e4":     E4FieldInvariants,
+	"e5":     E5Shifting,
+	"e6":     E6ConstructionD,
+	"e7":     E7FIBCaching,
+	"e8":     E8UpdateModels,
+	"e9":     E9Ablations,
+	"ea":     E10HeightConjecture,
+	"engine": EngineFleet,
 }
 
 // IDs returns the experiment identifiers in order.

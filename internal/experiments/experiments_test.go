@@ -5,11 +5,11 @@ import (
 	"testing"
 )
 
-// TestRegistryComplete: all eight experiments are registered and IDs
+// TestRegistryComplete: every experiment is registered and IDs
 // returns them sorted.
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "ea"}
+	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "ea", "engine"}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs() = %v", ids)
 	}
@@ -32,7 +32,7 @@ func TestRunUnknown(t *testing.T) {
 func TestCheapExperimentsProduceTables(t *testing.T) {
 	ids := []string{"e2", "e4", "e5", "e6", "ea"}
 	if !testing.Short() {
-		ids = append(ids, "e1", "e3", "e7", "e8", "e9")
+		ids = append(ids, "e1", "e3", "e7", "e8", "e9", "engine")
 	}
 	for _, id := range ids {
 		reports, err := Run(id)

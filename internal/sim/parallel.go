@@ -2,19 +2,20 @@ package sim
 
 import (
 	"runtime"
-	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/trace"
 )
 
 // Job is one unit of a parameter sweep: a factory for a fresh
 // algorithm instance and the trace to serve. Factories (not instances)
-// are submitted so each worker builds its own state and no Algorithm
-// is shared across goroutines.
+// are submitted so each engine shard builds its own state and no
+// Algorithm is shared across goroutines.
 type Job struct {
 	// Label tags the job in the results (e.g. "k=64/zipf").
 	Label string
-	// Make builds the algorithm; called exactly once, in the worker.
+	// Make builds the algorithm; called exactly once, before the
+	// instance is confined to its shard worker.
 	Make func() Algorithm
 	// Input is the request sequence to serve.
 	Input trace.Trace
@@ -26,37 +27,44 @@ type SweepResult struct {
 	Result Result
 }
 
-// RunParallel executes the jobs across workers goroutines (default:
-// GOMAXPROCS when workers ≤ 0) and returns results in job order.
+// RunParallel executes the jobs on the sharded serving engine — one
+// shard per job, at most workers serving concurrently (default:
+// GOMAXPROCS when workers ≤ 0) — and returns results in job order.
 // Traces may be shared between jobs — they are read-only — but every
-// algorithm instance is confined to one worker.
+// algorithm instance is confined to one shard worker.
 func RunParallel(jobs []Job, workers int) []SweepResult {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
 	out := make([]SweepResult, len(jobs))
 	if len(jobs) == 0 {
 		return out
 	}
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				job := jobs[i]
-				out[i] = SweepResult{Label: job.Label, Result: Run(job.Make(), job.Input)}
-			}
-		}()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	e := engine.New(engine.Config{
+		Shards:      len(jobs),
+		NewShard:    func(i int) engine.Algorithm { return jobs[i].Make() },
+		QueueLen:    1,
+		Parallelism: workers,
+	})
 	for i := range jobs {
-		next <- i
+		if err := e.Submit(i, jobs[i].Input); err != nil {
+			panic("sim: " + err.Error()) // unreachable: shards match jobs, engine open
+		}
 	}
-	close(next)
-	wg.Wait()
+	e.Drain()
+	st := e.Stats()
+	e.Close()
+	for i := range jobs {
+		ss := st.Shards[i]
+		out[i] = SweepResult{Label: jobs[i].Label, Result: Result{
+			Algorithm: ss.Algorithm,
+			Rounds:    ss.Rounds,
+			Serve:     ss.Serve,
+			Move:      ss.Move,
+			Fetched:   ss.Fetched,
+			Evicted:   ss.Evicted,
+			MaxCache:  ss.MaxCache,
+		}}
+	}
 	return out
 }

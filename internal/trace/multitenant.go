@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/tree"
+)
+
+// TenantRequest tags a Request with the tenant (fleet shard) whose
+// tree it targets.
+type TenantRequest struct {
+	Tenant int
+	Req    Request
+}
+
+// MultiTrace is a multi-tenant request sequence: one global arrival
+// order over independent per-tenant streams. Projecting onto a single
+// tenant preserves that tenant's order, so serving a MultiTrace on a
+// fleet of independent instances is deterministic regardless of how
+// the tenants interleave (the engine's differential tests rely on
+// exactly this).
+type MultiTrace []TenantRequest
+
+// Tenants returns 1 + the maximum tenant id seen (0 when empty).
+func (mt MultiTrace) Tenants() int {
+	n := 0
+	for _, r := range mt {
+		if r.Tenant+1 > n {
+			n = r.Tenant + 1
+		}
+	}
+	return n
+}
+
+// Split projects the trace onto per-tenant sequential traces. Requests
+// with tenant ≥ tenants are dropped; per-tenant order is preserved.
+func (mt MultiTrace) Split(tenants int) []Trace {
+	out := make([]Trace, tenants)
+	for _, r := range mt {
+		if r.Tenant >= 0 && r.Tenant < tenants {
+			out[r.Tenant] = append(out[r.Tenant], r.Req)
+		}
+	}
+	return out
+}
+
+// Validate checks every request names an existing tenant and an
+// existing node of that tenant's tree.
+func (mt MultiTrace) Validate(trees []*tree.Tree) error {
+	for i, r := range mt {
+		if r.Tenant < 0 || r.Tenant >= len(trees) {
+			return fmt.Errorf("trace: round %d: tenant %d out of range [0,%d)", i+1, r.Tenant, len(trees))
+		}
+		if r.Req.Node < 0 || int(r.Req.Node) >= trees[r.Tenant].Len() {
+			return fmt.Errorf("trace: round %d: tenant %d node %d out of range [0,%d)",
+				i+1, r.Tenant, r.Req.Node, trees[r.Tenant].Len())
+		}
+	}
+	return nil
+}
+
+// Write emits the multi-tenant text format, one request per line:
+// "<tenant>:<sign><node>", e.g. "3:+17". The format round-trips
+// through ReadMulti byte-identically for canonical (comment-free)
+// files.
+func (mt MultiTrace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range mt {
+		if _, err := fmt.Fprintf(bw, "%d:%s%d\n", r.Tenant, r.Req.Kind, r.Req.Node); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMulti parses the text format written by MultiTrace.Write. Blank
+// lines and lines starting with '#' are ignored.
+func ReadMulti(r io.Reader) (MultiTrace, error) {
+	var mt MultiTrace
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon <= 0 || colon+2 > len(line) {
+			return nil, fmt.Errorf("trace: line %d: malformed multi-tenant request %q", lineNo, line)
+		}
+		tenant, err := strconv.Atoi(line[:colon])
+		if err != nil || tenant < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad tenant id in %q", lineNo, line)
+		}
+		rest := line[colon+1:]
+		var k Kind
+		switch rest[0] {
+		case '+':
+			k = Positive
+		case '-':
+			k = Negative
+		default:
+			return nil, fmt.Errorf("trace: line %d: expected +/- prefix in %q", lineNo, line)
+		}
+		v, err := strconv.Atoi(rest[1:])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad node id: %v", lineNo, err)
+		}
+		mt = append(mt, TenantRequest{Tenant: tenant, Req: Request{Node: tree.NodeID(v), Kind: k}})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return mt, nil
+}
+
+// MultiTenantConfig parameterises the fleet workload generator.
+type MultiTenantConfig struct {
+	// Rounds is the total number of requests to generate.
+	Rounds int
+	// TenantS is the Zipf exponent of the tenant mix: a few tenants
+	// receive most of the traffic, the way a controller sees a few hot
+	// switches. 0 disables the skew (uniform tenant mix).
+	TenantS float64
+	// NodeS is the Zipf exponent of each tenant's node popularity.
+	// 0 draws nodes uniformly.
+	NodeS float64
+	// NegFrac is the probability that a steady-state request is
+	// negative (a rule update) instead of positive (traffic).
+	NegFrac float64
+	// BurstFrac is the probability that a round starts a correlated
+	// burst: BurstLen consecutive requests to one (tenant, node) pair,
+	// modelling synchronized reconfiguration hitting one switch.
+	BurstFrac float64
+	// BurstLen is the length of each correlated burst (default 8).
+	BurstLen int
+}
+
+// MultiTenant generates the fleet workload: a Zipf-skewed tenant mix
+// of per-tenant Zipf traffic with occasional correlated bursts. Tenant
+// popularity ranks are randomly permuted, node ranks per tenant too.
+func MultiTenant(rng *rand.Rand, trees []*tree.Tree, cfg MultiTenantConfig) MultiTrace {
+	if len(trees) == 0 || cfg.Rounds <= 0 {
+		return nil
+	}
+	zTenant := stats.NewZipf(rng, len(trees), cfg.TenantS, true)
+	zNode := make([]*stats.Zipf, len(trees))
+	for i, t := range trees {
+		zNode[i] = stats.NewZipf(rng, t.Len(), cfg.NodeS, true)
+	}
+	burst := cfg.BurstLen
+	if burst < 1 {
+		burst = 8
+	}
+	draw := func() TenantRequest {
+		tenant := zTenant.Draw()
+		v := tree.NodeID(zNode[tenant].Draw())
+		if rng.Float64() < cfg.NegFrac {
+			return TenantRequest{Tenant: tenant, Req: Neg(v)}
+		}
+		return TenantRequest{Tenant: tenant, Req: Pos(v)}
+	}
+	mt := make(MultiTrace, 0, cfg.Rounds)
+	for len(mt) < cfg.Rounds {
+		if cfg.BurstFrac > 0 && rng.Float64() < cfg.BurstFrac {
+			r := draw()
+			for j := 0; j < burst && len(mt) < cfg.Rounds; j++ {
+				mt = append(mt, r)
+			}
+			continue
+		}
+		mt = append(mt, draw())
+	}
+	return mt
+}
+
+// FIBUpdateReplay generates a fleet-wide FIB-update replay: a Zipf
+// tenant mix of positive lookups interleaved with per-tenant rule
+// updates, each encoded as a burst of exactly alpha negative requests
+// to the updated rule (the Appendix B reduction, as in Churn but
+// across many switches). updateFrac is the per-round probability that
+// a tenant replays an update instead of traffic.
+func FIBUpdateReplay(rng *rand.Rand, trees []*tree.Tree, rounds int, tenantS, updateFrac float64, alpha int64) MultiTrace {
+	if len(trees) == 0 || rounds <= 0 {
+		return nil
+	}
+	zTenant := stats.NewZipf(rng, len(trees), tenantS, true)
+	zNode := make([]*stats.Zipf, len(trees))
+	for i, t := range trees {
+		zNode[i] = stats.NewZipf(rng, t.Len(), 1.0, true)
+	}
+	burst := int(alpha)
+	if burst < 1 {
+		burst = 1
+	}
+	mt := make(MultiTrace, 0, rounds)
+	for len(mt) < rounds {
+		tenant := zTenant.Draw()
+		v := tree.NodeID(zNode[tenant].Draw())
+		if rng.Float64() < updateFrac {
+			for j := 0; j < burst && len(mt) < rounds; j++ {
+				mt = append(mt, TenantRequest{Tenant: tenant, Req: Neg(v)})
+			}
+		} else {
+			mt = append(mt, TenantRequest{Tenant: tenant, Req: Pos(v)})
+		}
+	}
+	return mt
+}

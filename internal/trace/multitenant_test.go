@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func testFleet() []*tree.Tree {
+	return []*tree.Tree{
+		tree.CompleteKary(31, 2),
+		tree.Star(20),
+		tree.Path(12),
+		tree.Caterpillar(4, 2),
+	}
+}
+
+// TestMultiTraceGoldenRoundTrip: for every canonical testdata file,
+// parse → serialize must reproduce the file byte-for-byte, and a
+// second parse must reproduce the first (full identity round-trip).
+func TestMultiTraceGoldenRoundTrip(t *testing.T) {
+	for _, name := range []string{"multitenant_zipf.txt", "multitenant_fibreplay.txt"} {
+		raw, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mt, err := ReadMulti(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(mt) == 0 {
+			t.Fatalf("%s: empty golden trace", name)
+		}
+		var buf bytes.Buffer
+		if err := mt.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), raw) {
+			t.Fatalf("%s: serialization is not byte-identical to the golden file", name)
+		}
+		back, err := ReadMulti(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != len(mt) {
+			t.Fatalf("%s: reparse length %d, want %d", name, len(back), len(mt))
+		}
+		for i := range mt {
+			if back[i] != mt[i] {
+				t.Fatalf("%s: reparse mismatch at %d: %v vs %v", name, i, back[i], mt[i])
+			}
+		}
+		if err := mt.Validate(testFleet()); err != nil {
+			t.Fatalf("%s: golden trace invalid for the reference fleet: %v", name, err)
+		}
+	}
+}
+
+// TestMultiTraceHandwritten: comments and blanks are ignored; the
+// parsed form round-trips through Write/ReadMulti exactly.
+func TestMultiTraceHandwritten(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "multitenant_handwritten.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := ReadMulti(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MultiTrace{
+		{0, Pos(5)}, {0, Pos(5)}, {1, Neg(0)},
+		{2, Pos(3)}, {2, Pos(3)}, {2, Pos(3)},
+		{1, Pos(7)}, {0, Neg(2)}, {2, Neg(1)},
+	}
+	if len(mt) != len(want) {
+		t.Fatalf("parsed %d requests, want %d", len(mt), len(want))
+	}
+	for i := range want {
+		if mt[i] != want[i] {
+			t.Fatalf("request %d: %v, want %v", i, mt[i], want[i])
+		}
+	}
+	var buf bytes.Buffer
+	if err := mt.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMulti(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if back[i] != want[i] {
+			t.Fatalf("round trip changed request %d: %v", i, back[i])
+		}
+	}
+}
+
+func TestReadMultiRejectsMalformed(t *testing.T) {
+	for _, in := range []string{"+3", "0+3", ":+3", "x:+3", "-1:+3", "0:", "0:3", "0:+x"} {
+		if _, err := ReadMulti(strings.NewReader(in)); err == nil {
+			t.Fatalf("ReadMulti(%q) succeeded", in)
+		}
+	}
+}
+
+func TestMultiTraceSplitAndTenants(t *testing.T) {
+	mt := MultiTrace{{2, Pos(1)}, {0, Neg(2)}, {2, Pos(3)}, {1, Pos(0)}}
+	if mt.Tenants() != 3 {
+		t.Fatalf("tenants = %d", mt.Tenants())
+	}
+	split := mt.Split(3)
+	if len(split[0]) != 1 || len(split[1]) != 1 || len(split[2]) != 2 {
+		t.Fatalf("split sizes: %d/%d/%d", len(split[0]), len(split[1]), len(split[2]))
+	}
+	if split[2][0] != Pos(1) || split[2][1] != Pos(3) {
+		t.Fatalf("tenant 2 order broken: %v", split[2])
+	}
+	if (MultiTrace{}).Tenants() != 0 {
+		t.Fatal("empty trace has tenants")
+	}
+}
+
+func TestMultiTraceValidate(t *testing.T) {
+	trees := testFleet()
+	if err := (MultiTrace{{0, Pos(30)}}).Validate(trees); err != nil {
+		t.Fatal(err)
+	}
+	if err := (MultiTrace{{0, Pos(31)}}).Validate(trees); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if err := (MultiTrace{{9, Pos(0)}}).Validate(trees); err == nil {
+		t.Fatal("out-of-range tenant accepted")
+	}
+}
+
+// TestMultiTenantGenerator: skew, burst and sign structure of the
+// fleet workload generator.
+func TestMultiTenantGenerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	trees := testFleet()
+	mt := MultiTenant(rng, trees, MultiTenantConfig{
+		Rounds: 30000, TenantS: 1.2, NodeS: 1.0, NegFrac: 0.2, BurstFrac: 0.05, BurstLen: 8,
+	})
+	if len(mt) != 30000 {
+		t.Fatalf("rounds = %d", len(mt))
+	}
+	if err := mt.Validate(trees); err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(trees))
+	neg := 0
+	bursts := 0
+	for i, r := range mt {
+		counts[r.Tenant]++
+		if r.Req.Kind == Negative {
+			neg++
+		}
+		if i >= 3 && r == mt[i-1] && r == mt[i-2] && r == mt[i-3] {
+			bursts++
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Zipf-skewed tenant mix: the hottest tenant must far exceed the
+	// uniform share of 25%.
+	if max < 30000*40/100 {
+		t.Fatalf("tenant mix not skewed: %v", counts)
+	}
+	if neg == 0 || neg > 30000/2 {
+		t.Fatalf("negative fraction off: %d", neg)
+	}
+	if bursts == 0 {
+		t.Fatal("no correlated bursts generated")
+	}
+}
+
+// TestFIBUpdateReplayStructure: updates arrive as runs of exactly α
+// negatives to one (tenant, node) pair; traffic is positive.
+func TestFIBUpdateReplayStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	trees := testFleet()
+	const alpha = 4
+	mt := FIBUpdateReplay(rng, trees, 20000, 1.0, 0.1, alpha)
+	if len(mt) != 20000 {
+		t.Fatalf("rounds = %d", len(mt))
+	}
+	if err := mt.Validate(trees); err != nil {
+		t.Fatal(err)
+	}
+	runs := 0
+	i := 0
+	for i < len(mt) {
+		if mt[i].Req.Kind != Negative {
+			i++
+			continue
+		}
+		j := i
+		for j < len(mt) && mt[j] == mt[i] && mt[j].Req.Kind == Negative {
+			j++
+		}
+		// Each update burst is exactly alpha requests, except a burst
+		// truncated by the rounds budget at the very end; two updates
+		// drawing the same (tenant, node) back to back fuse into a
+		// multiple of alpha.
+		if run := j - i; run%alpha != 0 && j != len(mt) {
+			t.Fatalf("negative run of %d at %d (want multiples of %d)", run, i, alpha)
+		}
+		runs++
+		i = j
+	}
+	if runs == 0 {
+		t.Fatal("no update bursts generated")
+	}
+}

@@ -1,0 +1,125 @@
+package treecache
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// TenantRequest tags a Request with the tenant (engine shard) whose
+// tree it targets.
+type TenantRequest = trace.TenantRequest
+
+// MultiTrace is a multi-tenant request sequence; see
+// internal/trace.MultiTrace for the ordering guarantees and the
+// "<tenant>:<sign><node>" text format (ReadMultiTrace / Write).
+type MultiTrace = trace.MultiTrace
+
+// ReadMultiTrace parses the multi-tenant text format.
+var ReadMultiTrace = trace.ReadMulti
+
+// MultiTenantConfig parameterises the fleet workload generator.
+type MultiTenantConfig = trace.MultiTenantConfig
+
+// MultiTenantWorkload generates a Zipf-skewed multi-tenant workload
+// with correlated bursts; see internal/trace.MultiTenant.
+var MultiTenantWorkload = trace.MultiTenant
+
+// FIBUpdateReplay generates a fleet-wide FIB-update replay; see
+// internal/trace.FIBUpdateReplay.
+var FIBUpdateReplay = trace.FIBUpdateReplay
+
+// EngineStats aggregates a fleet's per-shard cost ledgers and latency
+// counters; see internal/engine.Stats.
+type EngineStats = engine.Stats
+
+// ShardStats is one shard's snapshot; see internal/engine.ShardStats.
+type ShardStats = engine.ShardStats
+
+// EngineOptions tunes the sharded serving engine beyond the per-shard
+// algorithm options.
+type EngineOptions struct {
+	// QueueLen is the per-shard batch queue capacity (default 64);
+	// Submit blocks while a shard's queue is full.
+	QueueLen int
+	// Parallelism caps how many shards serve concurrently (0 = one
+	// goroutine per shard, no extra cap).
+	Parallelism int
+}
+
+// Engine is a goroutine-safe fleet of independent caches — one TC
+// instance per tree/tenant, each confined to its own worker goroutine
+// (single-writer shards, lock-free serve path). Submit routes batches
+// to shards; Drain waits for completion; Stats aggregates the fleet.
+type Engine struct {
+	e      *engine.Engine
+	caches []*Cache
+}
+
+// NewEngine builds a fleet serving trees[i] on shard i, each with a
+// fresh TC instance configured by o. It panics on invalid options,
+// like New.
+//
+// Observer caveat: o.Observer, when non-nil, is shared by every shard
+// and invoked from all shard worker goroutines — it must be safe for
+// concurrent use. A non-thread-safe observer (e.g. the analysis
+// recorder) is only sound with Parallelism: 1, which serializes the
+// workers with proper happens-before edges (the token channel).
+func NewEngine(trees []*Tree, o Options, eo EngineOptions) *Engine {
+	caches := make([]*Cache, len(trees))
+	e := engine.New(engine.Config{
+		Shards: len(trees),
+		NewShard: func(i int) engine.Algorithm {
+			caches[i] = &Cache{tc: core.New(trees[i], core.Config{
+				Alpha: o.Alpha, Capacity: o.Capacity, Observer: o.Observer,
+			})}
+			return caches[i]
+		},
+		QueueLen:    eo.QueueLen,
+		Parallelism: eo.Parallelism,
+	})
+	return &Engine{e: e, caches: caches}
+}
+
+// Shards returns the fleet size.
+func (f *Engine) Shards() int { return f.e.Shards() }
+
+// Submit enqueues requests for one shard; per-shard order is the
+// submission order. It blocks while the shard's queue is full and
+// returns an error for an unknown shard or a closed engine.
+func (f *Engine) Submit(shard int, reqs ...Request) error {
+	return f.e.Submit(shard, trace.Trace(reqs))
+}
+
+// SubmitTrace enqueues a whole trace as one batch for one shard. The
+// trace is retained until served; do not mutate it before Drain.
+func (f *Engine) SubmitTrace(shard int, tr Trace) error {
+	return f.e.Submit(shard, tr)
+}
+
+// SubmitMulti routes a multi-tenant trace across the fleet (tenant i →
+// shard i) in chunks of up to batchLen requests (default 1024).
+func (f *Engine) SubmitMulti(mt MultiTrace, batchLen int) error {
+	return f.e.SubmitMulti(mt, batchLen)
+}
+
+// Drain blocks until everything submitted before the call is served.
+func (f *Engine) Drain() { f.e.Drain() }
+
+// Stats snapshots the fleet counters; exact after Drain.
+func (f *Engine) Stats() EngineStats { return f.e.Stats() }
+
+// Close serves all queued batches and stops the workers. It must not
+// race with Submit or Drain.
+func (f *Engine) Close() { f.e.Close() }
+
+// Shard returns shard i's Cache for inspection. The cache is owned by
+// the shard's worker: only touch it while the engine is quiescent
+// (after Drain with no in-flight Submit, or after Close).
+func (f *Engine) Shard(i int) *Cache { return f.caches[i] }
+
+// ValidateMultiTrace checks a multi-tenant trace against the fleet's
+// trees ([]*Tree and []*tree.Tree are identical via the alias).
+func ValidateMultiTrace(mt MultiTrace, trees []*Tree) error {
+	return mt.Validate(trees)
+}

@@ -1,0 +1,87 @@
+package treecache_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/treecache"
+)
+
+// TestPublicEngineFlow drives the public fleet surface end to end: a
+// multi-tenant workload over mixed tree shapes, served concurrently by
+// the sharded engine, must cost exactly what per-tenant sequential
+// Cache instances cost, and the multi-tenant text format must round-
+// trip the workload.
+func TestPublicEngineFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trees := []*treecache.Tree{
+		treecache.CompleteKary(63, 2),
+		treecache.Star(40),
+		treecache.Path(24),
+	}
+	opts := treecache.Options{Alpha: 4, Capacity: 16}
+	mt := treecache.MultiTenantWorkload(rng, trees, treecache.MultiTenantConfig{
+		Rounds: 15000, TenantS: 1.1, NodeS: 1.0, NegFrac: 0.25, BurstFrac: 0.05, BurstLen: 4,
+	})
+	if err := treecache.ValidateMultiTrace(mt, trees); err != nil {
+		t.Fatal(err)
+	}
+
+	// Text format round-trip.
+	var buf bytes.Buffer
+	if err := mt.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := treecache.ReadMultiTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(mt) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(mt))
+	}
+
+	eng := treecache.NewEngine(trees, opts, treecache.EngineOptions{Parallelism: 2})
+	if eng.Shards() != len(trees) {
+		t.Fatalf("shards = %d", eng.Shards())
+	}
+	if err := eng.SubmitMulti(back, 256); err != nil {
+		t.Fatal(err)
+	}
+	eng.Drain()
+	st := eng.Stats()
+	defer eng.Close()
+
+	if st.Rounds != int64(len(mt)) {
+		t.Fatalf("served %d rounds, want %d", st.Rounds, len(mt))
+	}
+	for i, split := range mt.Split(len(trees)) {
+		seq := treecache.New(trees[i], opts)
+		for _, r := range split {
+			seq.Request(r)
+		}
+		ss := st.Shards[i]
+		if ss.Total() != seq.Cost() {
+			t.Fatalf("shard %d cost %d, sequential cache cost %d", i, ss.Total(), seq.Cost())
+		}
+		got := eng.Shard(i).Members()
+		want := seq.Members()
+		if len(got) != len(want) {
+			t.Fatalf("shard %d cache size %d, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("shard %d cache differs at %d: %v vs %v", i, j, got, want)
+			}
+		}
+	}
+
+	// Single-shard Submit variadic path.
+	if err := eng.Submit(0, treecache.Pos(1), treecache.Neg(1)); err != nil {
+		t.Fatal(err)
+	}
+	eng.Drain()
+	if got := eng.Stats().Rounds; got != int64(len(mt))+2 {
+		t.Fatalf("rounds after extra submit: %d", got)
+	}
+}
