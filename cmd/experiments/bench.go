@@ -128,3 +128,62 @@ func emitBenchJSON(path string, asBaseline bool) error {
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
+
+// compareBenchJSON prints a per-benchmark before/after delta table
+// between the "current" sections of two bench JSON files (falling back
+// to "baseline" when a file has no "current" section), so perf PRs can
+// quote speedups mechanically:
+//
+//	experiments -bench-compare old.json new.json
+func compareBenchJSON(oldPath, newPath string) error {
+	load := func(path string) (map[string]benchResult, []string, error) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench-compare: %v", err)
+		}
+		var file benchFile
+		if err := json.Unmarshal(raw, &file); err != nil {
+			return nil, nil, fmt.Errorf("bench-compare: cannot parse %s: %v", path, err)
+		}
+		section := file.Current
+		if len(section) == 0 {
+			section = file.Baseline
+		}
+		if len(section) == 0 {
+			return nil, nil, fmt.Errorf("bench-compare: %s has neither a current nor a baseline section", path)
+		}
+		m := make(map[string]benchResult, len(section))
+		order := make([]string, 0, len(section))
+		for _, r := range section {
+			m[r.Name] = r
+			order = append(order, r.Name)
+		}
+		return m, order, nil
+	}
+	oldM, oldOrder, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newM, newOrder, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %12s %12s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "speedup")
+	for _, name := range newOrder {
+		nw := newM[name]
+		old, ok := oldM[name]
+		if !ok {
+			fmt.Printf("%-28s %12s %12.2f %9s %9s\n", name, "-", nw.NsPerOp, "new", "-")
+			continue
+		}
+		delta := (nw.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+		fmt.Printf("%-28s %12.2f %12.2f %+8.1f%% %8.2fx\n",
+			name, old.NsPerOp, nw.NsPerOp, delta, old.NsPerOp/nw.NsPerOp)
+	}
+	for _, name := range oldOrder {
+		if _, ok := newM[name]; !ok {
+			fmt.Printf("%-28s %12.2f %12s %9s %9s\n", name, oldM[name].NsPerOp, "-", "gone", "-")
+		}
+	}
+	return nil
+}

@@ -11,6 +11,8 @@
 //	experiments -bench-json BENCH_core.json # record TC microbenchmarks
 //	experiments -bench-json BENCH_core.json -bench-baseline
 //	                                        # record them as the baseline section
+//	experiments -bench-compare old.json new.json
+//	                                        # before/after delta table
 package main
 
 import (
@@ -28,7 +30,20 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	benchJSON := flag.String("bench-json", "", "run the TC microbenchmarks and merge the results into this JSON file, then exit")
 	benchBaseline := flag.Bool("bench-baseline", false, "with -bench-json, store results under the persistent 'baseline' section instead of 'current'")
+	benchCompare := flag.Bool("bench-compare", false, "compare two bench JSON files (args: old.json new.json) and print a per-benchmark delta table, then exit")
 	flag.Parse()
+
+	if *benchCompare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: experiments -bench-compare old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareBenchJSON(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *benchJSON != "" {
 		if err := emitBenchJSON(*benchJSON, *benchBaseline); err != nil {

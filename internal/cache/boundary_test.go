@@ -1,0 +1,80 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// TestCachedRootMatchesParentClimb cross-checks the heavy-path
+// CachedRoot against a naive parent climb under randomized valid
+// fetch/evict sequences, including deep paths where the climb is long.
+func TestCachedRootMatchesParentClimb(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	trees := []*tree.Tree{
+		tree.Path(500), tree.Caterpillar(100, 2), tree.Star(60),
+		tree.CompleteKary(255, 2), tree.Random(rng, 300, 2),
+	}
+	naiveRoot := func(s *Subforest, v tree.NodeID) tree.NodeID {
+		if !s.Contains(v) {
+			return tree.None
+		}
+		for {
+			p := s.Tree().Parent(v)
+			if p == tree.None || !s.Contains(p) {
+				return v
+			}
+			v = p
+		}
+	}
+	for _, tr := range trees {
+		s := NewSubforest(tr)
+		for step := 0; step < 400; step++ {
+			v := tree.NodeID(rng.Intn(tr.Len()))
+			if s.Contains(v) {
+				// Evict the whole maximal cached subtree containing v
+				// (rooted at its cached root): always a valid negative
+				// changeset.
+				r := s.CachedRoot(v)
+				lo, hi := tr.PreorderInterval(r)
+				pre := tr.Preorder()
+				var x []tree.NodeID
+				for i := lo; i < hi; i++ {
+					if s.Contains(pre[i]) {
+						x = append(x, pre[i])
+					}
+				}
+				if err := s.Evict(x); err != nil {
+					t.Fatalf("%v: evict cached tree of %d: %v", tr, r, err)
+				}
+			} else {
+				x := s.AppendMissing(nil, v)
+				if err := s.Fetch(x); err != nil {
+					t.Fatalf("%v: fetch P(%d): %v", tr, v, err)
+				}
+			}
+			if err := s.CheckInvariant(); err != nil {
+				t.Fatalf("%v step %d: %v", tr, step, err)
+			}
+			for probe := 0; probe < 20; probe++ {
+				u := tree.NodeID(rng.Intn(tr.Len()))
+				if got, want := s.CachedRoot(u), naiveRoot(s, u); got != want {
+					t.Fatalf("%v step %d: CachedRoot(%d) = %d, want %d", tr, step, u, got, want)
+				}
+			}
+		}
+		// Clone keeps the boundaries; Clear resets them.
+		c := s.Clone()
+		if err := c.CheckInvariant(); err != nil {
+			t.Fatalf("%v: clone invariant: %v", tr, err)
+		}
+		s.Clear()
+		if err := s.CheckInvariant(); err != nil {
+			t.Fatalf("%v: post-clear invariant: %v", tr, err)
+		}
+		if s.CachedRoot(0) != tree.None {
+			t.Fatalf("%v: CachedRoot on empty cache", tr)
+		}
+	}
+}

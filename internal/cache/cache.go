@@ -60,11 +60,29 @@ type Subforest struct {
 	in   []bool
 	n    int
 	mark []bool // scratch bitmap reused by changeset validation
+
+	// cstart[p] is the topmost cached position of heavy path p, or the
+	// path length when the path holds nothing. Because the cache is
+	// downward-closed, the cached positions of a path always form a
+	// suffix [cstart..len), and a valid changeset meets each path in a
+	// contiguous range touching cstart — so maintaining the boundary is
+	// O(1) per moved node and CachedRoot becomes O(log n) path jumps
+	// instead of an O(depth) parent climb.
+	cstart []int32
 }
 
 // NewSubforest returns an empty cache over t.
 func NewSubforest(t *tree.Tree) *Subforest {
-	return &Subforest{t: t, in: make([]bool, t.Len()), mark: make([]bool, t.Len())}
+	s := &Subforest{t: t, in: make([]bool, t.Len()), mark: make([]bool, t.Len()),
+		cstart: make([]int32, t.NumHeavyPaths())}
+	s.resetPathBounds()
+	return s
+}
+
+func (s *Subforest) resetPathBounds() {
+	for p := range s.cstart {
+		s.cstart[p] = s.t.HeavyPathLen(int32(p))
+	}
 }
 
 // Tree returns the underlying tree.
@@ -150,15 +168,25 @@ func (s *Subforest) AppendMissing(dst []tree.NodeID, v tree.NodeID) []tree.NodeI
 }
 
 // CachedRoot returns the root of the maximal cached subtree containing
-// v, or tree.None if v is not cached. O(depth).
+// v, or tree.None if v is not cached. The climb jumps whole heavy
+// paths via their cached boundaries, so it costs O(log n) instead of
+// O(depth).
 func (s *Subforest) CachedRoot(v tree.NodeID) tree.NodeID {
 	if !s.in[v] {
 		return tree.None
 	}
 	for {
-		p := s.t.Parent(v)
+		pid := s.t.HeavyPathOf(v)
+		c := s.cstart[pid]
+		if c > 0 {
+			// The position above the boundary is on the same path and
+			// not cached: the boundary node is the root.
+			return s.t.NodeAtHeavySlot(s.t.HeavyPathBase(pid) + c)
+		}
+		h := s.t.HeavyPathHead(pid)
+		p := s.t.Parent(h)
 		if p == tree.None || !s.in[p] {
-			return v
+			return h
 		}
 		v = p
 	}
@@ -239,6 +267,9 @@ func (s *Subforest) Fetch(x []tree.NodeID) error {
 	}
 	for _, v := range x {
 		s.in[v] = true
+		if pid, pos := s.t.HeavyPathOf(v), s.t.HeavyPos(v); pos < s.cstart[pid] {
+			s.cstart[pid] = pos
+		}
 	}
 	s.n += len(x)
 	return nil
@@ -252,6 +283,12 @@ func (s *Subforest) Evict(x []tree.NodeID) error {
 	}
 	for _, v := range x {
 		s.in[v] = false
+		// X meets each path in a contiguous range starting at its
+		// cached boundary; the new boundary is one past the deepest
+		// evicted position.
+		if pid, pos := s.t.HeavyPathOf(v), s.t.HeavyPos(v); pos >= s.cstart[pid] {
+			s.cstart[pid] = pos + 1
+		}
 	}
 	s.n -= len(x)
 	return nil
@@ -265,6 +302,7 @@ func (s *Subforest) Clear() int {
 			s.in[i] = false
 		}
 		s.n = 0
+		s.resetPathBounds()
 	}
 	return k
 }
@@ -288,6 +326,25 @@ func (s *Subforest) CheckInvariant() error {
 	if count != s.n {
 		return fmt.Errorf("cache: count mismatch: recorded %d, actual %d", s.n, count)
 	}
+	// The per-heavy-path cached boundaries must match the membership
+	// bitmap exactly.
+	actual := make([]int32, s.t.NumHeavyPaths())
+	for p := range actual {
+		actual[p] = s.t.HeavyPathLen(int32(p))
+	}
+	for v := 0; v < s.t.Len(); v++ {
+		if !s.in[v] {
+			continue
+		}
+		if pid, pos := s.t.HeavyPathOf(tree.NodeID(v)), s.t.HeavyPos(tree.NodeID(v)); pos < actual[pid] {
+			actual[pid] = pos
+		}
+	}
+	for p := range actual {
+		if actual[p] != s.cstart[p] {
+			return fmt.Errorf("cache: heavy path %d cached boundary %d, recorded %d", p, actual[p], s.cstart[p])
+		}
+	}
 	return nil
 }
 
@@ -295,7 +352,9 @@ func (s *Subforest) CheckInvariant() error {
 func (s *Subforest) Clone() *Subforest {
 	in := make([]bool, len(s.in))
 	copy(in, s.in)
-	return &Subforest{t: s.t, in: in, n: s.n, mark: make([]bool, len(s.in))}
+	cstart := make([]int32, len(s.cstart))
+	copy(cstart, s.cstart)
+	return &Subforest{t: s.t, in: in, n: s.n, mark: make([]bool, len(s.in)), cstart: cstart}
 }
 
 // Equal reports whether two caches over the same tree hold the same set.

@@ -27,6 +27,13 @@ func TestServeZeroAllocs(t *testing.T) {
 		{"star", tree.Star(512), 256},
 		{"path", tree.Path(256), 128},
 		{"binary", tree.CompleteKary(1024, 2), 512},
+		// Deep shapes exercise the heavy-path segment trees (paths
+		// longer than tree.FlatPathMax): range-adds, first-saturated /
+		// last-negative descents and point assigns must all run on
+		// persistent arenas.
+		{"deep-path", tree.Path(4096), 2048},
+		{"caterpillar", tree.Caterpillar(1024, 3), 2048},
+		{"deep-random", tree.Random(rand.New(rand.NewSource(9)), 4096, 3), 2048},
 	}
 	for _, sh := range shapes {
 		t.Run(sh.name, func(t *testing.T) {

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// Benchmarks comparing the heavy-path serve core against the linear
+// O(depth) oracle in the same process, so the two sides see identical
+// machine conditions (the repo-root benchmarks drift too much between
+// runs for regression analysis). Run with:
+//
+//	go test -run '^$' -bench BenchmarkServe ./internal/core
+type serveShape struct {
+	name     string
+	build    func() *tree.Tree
+	capacity int
+}
+
+func serveShapes() []serveShape {
+	return []serveShape{
+		{"star/n=16384", func() *tree.Tree { return tree.Star(1 << 14) }, 1 << 13},
+		{"binary/n=16384", func() *tree.Tree { return tree.CompleteKary(1<<14, 2) }, 1 << 13},
+		{"binary/n=262144", func() *tree.Tree { return tree.CompleteKary(1<<18, 2) }, 1 << 17},
+		{"fanout4/n=16384", func() *tree.Tree { return tree.CompleteKary(1<<14, 4) }, 1 << 13},
+		{"path/n=4096", func() *tree.Tree { return tree.Path(1 << 12) }, 1 << 11},
+		{"caterpillar/n=16384", func() *tree.Tree { return tree.Caterpillar(1<<13, 1) }, 1 << 13},
+	}
+}
+
+type server interface {
+	Serve(req trace.Request) (int64, int64)
+}
+
+func benchServe(b *testing.B, s server, input trace.Trace) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Serve(input[i&(len(input)-1)])
+	}
+}
+
+// BenchmarkServeHLD measures the production heavy-path TC.
+func BenchmarkServeHLD(b *testing.B) {
+	for _, sh := range serveShapes() {
+		b.Run(sh.name, func(b *testing.B) {
+			t := sh.build()
+			input := trace.RandomMixed(rand.New(rand.NewSource(1)), t, 1<<16)
+			benchServe(b, New(t, Config{Alpha: 8, Capacity: sh.capacity}), input)
+		})
+	}
+}
+
+// BenchmarkServeLinear measures the pre-HLD linear climb (the test
+// oracle), for direct same-process comparison with BenchmarkServeHLD.
+func BenchmarkServeLinear(b *testing.B) {
+	for _, sh := range serveShapes() {
+		b.Run(sh.name, func(b *testing.B) {
+			t := sh.build()
+			input := trace.RandomMixed(rand.New(rand.NewSource(1)), t, 1<<16)
+			benchServe(b, newLinearTC(t, Config{Alpha: 8, Capacity: sh.capacity}), input)
+		})
+	}
+}

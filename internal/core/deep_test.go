@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// The brute-force Reference is exponential and capped at 20 nodes, so
+// it cannot exercise the depths the heavy-path serve core exists for.
+// The oracle chain is therefore two-step: linearTC (the pre-HLD
+// O(depth) implementation, kept verbatim in lineartc_test.go) is
+// pinned against Reference on small trees, and the heavy-path TC is
+// differentially tested against linearTC on trees up to 65536 nodes.
+
+// TestLinearOracleMatchesReference anchors the deep-tree oracle to the
+// Section 4 definition on small instances.
+func TestLinearOracleMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for inst := 0; inst < 80; inst++ {
+		n := 2 + rng.Intn(10)
+		tr := tree.RandomShape(rng, n)
+		cfg := Config{Alpha: int64(2 * (1 + rng.Intn(3))), Capacity: 1 + rng.Intn(n+2)}
+		lin := newLinearTC(tr, cfg)
+		ref := NewReference(tr, cfg)
+		for round, req := range trace.RandomMixed(rng, tr, 150) {
+			s1, m1 := lin.Serve(req)
+			s2, m2 := ref.Serve(req)
+			if s1 != s2 || m1 != m2 {
+				t.Fatalf("inst %d round %d: linear (%d,%d) != reference (%d,%d)", inst, round, s1, m1, s2, m2)
+			}
+		}
+		if lin.Ledger() != ref.Ledger() || !sameMembers(lin.CacheMembers(), ref.CacheMembers()) {
+			t.Fatalf("inst %d: final state diverged from reference", inst)
+		}
+	}
+}
+
+// deepShapes builds the deep-tree grid for the differential tests:
+// pure paths, caterpillars (deep spine, shallow legs) and
+// depth-biased random attachment trees — the shapes where the old
+// serve loop was O(depth) per request.
+func deepShapes(rng *rand.Rand) []*tree.Tree {
+	return []*tree.Tree{
+		tree.Path(1000),
+		tree.Path(65536),
+		tree.Caterpillar(2000, 2),
+		tree.Caterpillar(30000, 1),
+		tree.Random(rng, 4096, 3),
+		tree.Random(rng, 65536, 2),
+	}
+}
+
+// TestDeepDifferentialAgainstLinear replays random mixed traces on
+// deep shapes (n up to 65536) through the heavy-path TC and the linear
+// oracle, asserting per-round cost equality, phase equality, and final
+// cache equality.
+func TestDeepDifferentialAgainstLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	rounds := 6000
+	if testing.Short() {
+		rounds = 1500
+	}
+	for _, tr := range deepShapes(rng) {
+		for _, capFrac := range []int{4, 2} {
+			capa := tr.Len() / capFrac
+			if capa < 1 {
+				capa = 1
+			}
+			name := fmt.Sprintf("%v/k=%d", tr, capa)
+			t.Run(name, func(t *testing.T) {
+				cfg := Config{Alpha: 8, Capacity: capa}
+				eff := New(tr, cfg)
+				lin := newLinearTC(tr, cfg)
+				input := trace.RandomMixed(rng, tr, rounds)
+				for round, req := range input {
+					s1, m1 := eff.Serve(req)
+					s2, m2 := lin.Serve(req)
+					if s1 != s2 || m1 != m2 {
+						t.Fatalf("round %d (%v%d): HLD (%d,%d) != linear (%d,%d)",
+							round, req.Kind, req.Node, s1, m1, s2, m2)
+					}
+					if eff.Phase() != lin.Phase() || eff.CacheLen() != lin.CacheLen() {
+						t.Fatalf("round %d: phase/cache-size divergence: (%d,%d) vs (%d,%d)",
+							round, eff.Phase(), eff.CacheLen(), lin.Phase(), lin.CacheLen())
+					}
+				}
+				a, b := eff.CacheMembers(), lin.CacheMembers()
+				if len(a) != len(b) {
+					t.Fatalf("final cache sizes differ: %d vs %d", len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("final caches differ at %d: %d vs %d", i, a[i], b[i])
+					}
+				}
+				if eff.Ledger() != lin.Ledger() {
+					t.Fatalf("ledgers differ: %+v vs %+v", eff.Ledger(), lin.Ledger())
+				}
+			})
+		}
+	}
+}
+
+// TestDeepCounterReconstruction checks the derived Counter accessor
+// against the linear oracle's materialised counters on a deep shape.
+func TestDeepCounterReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	tr := tree.Caterpillar(500, 1)
+	cfg := Config{Alpha: 6, Capacity: 400}
+	eff := New(tr, cfg)
+	lin := newLinearTC(tr, cfg)
+	for round, req := range trace.RandomMixed(rng, tr, 4000) {
+		eff.Serve(req)
+		lin.Serve(req)
+		if round%97 != 0 {
+			continue
+		}
+		for probe := 0; probe < 10; probe++ {
+			v := tree.NodeID(rng.Intn(tr.Len()))
+			if got, want := eff.Counter(v), lin.count(v); got != want {
+				t.Fatalf("round %d: Counter(%d) = %d, want %d", round, v, got, want)
+			}
+		}
+	}
+}
+
+// FuzzDeepDifferential is the deep-tree native fuzz target: bytes
+// decode into (deep shape, size up to 65536, capacity, request
+// sequence) and the heavy-path TC must match the linear oracle
+// exactly. Run with
+//
+//	go test -fuzz FuzzDeepDifferential ./internal/core
+//
+// for continuous fuzzing; plain `go test` executes the seed corpus.
+func FuzzDeepDifferential(f *testing.F) {
+	f.Add([]byte{0, 200, 10, 1, 2, 3, 250, 128, 7})
+	f.Add([]byte{1, 255, 80, 9, 9, 9, 130, 200, 1, 0})
+	f.Add([]byte{2, 140, 40, 255, 254, 253, 0, 1, 2})
+	f.Add([]byte{3, 90, 200, 5, 130, 5, 130, 5, 130})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			t.Skip()
+		}
+		// n grows exponentially with data[1] so the corpus reaches
+		// 65536 while staying fast on average: n in [64, 65536].
+		n := 64 << (uint(data[1]) % 11)
+		rng := rand.New(rand.NewSource(int64(data[2])))
+		var tr *tree.Tree
+		switch data[0] % 4 {
+		case 0:
+			tr = tree.Path(n)
+		case 1:
+			tr = tree.Caterpillar(n/2, 1)
+		case 2:
+			tr = tree.Random(rng, n, 2)
+		default:
+			tr = tree.Random(rng, n, 3)
+		}
+		capa := 1 + (int(data[2])*tr.Len())/256
+		cfg := Config{Alpha: 8, Capacity: capa}
+		eff := New(tr, cfg)
+		lin := newLinearTC(tr, cfg)
+		// Each payload byte drives several requests around a focus
+		// node so saturation is actually reached on big trees.
+		for i, b := range data[3:] {
+			focus := int(b) * tr.Len() / 256
+			for j := 0; j < 24; j++ {
+				node := tree.NodeID((focus + j*j) % tr.Len())
+				req := trace.Request{Node: node, Kind: trace.Positive}
+				if (int(b)+j)%3 == 0 {
+					req.Kind = trace.Negative
+				}
+				s1, m1 := eff.Serve(req)
+				s2, m2 := lin.Serve(req)
+				if s1 != s2 || m1 != m2 {
+					t.Fatalf("byte %d req %d: HLD (%d,%d) != linear (%d,%d) on %v", i, j, s1, m1, s2, m2, tr)
+				}
+			}
+			if eff.CacheLen() != lin.CacheLen() || eff.Phase() != lin.Phase() {
+				t.Fatalf("byte %d: divergence (cache %d vs %d, phase %d vs %d)",
+					i, eff.CacheLen(), lin.CacheLen(), eff.Phase(), lin.Phase())
+			}
+		}
+		if !sameMembers(eff.CacheMembers(), lin.CacheMembers()) {
+			t.Fatalf("final caches differ on %v", tr)
+		}
+	})
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// linearTC is the pre-HLD implementation of TC, kept verbatim as a
+// polynomial test oracle: every paid request walks the full root path
+// (or hval chain), exactly the Section 6 algorithm with O(depth) cost
+// per decision. The brute-force Reference is exponential and capped at
+// 20 nodes, so deep-tree differential tests (n up to 65536) compare the
+// heavy-path TC against linearTC instead; linearTC itself is pinned
+// against Reference on small trees by TestLinearOracleMatchesReference,
+// so the oracle chain reaches the Section 4 definition.
+//
+// This type is test-only and must not grow features; it exists to make
+// the serve-core rewrite falsifiable at depths Reference cannot reach.
+type linearTC struct {
+	t     *tree.Tree
+	cfg   Config
+	cache *cache.Subforest
+	led   cache.Ledger
+
+	round int64
+	phase int64
+	epoch int32
+
+	cnt []linCounter
+	pos []linPosAgg
+	neg []linNegAgg
+
+	xbuf    []tree.NodeID
+	markBuf []bool
+}
+
+type linCounter struct {
+	val   int64
+	epoch int32
+}
+
+type linPosAgg struct {
+	cnt   int64
+	size  int32
+	epoch int32
+}
+
+type linNegAgg struct {
+	hA, hB int64
+	sA, sB int64
+}
+
+func newLinearTC(t *tree.Tree, cfg Config) *linearTC {
+	if cfg.Alpha < 2 || cfg.Alpha%2 != 0 {
+		panic(fmt.Sprintf("core: Alpha must be an even integer >= 2, got %d", cfg.Alpha))
+	}
+	if cfg.Capacity < 1 {
+		panic(fmt.Sprintf("core: Capacity must be >= 1, got %d", cfg.Capacity))
+	}
+	n := t.Len()
+	return &linearTC{
+		t:       t,
+		cfg:     cfg,
+		cache:   cache.NewSubforest(t),
+		led:     cache.Ledger{Alpha: cfg.Alpha},
+		epoch:   1,
+		cnt:     make([]linCounter, n),
+		pos:     make([]linPosAgg, n),
+		neg:     make([]linNegAgg, n),
+		markBuf: make([]bool, n),
+	}
+}
+
+func (a *linearTC) CacheLen() int               { return a.cache.Len() }
+func (a *linearTC) CacheMembers() []tree.NodeID { return a.cache.Members() }
+func (a *linearTC) Ledger() cache.Ledger        { return a.led }
+func (a *linearTC) Phase() int64                { return a.phase }
+func (a *linearTC) Cached(v tree.NodeID) bool   { return a.cache.Contains(v) }
+
+func (a *linearTC) count(v tree.NodeID) int64 {
+	if a.cnt[v].epoch != a.epoch {
+		return 0
+	}
+	return a.cnt[v].val
+}
+
+func (a *linearTC) setCount(v tree.NodeID, c int64) {
+	a.cnt[v] = linCounter{val: c, epoch: a.epoch}
+}
+
+func (a *linearTC) pAgg(u tree.NodeID) (int64, int32) {
+	p := a.pos[u]
+	if p.epoch != a.epoch {
+		return 0, int32(a.t.SubtreeSize(u))
+	}
+	return p.cnt, p.size
+}
+
+func (a *linearTC) pSet(u tree.NodeID, c int64, s int32) {
+	a.pos[u] = linPosAgg{cnt: c, size: s, epoch: a.epoch}
+}
+
+func (a *linearTC) Serve(req trace.Request) (serveCost, moveCost int64) {
+	a.round++
+	v := req.Node
+	cached := a.cache.Contains(v)
+	paid := (req.Kind == trace.Positive && !cached) || (req.Kind == trace.Negative && cached)
+	if !paid {
+		return 0, 0
+	}
+	a.led.PayServe()
+	moveBefore := a.led.Move
+	if req.Kind == trace.Positive {
+		a.servePositive(v)
+	} else {
+		a.serveNegative(v)
+	}
+	return 1, a.led.Move - moveBefore
+}
+
+func (a *linearTC) servePositive(v tree.NodeID) {
+	a.setCount(v, a.count(v)+1)
+	alpha := a.cfg.Alpha
+	top := tree.None
+	var topC int64
+	var topS int32
+	for u := v; u != tree.None; u = a.t.Parent(u) {
+		c, s := a.pAgg(u)
+		c++
+		a.pSet(u, c, s)
+		if c >= int64(s)*alpha {
+			top, topC, topS = u, c, s
+		}
+	}
+	if top != tree.None {
+		a.applyFetch(top, topC, topS)
+	}
+}
+
+func (a *linearTC) applyFetch(u tree.NodeID, c int64, s int32) {
+	x := a.cache.AppendMissing(a.xbuf[:0], u)
+	a.xbuf = x
+	if len(x) != int(s) {
+		panic(fmt.Sprintf("core: linear oracle: P(%d) size mismatch: aggregate %d, collected %d", u, s, len(x)))
+	}
+	if a.cache.Len()+int(s) > a.cfg.Capacity {
+		a.endPhase()
+		return
+	}
+	if err := a.cache.Fetch(x); err != nil {
+		panic("core: linear oracle: " + err.Error())
+	}
+	a.led.PayFetch(len(x))
+	for _, w := range x {
+		a.setCount(w, 0)
+	}
+	for p := a.t.Parent(u); p != tree.None; p = a.t.Parent(p) {
+		pc, ps := a.pAgg(p)
+		a.pSet(p, pc-c, ps-s)
+	}
+	for i := len(x) - 1; i >= 0; i-- {
+		a.initHval(x[i])
+	}
+}
+
+func (a *linearTC) initHval(w tree.NodeID) {
+	var sa, sb int64
+	for _, ch := range a.t.Children(w) {
+		if a.neg[ch].hA >= 0 {
+			sa += a.neg[ch].hA
+			sb += a.neg[ch].hB
+		}
+	}
+	a.neg[w] = linNegAgg{
+		hA: a.count(w) - a.cfg.Alpha + sa,
+		hB: 1 + sb,
+		sA: sa,
+		sB: sb,
+	}
+}
+
+func (a *linearTC) serveNegative(v tree.NodeID) {
+	a.setCount(v, a.count(v)+1)
+	x := v
+	for {
+		nx := &a.neg[x]
+		oldA, oldB := nx.hA, nx.hB
+		nx.hA = a.count(x) - a.cfg.Alpha + nx.sA
+		nx.hB = 1 + nx.sB
+		p := a.t.Parent(x)
+		if p == tree.None || !a.cache.Contains(p) {
+			if nx.hA >= 0 {
+				a.applyEvict(x)
+			}
+			return
+		}
+		var dA, dB int64
+		if oldA >= 0 {
+			dA -= oldA
+			dB -= oldB
+		}
+		if nx.hA >= 0 {
+			dA += nx.hA
+			dB += nx.hB
+		}
+		a.neg[p].sA += dA
+		a.neg[p].sB += dB
+		x = p
+	}
+}
+
+func (a *linearTC) applyEvict(r tree.NodeID) {
+	x := a.xbuf[:0]
+	if cap(a.markBuf) < a.t.Len() {
+		a.markBuf = make([]bool, a.t.Len())
+	}
+	inX := a.markBuf[:a.t.Len()]
+	pre := a.t.Preorder()
+	lo, hi := a.t.PreorderInterval(r)
+	x = append(x, r)
+	inX[r] = true
+	for i := lo + 1; i < hi; {
+		w := pre[i]
+		if a.neg[w].hA >= 0 {
+			x = append(x, w)
+			inX[w] = true
+			i++
+		} else {
+			_, wHi := a.t.PreorderInterval(w)
+			i = wHi
+		}
+	}
+	a.xbuf = x
+	if err := a.cache.Evict(x); err != nil {
+		panic("core: linear oracle: " + err.Error())
+	}
+	a.led.PayEvict(len(x))
+	for i := len(x) - 1; i >= 0; i-- {
+		w := x[i]
+		a.setCount(w, 0)
+		var sz int32 = 1
+		for _, ch := range a.t.Children(w) {
+			if inX[ch] {
+				_, cs := a.pAgg(ch)
+				sz += cs
+			}
+		}
+		a.pSet(w, 0, sz)
+	}
+	for _, v := range x {
+		inX[v] = false
+	}
+	for p := a.t.Parent(r); p != tree.None; p = a.t.Parent(p) {
+		pc, ps := a.pAgg(p)
+		a.pSet(p, pc, ps+int32(len(x)))
+	}
+}
+
+func (a *linearTC) endPhase() {
+	if n := a.cache.Len(); n > 0 {
+		a.led.PayEvict(n)
+		a.cache.Clear()
+	}
+	a.phase++
+	a.epoch++
+}

@@ -10,36 +10,44 @@
 // would exceed the capacity k_ONL, TC instead evicts everything and
 // starts a new phase.
 //
-// This file contains the efficient implementation of Section 6:
+// This file contains the heavy-path serve core. The paper's Section 6
+// data structures charge every paid request with a full root-path (or
+// cached-chain) update, which is O(depth) — linear on the deep shapes
+// (trie chains, caterpillar spines) the FIB application produces. Here
+// the root path is decomposed by the tree's heavy-path decomposition
+// into O(log n) contiguous slot ranges, and the per-node state is kept
+// in per-heavy-path lazy structures:
 //
-//   - fetches are found by maintaining, for every non-cached node u, the
-//     counter sum and size of P_t(u), the tree cap of non-cached nodes of
-//     T(u); after a positive request a single upward pass over the
-//     ancestors of the requested node both bumps the aggregates and
-//     remembers the topmost saturated P_t(u) (equivalent to the paper's
-//     root-down scan, since the topmost saturated ancestor is the unique
-//     maximal saturated changeset);
+//   - the positive side keeps, per slot, key(u) = cnt(P_t(u)) − α·|P_t(u)|
+//     and |P_t(u)|, where P_t(u) is the non-cached cap of T(u). A paid
+//     positive request is a +1 range-add on each root-path prefix plus a
+//     "topmost key ≥ 0" query (the unique maximal saturated changeset);
+//     applyFetch's ancestor subtraction and applyEvict's ancestor size
+//     bump are range-adds on the same prefixes;
 //
-//   - evictions are found by maintaining, for every cached node u, the
-//     exact value val_t(H_t(u)) of the best tree cap rooted at u, where
-//     val_t(A) = cnt_t(A) − |A|·α + |A|/(|T|+1), kept as the integer pair
-//     (cnt−|A|α, |A|); a counter increment updates the chain to the
-//     cached-tree root in O(1) per level using per-node running sums of
-//     the positive children values.
+//   - the negative side keeps hA(u), hB(u) with val_t(H_t(u)) =
+//     hA + hB/(|T|+1) for cached u, and a very negative sentinel for
+//     non-cached u. A counter bump propagates as a constant delta along
+//     the maximal run of hA ≥ 0 ancestors — a range-add bounded by a
+//     "nearest hA < 0 ancestor" query, which also exits early (usually
+//     after one slot) when the contribution does not change.
 //
-// The per-node state is packed into cache-line-friendly structs-of-
-// arrays (one 16-byte record per node and side instead of 2–3 parallel
-// arrays), changesets are collected in O(|X|) by walking the tree's
-// preorder intervals instead of a heap-allocated DFS stack, and all
-// scratch space is persistent, so the steady-state serve path performs
-// zero heap allocations.
+// Per-node counters are never materialised: every bump is absorbed by
+// the aggregates (the +1 range-add on the positive keys, hA on the
+// negative side), and the Counter accessor reconstructs them on demand.
 //
-// Together a decision costs O(h(T) + max(h(T), deg(T))·|X_t|) time and
-// O(|T|) memory, matching Theorem 6.1.
+// Heavy paths up to tree.FlatPathMax stay flat (a direct scan over
+// contiguous 16-byte slot records — the old climb, now cache-line
+// friendly); longer paths carry an epoch-stamped lazy segment tree
+// (range-add + max for the positive key, range-add + min for hA), so a
+// decision costs O(log n · log n) instead of O(depth). All scratch is
+// persistent and the steady-state serve path performs zero heap
+// allocations.
 package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/cache"
 	"repro/internal/trace"
@@ -84,36 +92,106 @@ type Config struct {
 	Observer Observer
 }
 
-// counter is a per-node request counter with lazy epoch reset, packed
-// to 16 bytes so a bump touches a single cache line.
-type counter struct {
-	val   int64
-	epoch int32
-	_     int32
+// negInf / posInf are sentinels far outside any reachable aggregate
+// value but safe against overflow under the bounded range-adds of one
+// phase.
+const (
+	negInf = math.MinInt64 / 4
+	posInf = math.MaxInt64 / 4
+	// notCachedHA marks the hA slot of a non-cached node. Real hA
+	// values are ≥ −α, so anything below notCachedHA/2 is a sentinel.
+	notCachedHA = negInf
+	// cSegBit flags, inside a slot record's posF/up field, that the
+	// slot's heavy path carries a segment tree (mirrors the
+	// tree.SlotNav encoding). Trees are capped well below 2^30 nodes
+	// by the int32 NodeID space, so the bit never collides with a
+	// slot. segRootUp marks the root slot of a segment path (its up is
+	// −1, which has no room for the flag).
+	cSegBit = int32(1) << 30
+)
+
+const segRootUp = math.MinInt32
+
+// upIsFlat reports whether the up-encoding belongs to a flat-path slot.
+func upIsFlat(u int32) bool { return u >= -1 && u < cSegBit }
+
+// upDecode strips the encoding, yielding the parent slot or −1.
+func upDecode(u int32) int32 {
+	if u == segRootUp {
+		return -1
+	}
+	return u &^ cSegBit
 }
 
-// posAgg packs the positive-side aggregate (cnt(P_t(u)), |P_t(u)|) and
-// its validity epoch into 16 bytes; the ancestor walk of a positive
-// request reads and writes exactly one record per level.
-type posAgg struct {
-	cnt   int64
-	size  int32
-	epoch int32
+// posLeaf is the positive-side state of one heavy slot: key =
+// cnt(P_t(u)) − α·|P_t(u)| and size = |P_t(u)|, valid while u is
+// non-cached. Stale epochs read as the phase-start state (0 count,
+// full subtree size). On segment paths the true key/size is the leaf
+// value plus the pending adds on its segment-tree ancestors.
+//
+// The static parent-slot pointer is embedded in the record so a climb
+// step costs one 16-byte load: up is the slot of the PARENT node (g−1
+// inside a path, the head's parent across a light edge, −1 at the
+// root), which turns the whole flat climb into a single uniform loop.
+// Slots on segment-tree paths carry cSegBit in up (the root of such a
+// path stores segRootUp); |P| lives in the posSz side table, touched
+// only by fetch/evict bookkeeping. Epoch resets must preserve up.
+type posLeaf struct {
+	key int64
+	ep  int32
+	up  int32 // static: parent slot | cSegBit, −1 at a flat root, segRootUp at a seg root
 }
 
-// negAgg packs the negative-side structure of a cached node: hA/hB is
-// the exact pair for val_t(H_t(u)); sA/sB accumulate the positive
-// children pairs. Maintained eagerly while the node is cached; garbage
-// while not.
-type negAgg struct {
+// posSz is the |P_t(u)| side record of one heavy slot, epoch-stamped
+// independently of the key (sizes change only when caps move).
+type posSz struct {
+	size int32
+	ep   int32
+}
+
+// posNode is one internal segment-tree node of the positive side,
+// packed to 24 bytes: mx is the max key below (pending adds of this
+// node included, those of its ancestors excluded), addK/addS are the
+// pending key/size adds for the whole subtree.
+type posNode struct {
+	mx   int64
+	addK int64
+	addS int32
+	ep   int32
+}
+
+// negLeaf is the negative-side state of one heavy slot: hA/hB of the
+// best tree cap rooted at u, val_t(H_t(u)) = hA + hB/(|T|+1), while u
+// is cached; hA = notCachedHA otherwise (also the phase-start state).
+// The linear implementation's running child sums are implicit:
+// sA = hA − cnt(u) + α, sB = hB − 1. The static climb coordinates ride
+// in the record's padding (32 bytes total, one cache line per random
+// access); epoch resets must preserve them. See posLeaf for the posF /
+// up encoding.
+type negLeaf struct {
 	hA, hB int64
-	sA, sB int64
+	ep     int32
+	posF   int32 // static: position within the heavy path | cSegBit
+	up     int32 // static: slot of the parent node, or −1
+	_      int32
 }
 
-// TC is the efficient implementation of the paper's algorithm. Create
+// negNode is one internal segment-tree node of the negative side: mn is
+// the min hA below (own pending adds included), addA/addB the pending
+// hA/hB adds for the whole subtree.
+type negNode struct {
+	mn   int64
+	addA int64
+	addB int64
+	ep   int32
+	_    int32
+}
+
+// TC is the heavy-path implementation of the paper's algorithm. Create
 // one with New. TC is not safe for concurrent use.
 type TC struct {
 	t     *tree.Tree
+	seg   *tree.SegIndex
 	cfg   Config
 	cache *cache.Subforest
 	led   cache.Ledger
@@ -123,9 +201,12 @@ type TC struct {
 	epoch  int32 // incremented at each phase start; lazily resets state
 	rounds int64 // rounds within phase (diagnostics)
 
-	cnt []counter // per-node counters
-	pos []posAgg  // positive-side aggregates (meaningful for non-cached u)
-	neg []negAgg  // negative-side structure (meaningful for cached u)
+	pL   []posLeaf // positive leaves, indexed by heavy slot
+	pS   []posSz   // positive leaf sizes, indexed by heavy slot (cold side table)
+	pSz0 []int32   // per slot: |T(u)|, the phase-start size (dense: the reset table stays cache-resident)
+	pI   []posNode // positive internal nodes, indexed by segment arena
+	nL   []negLeaf // negative leaves, indexed by heavy slot
+	nI   []negNode // negative internal nodes, indexed by segment arena
 
 	// Scratch buffers reused across rounds; Serve never heap-allocates
 	// in steady state.
@@ -135,6 +216,9 @@ type TC struct {
 
 // New returns a TC instance over t. It panics if the configuration is
 // invalid (the configuration is programmer input, not runtime data).
+// Instances over the same tree share its immutable heavy-path segment
+// skeleton (tree.SegIndex), so a sharded fleet pays the index cost
+// once.
 func New(t *tree.Tree, cfg Config) *TC {
 	if cfg.Alpha < 2 || cfg.Alpha%2 != 0 {
 		panic(fmt.Sprintf("core: Alpha must be an even integer >= 2, got %d", cfg.Alpha))
@@ -143,17 +227,43 @@ func New(t *tree.Tree, cfg Config) *TC {
 		panic(fmt.Sprintf("core: Capacity must be >= 1, got %d", cfg.Capacity))
 	}
 	n := t.Len()
+	seg := t.Seg()
+	arena := seg.ArenaLen()
 	a := &TC{
 		t:       t,
+		seg:     seg,
 		cfg:     cfg,
 		cache:   cache.NewSubforest(t),
 		led:     cache.Ledger{Alpha: cfg.Alpha},
 		epoch:   1,
-		cnt:     make([]counter, n),
-		pos:     make([]posAgg, n),
-		neg:     make([]negAgg, n),
+		pL:      make([]posLeaf, n),
+		pS:      make([]posSz, n),
+		pSz0:    make([]int32, n),
+		pI:      make([]posNode, arena),
+		nL:      make([]negLeaf, n),
+		nI:      make([]negNode, arena),
 		xbuf:    make([]tree.NodeID, 0, 64),
 		markBuf: make([]bool, n),
+	}
+	for g, v := range t.HeavyOrder() {
+		a.pSz0[g] = int32(t.SubtreeSize(v))
+		nav := t.HeavyNav(int32(g))
+		posF := nav.Pos()
+		up := int32(-1)
+		if p := t.Parent(v); p != tree.None {
+			up = t.HeavySlot(p)
+		}
+		pup := up
+		if nav.Seg() {
+			posF |= cSegBit
+			if pup < 0 {
+				pup = segRootUp
+			} else {
+				pup |= cSegBit
+			}
+		}
+		a.pL[g].up = pup
+		a.nL[g].posF, a.nL[g].up = posF, up
 	}
 	return a
 }
@@ -201,7 +311,32 @@ func (a *TC) Round() int64 { return a.round }
 func (a *TC) Phase() int64 { return a.phase }
 
 // Counter returns node v's current counter (for tests and analysis).
-func (a *TC) Counter(v tree.NodeID) int64 { return a.count(v) }
+// The serve path never materialises per-node counters — every bump is
+// absorbed by the positive/negative aggregates — so the counter is
+// reconstructed here: for non-cached v, cnt(v) = cnt(P(v)) − Σ
+// cnt(P(c)) over non-cached children c; for cached v, cnt(v) = hA(v) +
+// α − Σ⁺hA(c) over children. O(deg(v) · log n).
+func (a *TC) Counter(v tree.NodeID) int64 {
+	if a.cache.Contains(v) {
+		hA, _ := a.negRead(v)
+		c := hA + a.cfg.Alpha
+		for _, ch := range a.t.Children(v) {
+			if chA, _ := a.negRead(ch); chA >= 0 {
+				c -= chA
+			}
+		}
+		return c
+	}
+	key, size := a.posRead(a.t.HeavySlot(v))
+	c := key + int64(size)*a.cfg.Alpha
+	for _, ch := range a.t.Children(v) {
+		if !a.cache.Contains(ch) {
+			k, s := a.posRead(a.t.HeavySlot(ch))
+			c -= k + int64(s)*a.cfg.Alpha
+		}
+	}
+	return c
+}
 
 // Reset returns the algorithm to its initial state (empty cache, zero
 // costs, phase 0).
@@ -210,34 +345,6 @@ func (a *TC) Reset() {
 	a.led.Reset()
 	a.round, a.phase, a.rounds = 0, 0, 0
 	a.epoch++
-}
-
-// count returns node v's counter within the current phase.
-func (a *TC) count(v tree.NodeID) int64 {
-	if a.cnt[v].epoch != a.epoch {
-		return 0
-	}
-	return a.cnt[v].val
-}
-
-// setCount stamps v's counter.
-func (a *TC) setCount(v tree.NodeID, c int64) {
-	a.cnt[v] = counter{val: c, epoch: a.epoch}
-}
-
-// pAgg returns (cnt(P_t(u)), |P_t(u)|); stale entries default to the
-// phase-start state (0, |T(u)|).
-func (a *TC) pAgg(u tree.NodeID) (int64, int32) {
-	p := a.pos[u]
-	if p.epoch != a.epoch {
-		return 0, int32(a.t.SubtreeSize(u))
-	}
-	return p.cnt, p.size
-}
-
-// pSet stamps u's positive aggregates.
-func (a *TC) pSet(u tree.NodeID, c int64, s int32) {
-	a.pos[u] = posAgg{cnt: c, size: s, epoch: a.epoch}
 }
 
 // Serve processes the request of the next round and returns the serving
@@ -267,36 +374,269 @@ func (a *TC) Serve(req trace.Request) (serveCost, moveCost int64) {
 }
 
 // ---------------------------------------------------------------------------
+// Positive-side lazy structures.
+// ---------------------------------------------------------------------------
+
+// pLeaf returns slot g's key record, lazily reset to the phase-start
+// state key = −α·|T(u)|: the key is derived from the dense per-slot
+// size table, so a stale reset costs one 4-byte load.
+func (a *TC) pLeaf(g int32) *posLeaf {
+	l := &a.pL[g]
+	if l.ep != a.epoch {
+		l.key = -a.cfg.Alpha * int64(a.pSz0[g])
+		l.ep = a.epoch
+	}
+	return l
+}
+
+// pSize returns slot g's size record, lazily reset to |T(u)|.
+func (a *TC) pSize(g int32) *posSz {
+	sRec := &a.pS[g]
+	if sRec.ep != a.epoch {
+		sRec.size = a.pSz0[g]
+		sRec.ep = a.epoch
+	}
+	return sRec
+}
+
+// pInt returns arena node j's record, lazily reset: the phase-start max
+// key below j is −α·(min subtree size below j), precomputed shape-only
+// in the shared SegIndex.
+func (a *TC) pInt(j int32) *posNode {
+	nd := &a.pI[j]
+	if nd.ep != a.epoch {
+		mx := int64(negInf) // padding only
+		if m := a.seg.MinSize(j); m != tree.NoSegMinSize {
+			mx = -a.cfg.Alpha * int64(m)
+		}
+		*nd = posNode{mx: mx, ep: a.epoch}
+	}
+	return nd
+}
+
+// posSegAdd adds (dK, dS) to leaf positions [ql..qr] of segment path
+// pid (with base slot base), maintaining internal maxes.
+func (a *TC) posSegAdd(pid, base, ql, qr int32, dK int64, dS int32) {
+	off, p := a.seg.Meta(pid)
+	l := a.t.HeavyPathLen(pid)
+	a.posAddRec(off, base, p, l, 1, 0, p, ql, qr, dK, dS)
+}
+
+// posAddRec applies the add below node t covering [lo,hi) and returns
+// t's value (internal max / leaf key) for the parent's pull-up.
+func (a *TC) posAddRec(off, base, p, l, t, lo, hi, ql, qr int32, dK int64, dS int32) int64 {
+	if t >= p { // leaf
+		i := t - p
+		if i >= l {
+			return negInf // padding
+		}
+		lf := a.pLeaf(base + i)
+		if i >= ql && i <= qr {
+			lf.key += dK
+			if dS != 0 {
+				a.pSize(base + i).size += dS
+			}
+		}
+		return lf.key
+	}
+	nd := a.pInt(off + t - 1)
+	if qr < lo || hi <= ql {
+		return nd.mx
+	}
+	if ql <= lo && hi-1 <= qr {
+		nd.addK += dK
+		nd.mx += dK
+		nd.addS += dS
+		return nd.mx
+	}
+	mid := (lo + hi) / 2
+	lv := a.posAddRec(off, base, p, l, 2*t, lo, mid, ql, qr, dK, dS)
+	rv := a.posAddRec(off, base, p, l, 2*t+1, mid, hi, ql, qr, dK, dS)
+	if rv > lv {
+		lv = rv
+	}
+	nd.mx = nd.addK + lv
+	return nd.mx
+}
+
+// posSegFirstSat returns the first position i ≤ p of segment path pid
+// with key ≥ 0, or −1. Internal maxes over-approximate ranges that
+// extend past p (they may include stale keys of cached slots), which
+// only costs descents, never correctness: the final test is on leaves
+// within [0..p], which are all non-cached during this query.
+func (a *TC) posSegFirstSat(pid, base, p int32) int32 {
+	off, pw := a.seg.Meta(pid)
+	l := a.t.HeavyPathLen(pid)
+	return a.posFirstRec(off, base, pw, l, 1, 0, pw, p, 0)
+}
+
+func (a *TC) posFirstRec(off, base, p, l, t, lo, hi, qr int32, acc int64) int32 {
+	if lo > qr {
+		return -1
+	}
+	if t >= p { // leaf
+		i := t - p
+		if i >= l {
+			return -1
+		}
+		if a.pLeaf(base+i).key+acc >= 0 {
+			return i
+		}
+		return -1
+	}
+	nd := a.pInt(off + t - 1)
+	if nd.mx+acc < 0 {
+		return -1
+	}
+	acc += nd.addK
+	mid := (lo + hi) / 2
+	if r := a.posFirstRec(off, base, p, l, 2*t, lo, mid, qr, acc); r >= 0 {
+		return r
+	}
+	return a.posFirstRec(off, base, p, l, 2*t+1, mid, hi, qr, acc)
+}
+
+// posDescend walks the segment-tree spine from the root to leaf
+// position i, fixing epochs and accumulating the pending (key, size)
+// adds of every internal node above the leaf.
+func (a *TC) posDescend(off, p, i int32) (accK int64, accS int32) {
+	lo, span := int32(0), p
+	for t := int32(1); t < p; {
+		nd := a.pInt(off + t - 1)
+		accK += nd.addK
+		accS += nd.addS
+		span >>= 1
+		if i < lo+span {
+			t = 2 * t
+		} else {
+			t = 2*t + 1
+			lo += span
+		}
+	}
+	return accK, accS
+}
+
+// posRead returns (key, size) at slot g.
+func (a *TC) posRead(g int32) (int64, int32) {
+	if upIsFlat(a.pL[g].up) {
+		return a.pLeaf(g).key, a.pSize(g).size
+	}
+	i := a.t.HeavyNav(g).Pos()
+	off, p := a.seg.Meta(a.t.HeavyPathOfSlot(g))
+	accK, accS := a.posDescend(off, p, i)
+	return a.pLeaf(g).key + accK, a.pSize(g).size + accS
+}
+
+// posAssign sets (key, size) at slot g to absolute values and repairs
+// internal maxes along g's segment-tree spine.
+func (a *TC) posAssign(g int32, key int64, size int32) {
+	l := &a.pL[g]
+	if upIsFlat(l.up) {
+		l.key = key
+		l.ep = a.epoch
+		a.pS[g] = posSz{size: size, ep: a.epoch}
+		return
+	}
+	pid := a.t.HeavyPathOfSlot(g)
+	i := a.t.HeavyNav(g).Pos()
+	base := g - i
+	off, p := a.seg.Meta(pid)
+	ln := a.t.HeavyPathLen(pid)
+	accK, accS := a.posDescend(off, p, i)
+	l.key = key - accK
+	l.ep = a.epoch
+	a.pS[g] = posSz{size: size - accS, ep: a.epoch}
+	for t := (p + i) / 2; t >= 1; t /= 2 {
+		nd := a.pInt(off + t - 1)
+		lv := a.posChildVal(off, base, p, ln, 2*t)
+		rv := a.posChildVal(off, base, p, ln, 2*t+1)
+		if rv > lv {
+			lv = rv
+		}
+		nd.mx = nd.addK + lv
+	}
+}
+
+func (a *TC) posChildVal(off, base, p, l, t int32) int64 {
+	if t >= p {
+		i := t - p
+		if i >= l {
+			return negInf
+		}
+		return a.pLeaf(base + i).key
+	}
+	return a.pInt(off + t - 1).mx
+}
+
+// posRootPathAdd adds (dK, dS) to every node on the root path of the
+// node at slot g (inclusive): one prefix range-add per heavy-path
+// segment.
+func (a *TC) posRootPathAdd(g int32, dK int64, dS int32) {
+	for g >= 0 {
+		u := a.pL[g].up
+		if !upIsFlat(u) {
+			pos := a.t.HeavyNav(g).Pos()
+			base := g - pos
+			a.posSegAdd(a.t.HeavyPathOfSlot(g), base, 0, pos, dK, dS)
+			g = upDecode(a.pL[base].up)
+			continue
+		}
+		l := a.pLeaf(g)
+		l.key += dK
+		if dS != 0 {
+			a.pSize(g).size += dS
+		}
+		g = u
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Positive requests and fetches (Section 6.1).
 // ---------------------------------------------------------------------------
 
 func (a *TC) servePositive(v tree.NodeID) {
 	// v is non-cached, hence (downward closure) so is its whole root
-	// path. A single upward pass bumps every ancestor's P-aggregate and
-	// remembers the topmost saturated one: that is exactly the first
-	// saturated P_t(u) of the paper's root-down scan, i.e. the unique
-	// maximal saturated changeset.
-	a.setCount(v, a.count(v)+1)
-	alpha := a.cfg.Alpha
-	top := tree.None
-	var topC int64
-	var topS int32
-	for u := v; u != tree.None; u = a.t.Parent(u) {
-		c, s := a.pAgg(u)
-		c++
-		a.pSet(u, c, s)
-		if c >= int64(s)*alpha {
-			top, topC, topS = u, c, s
+	// path. The root path decomposes into O(log n) heavy-path prefixes;
+	// each gets a +1 range-add on its keys, and a first-saturated query
+	// finds the topmost key ≥ 0 — exactly the first saturated P_t(u) of
+	// the paper's root-down scan, i.e. the unique maximal saturated
+	// changeset. Segments are processed bottom-up, so the last hit is
+	// the topmost. The counter bump itself is absorbed by the +1 on
+	// every root-path key (v's own key included).
+	top := int32(-1)
+	g := a.t.HeavySlot(v)
+	for g >= 0 {
+		u := a.pL[g].up
+		if !upIsFlat(u) {
+			pos := a.t.HeavyNav(g).Pos()
+			base := g - pos
+			pid := a.t.HeavyPathOfSlot(g)
+			a.posSegAdd(pid, base, 0, pos, 1, 0)
+			if hit := a.posSegFirstSat(pid, base, pos); hit >= 0 {
+				top = base + hit
+			}
+			g = upDecode(a.pL[base].up)
+			continue
 		}
+		// Uniform climb step: the parent-slot pointer rides on the
+		// record's own cache line, so this is the old per-ancestor
+		// loop with contiguous (per-path) instead of scattered slots.
+		l := a.pLeaf(g)
+		l.key++
+		if l.key >= 0 {
+			top = g
+		}
+		g = u
 	}
-	if top != tree.None {
-		a.applyFetch(top, topC, topS)
+	if top >= 0 {
+		key, s := a.posRead(top)
+		a.applyFetch(a.t.NodeAtHeavySlot(top), top, key+int64(s)*a.cfg.Alpha, s)
 	}
 }
 
-// applyFetch fetches X = P_t(u) (cnt c, size s), or flushes the cache
-// and starts a new phase if X does not fit.
-func (a *TC) applyFetch(u tree.NodeID, c int64, s int32) {
+// applyFetch fetches X = P_t(u) (cnt c, size s) where u sits at slot
+// gu, or flushes the cache and starts a new phase if X does not fit.
+func (a *TC) applyFetch(u tree.NodeID, gu int32, c int64, s int32) {
 	// Collect X = P(u): the non-cached nodes of T(u) in preorder, via
 	// the interval walk of AppendMissing (O(|X|) plus one interval test
 	// per skipped cached subtree). X is collected before the capacity
@@ -315,15 +655,14 @@ func (a *TC) applyFetch(u tree.NodeID, c int64, s int32) {
 		panic("core: " + err.Error())
 	}
 	a.led.PayFetch(len(x))
-	// Counters of fetched nodes reset.
-	for _, w := range x {
-		a.setCount(w, 0)
-	}
-	// Ancestors of u lose X from their P-aggregates. (u itself is now
-	// cached; its stale aggregates are rebuilt on eviction.)
-	for p := a.t.Parent(u); p != tree.None; p = a.t.Parent(p) {
-		pc, ps := a.pAgg(p)
-		a.pSet(p, pc-c, ps-s)
+	// Ancestors of u lose X from their P-aggregates: cnt −= c and
+	// size −= s, i.e. key += α·s − c. (u itself is now cached; its
+	// stale aggregates are rebuilt on eviction. Fetched counters reset
+	// implicitly: cached state lives on the negative side only.)
+	if nav := a.t.HeavyNav(gu); nav.Pos() > 0 {
+		a.posRootPathAdd(gu-1, int64(s)*a.cfg.Alpha-c, -s)
+	} else if nav.Up() >= 0 {
+		a.posRootPathAdd(nav.Up(), int64(s)*a.cfg.Alpha-c, -s)
 	}
 	// Initialise the negative-side structure for the newly cached
 	// nodes, children before parents (x is in preorder of the cap, so
@@ -336,23 +675,192 @@ func (a *TC) applyFetch(u tree.NodeID, c int64, s int32) {
 	}
 }
 
-// initHval computes sum and hval for a just-cached node w whose cached
-// children (both newly and previously cached) already have valid hvals.
-func (a *TC) initHval(w tree.NodeID) {
-	var sa, sb int64
-	for _, ch := range a.t.Children(w) {
-		// Every child of a cached node is cached.
-		if a.neg[ch].hA >= 0 {
-			sa += a.neg[ch].hA
-			sb += a.neg[ch].hB
+// ---------------------------------------------------------------------------
+// Negative-side lazy structures.
+// ---------------------------------------------------------------------------
+
+// nLeaf returns slot g's record, lazily reset to the phase-start state
+// (cache empty: the non-cached sentinel).
+func (a *TC) nLeaf(g int32) *negLeaf {
+	l := &a.nL[g]
+	if l.ep != a.epoch {
+		l.hA = notCachedHA
+		l.hB = 0
+		l.ep = a.epoch
+	}
+	return l
+}
+
+func (a *TC) nInt(j int32) *negNode {
+	nd := &a.nI[j]
+	if nd.ep != a.epoch {
+		mn := int64(posInf) // padding only: never looks negative
+		if a.seg.MinSize(j) != tree.NoSegMinSize {
+			mn = notCachedHA
+		}
+		*nd = negNode{mn: mn, ep: a.epoch}
+	}
+	return nd
+}
+
+// negRead returns (hA, hB) of node v.
+func (a *TC) negRead(v tree.NodeID) (int64, int64) {
+	return a.negReadSlot(a.t.HeavySlot(v))
+}
+
+// negDescend walks the segment-tree spine from the root to leaf
+// position i, fixing epochs and accumulating the pending (hA, hB) adds
+// of every internal node above the leaf.
+func (a *TC) negDescend(off, p, i int32) (accA, accB int64) {
+	lo, span := int32(0), p
+	for t := int32(1); t < p; {
+		nd := a.nInt(off + t - 1)
+		accA += nd.addA
+		accB += nd.addB
+		span >>= 1
+		if i < lo+span {
+			t = 2 * t
+		} else {
+			t = 2*t + 1
+			lo += span
 		}
 	}
-	a.neg[w] = negAgg{
-		hA: a.count(w) - a.cfg.Alpha + sa,
-		hB: 1 + sb,
-		sA: sa,
-		sB: sb,
+	return accA, accB
+}
+
+// negReadSlot returns (hA, hB) at slot g.
+func (a *TC) negReadSlot(g int32) (int64, int64) {
+	posF := a.nL[g].posF
+	if posF&cSegBit == 0 {
+		l := a.nLeaf(g)
+		return l.hA, l.hB
 	}
+	i := posF &^ cSegBit
+	off, p := a.seg.Meta(a.t.HeavyPathOfSlot(g))
+	accA, accB := a.negDescend(off, p, i)
+	l := a.nLeaf(g)
+	return l.hA + accA, l.hB + accB
+}
+
+// negAssign sets (hA, hB) at slot g to absolute values and repairs
+// internal mins along g's spine.
+func (a *TC) negAssign(g int32, hA, hB int64) {
+	l := &a.nL[g]
+	if l.posF&cSegBit == 0 {
+		l.hA = hA
+		l.hB = hB
+		l.ep = a.epoch
+		return
+	}
+	pid := a.t.HeavyPathOfSlot(g)
+	i := l.posF &^ cSegBit
+	base := g - i
+	off, p := a.seg.Meta(pid)
+	ln := a.t.HeavyPathLen(pid)
+	accA, accB := a.negDescend(off, p, i)
+	l.hA = hA - accA
+	l.hB = hB - accB
+	l.ep = a.epoch
+	for t := (p + i) / 2; t >= 1; t /= 2 {
+		nd := a.nInt(off + t - 1)
+		lv := a.negChildMin(off, base, p, ln, 2*t)
+		rv := a.negChildMin(off, base, p, ln, 2*t+1)
+		if rv < lv {
+			lv = rv
+		}
+		nd.mn = nd.addA + lv
+	}
+}
+
+func (a *TC) negChildMin(off, base, p, l, t int32) int64 {
+	if t >= p {
+		i := t - p
+		if i >= l {
+			return posInf
+		}
+		return a.nLeaf(base + i).hA
+	}
+	return a.nInt(off + t - 1).mn
+}
+
+// negAddRange adds (dA, dB) to positions [ql..qr] of the segment path
+// with base slot base (flat paths are handled inline by the climbs).
+func (a *TC) negAddRange(base, ql, qr int32, dA, dB int64) {
+	pid := a.t.HeavyPathOfSlot(base)
+	off, p := a.seg.Meta(pid)
+	l := a.t.HeavyPathLen(pid)
+	a.negAddRec(off, base, p, l, 1, 0, p, ql, qr, dA, dB)
+}
+
+func (a *TC) negAddRec(off, base, p, l, t, lo, hi, ql, qr int32, dA, dB int64) int64 {
+	if t >= p { // leaf
+		i := t - p
+		if i >= l {
+			return posInf
+		}
+		lf := a.nLeaf(base + i)
+		if i >= ql && i <= qr {
+			lf.hA += dA
+			lf.hB += dB
+		}
+		return lf.hA
+	}
+	nd := a.nInt(off + t - 1)
+	if qr < lo || hi <= ql {
+		return nd.mn
+	}
+	if ql <= lo && hi-1 <= qr {
+		nd.addA += dA
+		nd.mn += dA
+		nd.addB += dB
+		return nd.mn
+	}
+	mid := (lo + hi) / 2
+	lv := a.negAddRec(off, base, p, l, 2*t, lo, mid, ql, qr, dA, dB)
+	rv := a.negAddRec(off, base, p, l, 2*t+1, mid, hi, ql, qr, dA, dB)
+	if rv < lv {
+		lv = rv
+	}
+	nd.mn = nd.addA + lv
+	return nd.mn
+}
+
+// negLastNeg returns the largest position i ≤ p of the segment path
+// with base slot base holding hA < 0, or −1 if the whole prefix is
+// ≥ 0 (flat paths are handled inline by the climbs). Non-cached slots
+// carry the very negative sentinel, so the query also stops at the
+// cached-tree boundary.
+func (a *TC) negLastNeg(base, p int32) int32 {
+	pid := a.t.HeavyPathOfSlot(base)
+	off, pw := a.seg.Meta(pid)
+	l := a.t.HeavyPathLen(pid)
+	return a.negLastRec(off, base, pw, l, 1, 0, pw, p, 0)
+}
+
+func (a *TC) negLastRec(off, base, p, l, t, lo, hi, qr int32, acc int64) int32 {
+	if lo > qr {
+		return -1
+	}
+	if t >= p { // leaf
+		i := t - p
+		if i >= l {
+			return -1
+		}
+		if a.nLeaf(base+i).hA+acc < 0 {
+			return i
+		}
+		return -1
+	}
+	nd := a.nInt(off + t - 1)
+	if nd.mn+acc >= 0 {
+		return -1
+	}
+	acc += nd.addA
+	mid := (lo + hi) / 2
+	if r := a.negLastRec(off, base, p, l, 2*t+1, mid, hi, qr, acc); r >= 0 {
+		return r
+	}
+	return a.negLastRec(off, base, p, l, 2*t, lo, mid, qr, acc)
 }
 
 // ---------------------------------------------------------------------------
@@ -360,37 +868,164 @@ func (a *TC) initHval(w tree.NodeID) {
 // ---------------------------------------------------------------------------
 
 func (a *TC) serveNegative(v tree.NodeID) {
-	a.setCount(v, a.count(v)+1)
-	// Recompute the hval chain from v up to its cached-tree root,
-	// propagating each node's positive-part contribution into its
-	// parent's running sums.
-	x := v
-	for {
-		nx := &a.neg[x]
-		oldA, oldB := nx.hA, nx.hB
-		nx.hA = a.count(x) - a.cfg.Alpha + nx.sA
-		nx.hB = 1 + nx.sB
-		p := a.t.Parent(x)
-		if p == tree.None || !a.cache.Contains(p) {
-			// x is the root of its cached tree.
-			if nx.hA >= 0 {
-				a.applyEvict(x)
+	// Bump v's counter: hA(v) += 1 (hA = cnt − α + sA; the counter
+	// bump is absorbed directly by hA). Then propagate v's contribution
+	// change along the cached chain. The linear implementation rebuilt
+	// the chain to the cached-tree root unconditionally; here the
+	// contribution delta is constant along any run of hA ≥ 0 ancestors,
+	// so the chain update is a range-add bounded by a "nearest hA < 0
+	// ancestor" query — and exits immediately (the common case) when
+	// the contribution is unchanged.
+	var hA, hB int64
+	var up int32
+	g := a.t.HeavySlot(v)
+	if a.nL[g].posF&cSegBit == 0 {
+		l := a.nLeaf(g)
+		l.hA++
+		hA, hB, up = l.hA, l.hB, l.up
+	} else {
+		hA, hB = a.negReadSlot(g)
+		hA++
+		// Point +1 on hA: one recursion applies the add and repairs
+		// the internal mins, instead of a read-assign round trip.
+		pos := a.nL[g].posF &^ cSegBit
+		a.negAddRange(g-pos, pos, pos, 1, 0)
+		up = a.nL[g].up
+	}
+	if hA < 0 {
+		// Was ≤ −2: contribution (0,0) before and after, and no
+		// eviction even if v roots its cached tree. The common case
+		// costs two slot loads total.
+		return
+	}
+	if up < 0 || a.nLeaf(up).hA <= notCachedHA/2 {
+		// v's parent is absent or non-cached (sentinel): v roots its
+		// cached tree, and its cap is saturated.
+		a.applyEvict(v)
+		return
+	}
+	if hA == 0 {
+		// Flip −1 → 0: contribution (0,0) → (0, hB).
+		a.negPropagateB(up, hB)
+		return
+	}
+	// Was ≥ 0 and stays positive: contribution grows by (+1, 0).
+	a.negPropagateA(up)
+}
+
+// negPropagateA climbs from slot g adding +1 to hA along the maximal
+// run of hA ≥ 0 ancestors; the stopping node (the nearest hA < 0
+// ancestor) also absorbs the +1 and may flip to 0, which switches to a
+// hB-only propagation — or triggers the eviction when it is the
+// cached-tree root. By Lemma 5.1 the cached-tree root has hA < 0
+// between rounds, so the run can never climb past it; crossing the
+// cached boundary (sentinel slots) is therefore an invariant breach.
+func (a *TC) negPropagateA(g int32) {
+	for g >= 0 {
+		l := a.nLeaf(g)
+		if l.posF&cSegBit != 0 {
+			p := l.posF &^ cSegBit
+			base := g - p
+			i := a.negLastNeg(base, p)
+			if i < 0 {
+				a.negAddRange(base, 0, p, 1, 0)
+				g = a.nL[base].up
+				continue
 			}
+			hA, hB := a.negReadSlot(base + i)
+			if hA <= notCachedHA/2 {
+				panic("core: positive hval run crossed the cached-tree boundary (Lemma 5.1 breach)")
+			}
+			a.negAddRange(base, i, p, 1, 0)
+			if hA+1 != 0 {
+				return // stays negative: contribution still (0,0)
+			}
+			a.negFlipAt(base+i, hB)
 			return
 		}
-		var dA, dB int64
-		if oldA >= 0 {
-			dA -= oldA
-			dB -= oldB
+		// Uniform climb step on the record's own parent-slot pointer.
+		hAold := l.hA
+		if hAold <= notCachedHA/2 {
+			panic("core: positive hval run crossed the cached-tree boundary (Lemma 5.1 breach)")
 		}
-		if nx.hA >= 0 {
-			dA += nx.hA
-			dB += nx.hB
+		l.hA++
+		if hAold >= 0 {
+			g = l.up
+			continue
 		}
-		a.neg[p].sA += dA
-		a.neg[p].sB += dB
-		x = p
+		if hAold != -1 {
+			return // stays negative: contribution still (0,0)
+		}
+		a.negFlipAt(g, l.hB)
+		return
 	}
+	panic("core: positive hval run reached the tree root (Lemma 5.1 breach)")
+}
+
+// negFlipAt handles the stopping node of a +1 propagation flipping
+// −1 → 0 at slot g: if it is its cached tree's root the saturated cap
+// is evicted, otherwise the hB delta propagates further up.
+func (a *TC) negFlipAt(g int32, hB int64) {
+	up := a.nL[g].up
+	if up < 0 || a.nLeaf(up).hA <= notCachedHA/2 {
+		a.applyEvict(a.t.NodeAtHeavySlot(g)) // saturated cached-tree root
+		return
+	}
+	a.negPropagateB(up, hB)
+}
+
+// negPropagateB climbs from slot g adding dB to hB along the run of
+// hA ≥ 0 ancestors, through the first hA < 0 node inclusive (it
+// absorbs the delta into its child sums without further propagation).
+// hA values are untouched, so no eviction can trigger here.
+func (a *TC) negPropagateB(g int32, dB int64) {
+	for g >= 0 {
+		l := a.nLeaf(g)
+		if l.posF&cSegBit != 0 {
+			p := l.posF &^ cSegBit
+			base := g - p
+			i := a.negLastNeg(base, p)
+			if i >= 0 {
+				if hA, _ := a.negReadSlot(base + i); hA <= notCachedHA/2 {
+					panic("core: hB propagation crossed the cached-tree boundary (Lemma 5.1 breach)")
+				}
+				a.negAddRange(base, i, p, 0, dB)
+				return
+			}
+			a.negAddRange(base, 0, p, 0, dB)
+			g = a.nL[base].up
+			continue
+		}
+		// Uniform climb step: add dB and stop at the first hA < 0 slot
+		// (it absorbs the delta without further propagation).
+		if l.hA <= notCachedHA/2 {
+			panic("core: hB propagation crossed the cached-tree boundary (Lemma 5.1 breach)")
+		}
+		l.hB += dB
+		if l.hA < 0 {
+			return
+		}
+		g = l.up
+	}
+	panic("core: hB propagation reached the tree root (Lemma 5.1 breach)")
+}
+
+// initHval computes hval for a just-cached node w whose cached
+// children (both newly and previously cached) already have valid
+// hvals: hA = cnt(w) − α + Σ⁺hA(child), hB = 1 + Σ⁺hB(child), where Σ⁺
+// sums children with hA ≥ 0 (non-cached children read the sentinel and
+// are skipped, but a cached node's children are always cached).
+// Fetching resets w's counter, so cnt(w) = 0 here.
+func (a *TC) initHval(w tree.NodeID) {
+	var sa, sb int64
+	for _, ch := range a.t.Children(w) {
+		hA, hB := a.negRead(ch)
+		if hA >= 0 {
+			sa += hA
+			sb += hB
+		}
+	}
+	a.negAssign(a.t.HeavySlot(w), sa-a.cfg.Alpha, 1+sb)
 }
 
 // applyEvict evicts X = H_t(r) where r is a cached-tree root with
@@ -410,7 +1045,7 @@ func (a *TC) applyEvict(r tree.NodeID) {
 	inX[r] = true
 	for i := lo + 1; i < hi; {
 		w := pre[i]
-		if a.neg[w].hA >= 0 {
+		if hA, _ := a.negRead(w); hA >= 0 {
 			x = append(x, w)
 			inX[w] = true
 			i++
@@ -424,27 +1059,31 @@ func (a *TC) applyEvict(r tree.NodeID) {
 		panic("core: " + err.Error())
 	}
 	a.led.PayEvict(len(x))
-	// Counters reset; rebuild P-aggregates bottom-up within the cap:
-	// psize[x] = |X ∩ T(x)| (all other descendants remain cached),
-	// pcnt[x] = 0.
+	// Rebuild P-aggregates bottom-up within the cap: size = |X ∩ T(x)|
+	// (all other descendants remain cached), cnt = 0, so key = −α·size.
+	// The evicted slots also return to the sentinel on the negative
+	// side.
 	for i := len(x) - 1; i >= 0; i-- {
 		w := x[i]
-		a.setCount(w, 0)
 		var sz int32 = 1
 		for _, ch := range a.t.Children(w) {
 			if inX[ch] {
-				_, cs := a.pAgg(ch)
+				_, cs := a.posRead(a.t.HeavySlot(ch))
 				sz += cs
 			}
 		}
-		a.pSet(w, 0, sz)
+		gw := a.t.HeavySlot(w)
+		a.posAssign(gw, -a.cfg.Alpha*int64(sz), sz)
+		a.negAssign(gw, notCachedHA, 0)
 	}
 	a.clearSet(x, inX)
 	// Ancestors of r (all non-cached) gain |X| non-cached descendants
-	// with zero counters.
-	for p := a.t.Parent(r); p != tree.None; p = a.t.Parent(p) {
-		pc, ps := a.pAgg(p)
-		a.pSet(p, pc, ps+int32(len(x)))
+	// with zero counters: size += |X|, key −= α·|X|.
+	gr := a.t.HeavySlot(r)
+	if nav := a.t.HeavyNav(gr); nav.Pos() > 0 {
+		a.posRootPathAdd(gr-1, -a.cfg.Alpha*int64(len(x)), int32(len(x)))
+	} else if nav.Up() >= 0 {
+		a.posRootPathAdd(nav.Up(), -a.cfg.Alpha*int64(len(x)), int32(len(x)))
 	}
 	if a.cfg.Observer != nil {
 		a.cfg.Observer.OnApply(a.round, x, false)
@@ -475,7 +1114,7 @@ func (a *TC) clearSet(x []tree.NodeID, m []bool) {
 // Phases.
 // ---------------------------------------------------------------------------
 
-// endPhase flushes the cache, charges the eviction, resets all counters
+// endPhase flushes the cache, charges the eviction, resets all state
 // (lazily, via the epoch) and starts a new phase. wouldFetch is the
 // fetch that would have overflowed; k_P = cacheLen + len(wouldFetch).
 func (a *TC) endPhase(wouldFetch []tree.NodeID) {
@@ -492,5 +1131,5 @@ func (a *TC) endPhase(wouldFetch []tree.NodeID) {
 	}
 	a.phase++
 	a.rounds = 0
-	a.epoch++ // all counters and aggregates reset lazily
+	a.epoch++ // all keys and hvals (and hence counters) reset lazily
 }

@@ -21,6 +21,11 @@
 //   - The optional Parallelism cap is a batch-granularity token
 //     channel: it bounds how many workers serve simultaneously without
 //     adding any per-request synchronization.
+//   - Shards that serve the same *tree.Tree share its immutable
+//     heavy-path index and segment-tree skeleton (built lazily, once,
+//     under the tree's sync.Once): NewShard callbacks constructing one
+//     core.TC per shard pay the per-instance lazy state only, not the
+//     O(n) index construction.
 package engine
 
 import (

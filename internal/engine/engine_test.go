@@ -273,3 +273,56 @@ func equalNodes(a, b []tree.NodeID) bool {
 	}
 	return true
 }
+
+// TestEngineDeepTreeFleet runs a fleet whose shards all serve DEEP
+// trees (long heavy paths, the shapes the heavy-path serve core
+// targets), with several shards sharing one *tree.Tree — and hence its
+// lazily-built heavy-path segment skeleton — and asserts exact
+// equivalence with per-shard sequential replay.
+func TestEngineDeepTreeFleet(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	shared := tree.Path(5000) // shards 0 and 1 share this tree (and its skeleton)
+	trees := []*tree.Tree{
+		shared,
+		shared,
+		tree.Caterpillar(1500, 1),
+		tree.Random(rand.New(rand.NewSource(7)), 4096, 3),
+	}
+	mt := trace.MultiTenant(rng, trees, trace.MultiTenantConfig{
+		Rounds: 30000, TenantS: 1.0, NodeS: 1.0, NegFrac: 0.4, BurstFrac: 0.1, BurstLen: 8,
+	})
+	if err := mt.Validate(trees); err != nil {
+		t.Fatal(err)
+	}
+	mkTC := func(i int) *core.TC {
+		return core.New(trees[i], core.Config{Alpha: 8, Capacity: 1 + trees[i].Len()/3})
+	}
+	tcs := make([]*core.TC, len(trees))
+	e := engine.New(engine.Config{
+		Shards: len(trees),
+		NewShard: func(i int) engine.Algorithm {
+			tcs[i] = mkTC(i)
+			return tcs[i]
+		},
+	})
+	if err := e.SubmitMulti(mt, 256); err != nil {
+		t.Fatal(err)
+	}
+	e.Drain()
+	st := e.Stats()
+	e.Close()
+	split := mt.Split(len(trees))
+	for i := range trees {
+		seq := mkTC(i)
+		sim.Run(seq, split[i])
+		led := seq.Ledger()
+		ss := st.Shards[i]
+		if ss.Serve != led.Serve || ss.Move != led.Move {
+			t.Fatalf("deep shard %d: engine (serve=%d move=%d) vs sequential (serve=%d move=%d)",
+				i, ss.Serve, ss.Move, led.Serve, led.Move)
+		}
+		if !equalNodes(tcs[i].CacheMembers(), seq.CacheMembers()) {
+			t.Fatalf("deep shard %d: final caches differ", i)
+		}
+	}
+}

@@ -22,8 +22,10 @@ type BenchCase struct {
 }
 
 // TCBenchCases returns the canonical shape grid: stars (h=1, huge
-// degree), paths (h=n−1), complete binary trees, and fixed-size trees
-// of growing fanout. Alpha is fixed at 8 and the capacity at half the
+// degree), paths (h=n−1) up to trie-chain depths, complete binary
+// trees, fixed-size trees of growing fanout, and the deep shapes the
+// heavy-path serve core targets (caterpillar spine, depth-biased
+// random attachment). Alpha is fixed at 8 and the capacity at half the
 // node count by the harnesses.
 func TCBenchCases() []BenchCase {
 	return []BenchCase{
@@ -33,12 +35,21 @@ func TCBenchCases() []BenchCase {
 		{"TCPath/n=256", func() *tree.Tree { return tree.Path(1 << 8) }, 1 << 7},
 		{"TCPath/n=1024", func() *tree.Tree { return tree.Path(1 << 10) }, 1 << 9},
 		{"TCPath/n=4096", func() *tree.Tree { return tree.Path(1 << 12) }, 1 << 11},
+		{"TCPath/n=16384", func() *tree.Tree { return tree.Path(1 << 14) }, 1 << 13},
+		{"TCPath/n=65536", func() *tree.Tree { return tree.Path(1 << 16) }, 1 << 15},
 		{"TCBinary/n=1024", func() *tree.Tree { return tree.CompleteKary(1<<10, 2) }, 1 << 9},
 		{"TCBinary/n=16384", func() *tree.Tree { return tree.CompleteKary(1<<14, 2) }, 1 << 13},
 		{"TCBinary/n=262144", func() *tree.Tree { return tree.CompleteKary(1<<18, 2) }, 1 << 17},
 		{"TCWideFanout/deg=4", func() *tree.Tree { return tree.CompleteKary(1<<14, 4) }, 1 << 13},
 		{"TCWideFanout/deg=64", func() *tree.Tree { return tree.CompleteKary(1<<14, 64) }, 1 << 13},
 		{"TCWideFanout/deg=1024", func() *tree.Tree { return tree.CompleteKary(1<<14, 1024) }, 1 << 13},
+		// Deep shapes: an 8192-node spine with one leg per spine node
+		// (the FIB-trie-chain worst case with decoys), and a
+		// depth-biased random recursive tree (deterministic seed).
+		{"TCCaterpillar/n=16384", func() *tree.Tree { return tree.Caterpillar(1<<13, 1) }, 1 << 13},
+		{"TCDeepRandom/n=16384", func() *tree.Tree {
+			return tree.Random(rand.New(rand.NewSource(42)), 1<<14, 3)
+		}, 1 << 13},
 	}
 }
 

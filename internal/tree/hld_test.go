@@ -1,0 +1,175 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestHeavyPathProperties checks the defining properties of the
+// heavy-path decomposition on random and canonical shapes: every node
+// is on exactly one path, paths are maximal heavy chains laid out
+// contiguously head-first, the heavy child heads the largest subtree,
+// and a root-path climb crosses at most ⌊log2 n⌋ light edges.
+func TestHeavyPathProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	trees := []*Tree{
+		Path(1), Path(2), Path(257), Star(100), CompleteKary(1023, 2),
+		Caterpillar(50, 3), Random(rng, 500, 0), Random(rng, 500, 2),
+	}
+	for i := 0; i < 20; i++ {
+		trees = append(trees, RandomShape(rng, 2+rng.Intn(200)))
+	}
+	for _, tr := range trees {
+		n := tr.Len()
+		// Heavy child is the child with the largest subtree.
+		for v := 0; v < n; v++ {
+			h := tr.HeavyChild(NodeID(v))
+			if tr.IsLeaf(NodeID(v)) {
+				if h != None {
+					t.Fatalf("%v: leaf %d has heavy child %d", tr, v, h)
+				}
+				continue
+			}
+			for _, c := range tr.Children(NodeID(v)) {
+				if tr.SubtreeSize(c) > tr.SubtreeSize(h) {
+					t.Fatalf("%v: heavy child of %d is %d (size %d) but child %d has size %d",
+						tr, v, h, tr.SubtreeSize(h), c, tr.SubtreeSize(c))
+				}
+			}
+		}
+		// Slots are a bijection and paths are contiguous heavy chains.
+		seen := make(map[int32]bool, n)
+		for v := 0; v < n; v++ {
+			g := tr.HeavySlot(NodeID(v))
+			if g < 0 || int(g) >= n || seen[g] {
+				t.Fatalf("%v: node %d has bad/duplicate slot %d", tr, v, g)
+			}
+			seen[g] = true
+			if tr.NodeAtHeavySlot(g) != NodeID(v) {
+				t.Fatalf("%v: slot %d round-trip failed for node %d", tr, g, v)
+			}
+		}
+		for p := int32(0); p < int32(tr.NumHeavyPaths()); p++ {
+			base, ln := tr.HeavyPathBase(p), tr.HeavyPathLen(p)
+			head := tr.HeavyPathHead(p)
+			if tr.HeavySlot(head) != base || tr.HeavyPos(head) != 0 {
+				t.Fatalf("%v: path %d head %d not at base", tr, p, head)
+			}
+			if up := tr.HeavyPathUp(p); up != tr.Parent(head) {
+				t.Fatalf("%v: path %d up = %d, want parent(head) = %d", tr, p, up, tr.Parent(head))
+			}
+			// Head is not its parent's heavy child (maximality).
+			if par := tr.Parent(head); par != None && tr.HeavyChild(par) == head {
+				t.Fatalf("%v: path %d head %d is a heavy child — path not maximal", tr, p, head)
+			}
+			for i := int32(0); i < ln; i++ {
+				v := tr.NodeAtHeavySlot(base + i)
+				if tr.HeavyPathOf(v) != p || tr.HeavyPos(v) != i || tr.HeavyPathOfSlot(base+i) != p {
+					t.Fatalf("%v: slot %d inconsistent path coordinates", tr, base+i)
+				}
+				if i > 0 {
+					prev := tr.NodeAtHeavySlot(base + i - 1)
+					if tr.HeavyChild(prev) != v {
+						t.Fatalf("%v: path %d broken chain at pos %d", tr, p, i)
+					}
+				}
+			}
+			if tail := tr.NodeAtHeavySlot(base + ln - 1); tr.HeavyChild(tail) != None {
+				t.Fatalf("%v: path %d tail %d has a heavy child — path not maximal", tr, p, tail)
+			}
+		}
+		// Root-path climbs cross at most log2(n) light edges.
+		maxLight := int(math.Log2(float64(n))) + 1
+		for v := 0; v < n; v++ {
+			light := 0
+			for u := NodeID(v); tr.Parent(u) != None; u = tr.Parent(u) {
+				if tr.HeavyChild(tr.Parent(u)) != u {
+					light++
+				}
+			}
+			if light > maxLight {
+				t.Fatalf("%v: node %d crosses %d light edges (max %d)", tr, v, light, maxLight)
+			}
+		}
+		// SlotNav agrees with the coordinates and the FlatPathMax rule.
+		for v := 0; v < n; v++ {
+			g := tr.HeavySlot(NodeID(v))
+			nav := tr.HeavyNav(g)
+			if nav.Pos() != tr.HeavyPos(NodeID(v)) {
+				t.Fatalf("%v: nav pos mismatch at node %d", tr, v)
+			}
+			p := tr.HeavyPathOf(NodeID(v))
+			if nav.Seg() != (tr.HeavyPathLen(p) > FlatPathMax) {
+				t.Fatalf("%v: nav seg bit mismatch at node %d", tr, v)
+			}
+			wantUp := int32(-1)
+			if u := tr.HeavyPathUp(p); u != None {
+				wantUp = tr.HeavySlot(u)
+			}
+			if nav.Up() != wantUp {
+				t.Fatalf("%v: nav up mismatch at node %d: got %d want %d", tr, v, nav.Up(), wantUp)
+			}
+		}
+	}
+}
+
+// TestSegIndexSkeleton checks the lazy segment skeleton: flat/segment
+// classification, power-of-two widths, and the per-internal-node
+// minimum subtree sizes against a brute-force recomputation.
+func TestSegIndexSkeleton(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	trees := []*Tree{
+		Path(FlatPathMax), Path(FlatPathMax + 1), Path(1000),
+		Caterpillar(300, 2), Random(rng, 800, 3), CompleteKary(511, 2),
+	}
+	for _, tr := range trees {
+		s := tr.Seg()
+		if s != tr.Seg() {
+			t.Fatalf("%v: Seg() not cached", tr)
+		}
+		arena := 0
+		for p := int32(0); p < int32(tr.NumHeavyPaths()); p++ {
+			ln := tr.HeavyPathLen(p)
+			if ln <= FlatPathMax {
+				if !s.Flat(p) {
+					t.Fatalf("%v: path %d len %d should be flat", tr, p, ln)
+				}
+				continue
+			}
+			if s.Flat(p) {
+				t.Fatalf("%v: path %d len %d should carry a segment tree", tr, p, ln)
+			}
+			off, pw := s.Meta(p)
+			if pw < ln || pw/2 >= ln || pw&(pw-1) != 0 {
+				t.Fatalf("%v: path %d pow %d not minimal power of two >= %d", tr, p, pw, ln)
+			}
+			arena += int(pw - 1)
+			base := tr.HeavyPathBase(p)
+			// Brute-force min subtree size per internal node.
+			for tn := int32(1); tn < pw; tn++ {
+				// Leaves under tn: node tn sits at depth d (2^d <= tn <
+				// 2^(d+1)) and covers span = pw/2^d positions starting
+				// at (tn − 2^d)·span.
+				d := 0
+				for int32(1)<<(d+1) <= tn {
+					d++
+				}
+				span := pw >> d
+				lo := (tn - int32(1)<<d) * span
+				want := int32(NoSegMinSize)
+				for i := lo; i < lo+span && i < ln; i++ {
+					if sz := int32(tr.SubtreeSize(tr.NodeAtHeavySlot(base + i))); sz < want {
+						want = sz
+					}
+				}
+				if got := s.MinSize(off + tn - 1); got != want {
+					t.Fatalf("%v: path %d internal %d min size %d, want %d", tr, p, tn, got, want)
+				}
+			}
+		}
+		if s.ArenaLen() != arena {
+			t.Fatalf("%v: arena %d, want %d", tr, s.ArenaLen(), arena)
+		}
+	}
+}

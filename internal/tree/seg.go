@@ -1,0 +1,122 @@
+package tree
+
+import "math"
+
+// FlatPathMax is the heavy-path length up to which per-path aggregate
+// structures should stay flat (direct per-slot iteration, the old
+// O(depth) climb restricted to one short path). Paths longer than this
+// get a segment-tree skeleton so prefix operations cost O(log L)
+// instead of O(L). The threshold trades the segment tree's pointer
+// chasing against the flat scan's contiguous loads; 32 keeps every
+// path of a complete binary tree up to 2^31 nodes flat while giving
+// deep paths (FIB trie chains, caterpillar spines) the logarithmic
+// structure.
+const FlatPathMax = 32
+
+// NoSegMinSize marks segment-tree positions whose subtree contains only
+// padding (positions past the path's real length).
+const NoSegMinSize = math.MaxInt32
+
+// SegIndex is the immutable segment-tree skeleton over the heavy paths
+// of one tree: for every path longer than FlatPathMax it fixes a
+// power-of-two layout and precomputes, per internal node, the minimum
+// subtree size among the real leaves below it (the phase-start value of
+// every per-path aggregate is a pure function of subtree sizes, so this
+// one int32 per internal node lets algorithm instances reset their lazy
+// structures in O(1) per touched node instead of O(n) per phase).
+//
+// The skeleton depends only on the tree shape, never on algorithm
+// parameters, and is built once per tree (lazily, under the tree's
+// sync.Once); every algorithm instance over the same tree — e.g. the
+// per-shard TCs of a serving engine fleet — shares it.
+type SegIndex struct {
+	sm    []segMeta // per path: packed arena offset + power-of-two width
+	minSz []int32   // arena: per internal node t in [1,P), min real-leaf subtree size (NoSegMinSize if none)
+	arena int32
+}
+
+// segMeta packs one path's segment layout into 8 bytes: the arena
+// offset of its internal nodes (-1 if the path is flat) and P, the
+// smallest power of two >= the path length (0 if flat).
+type segMeta struct {
+	off, pow int32
+}
+
+// Seg returns the segment skeleton, building it on first use. Safe for
+// concurrent use; the result is shared and must not be modified.
+func (t *Tree) Seg() *SegIndex {
+	t.segOnce.Do(func() { t.seg = buildSegIndex(t) })
+	return t.seg
+}
+
+func buildSegIndex(t *Tree) *SegIndex {
+	np := t.NumHeavyPaths()
+	s := &SegIndex{sm: make([]segMeta, np)}
+	for pid := 0; pid < np; pid++ {
+		l := t.HeavyPathLen(int32(pid))
+		if l <= FlatPathMax {
+			s.sm[pid] = segMeta{off: -1}
+			continue
+		}
+		p := int32(1)
+		for p < l {
+			p <<= 1
+		}
+		s.sm[pid] = segMeta{off: s.arena, pow: p}
+		s.arena += p - 1
+	}
+	s.minSz = make([]int32, s.arena)
+	for pid := 0; pid < np; pid++ {
+		if s.sm[pid].off < 0 {
+			continue
+		}
+		off, p := s.sm[pid].off, s.sm[pid].pow
+		base, l := t.HeavyPathBase(int32(pid)), t.HeavyPathLen(int32(pid))
+		leaf := func(c int32) int32 { // value of child index c in [1, 2P)
+			if c >= p {
+				if i := c - p; i < l {
+					return int32(t.SubtreeSize(t.NodeAtHeavySlot(base + i)))
+				}
+				return NoSegMinSize
+			}
+			return s.minSz[off+c-1]
+		}
+		for c := p - 1; c >= 1; c-- {
+			lo, hi := leaf(2*c), leaf(2*c+1)
+			if hi < lo {
+				lo = hi
+			}
+			s.minSz[off+c-1] = lo
+		}
+	}
+	return s
+}
+
+// Flat reports whether path p has no segment tree (length <= FlatPathMax).
+func (s *SegIndex) Flat(p int32) bool { return s.sm[p].off < 0 }
+
+// Meta returns path p's packed segment layout in one load: the arena
+// offset of its internal nodes (-1 if flat) and the power-of-two leaf
+// count (0 if flat).
+func (s *SegIndex) Meta(p int32) (off, pow int32) {
+	m := s.sm[p]
+	return m.off, m.pow
+}
+
+// Off returns the arena offset of path p's internal nodes: internal
+// node t in [1, Pow(p)) lives at arena index Off(p)+t-1. Only valid for
+// non-flat paths.
+func (s *SegIndex) Off(p int32) int32 { return s.sm[p].off }
+
+// Pow returns the power-of-two leaf count of path p's segment tree
+// (0 for flat paths).
+func (s *SegIndex) Pow(p int32) int32 { return s.sm[p].pow }
+
+// MinSize returns the precomputed minimum real-leaf subtree size under
+// arena node j, or NoSegMinSize if the node covers only padding.
+func (s *SegIndex) MinSize(j int32) int32 { return s.minSz[j] }
+
+// ArenaLen returns the total number of internal segment-tree nodes
+// across all non-flat paths; algorithm instances size their lazy-state
+// arenas with it.
+func (s *SegIndex) ArenaLen() int { return int(s.arena) }

@@ -17,6 +17,7 @@ package tree
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a tree node. Nodes are dense integers in [0, Len()).
@@ -39,6 +40,49 @@ type Tree struct {
 	preOut   []int32 // preOut[v] = preIn[v] + subSize[v]; T(v) = preorder[preIn[v]:preOut[v]]
 	height   int
 	maxDeg   int
+
+	// Heavy-path decomposition (computed at build time). Every node
+	// belongs to exactly one heavy path; a path's nodes occupy one
+	// contiguous slot range of hord, ordered head (closest to the root)
+	// to tail, so any root-path operation decomposes into O(log n)
+	// contiguous slot ranges. Per-node and per-path records are packed
+	// so one climb step touches one cache line of each table.
+	heavy []NodeID        // heavy child (child with the largest subtree), None for leaves
+	hslot []int32         // node -> global slot (dense, 4 bytes per node)
+	hnav  []SlotNav       // per slot: packed position + seg bit + up-slot
+	hpid  []int32         // per slot: heavy-path id
+	hmeta []heavyPathMeta // per path: slot base and length
+	hord  []NodeID        // nodes laid out path by path; hord[slot] = node
+
+	segOnce sync.Once
+	seg     *SegIndex
+}
+
+// SlotNav packs everything one root-path climb step needs about a slot
+// into a single 8-byte load: the slot's position within its heavy path
+// (with the segment-tree bit), and the slot of the path head's parent.
+type SlotNav struct {
+	posF   int32 // position | segBit; position 0 = head (closest to the root)
+	upSlot int32 // slot of the path head's parent, or -1 for the root's path
+}
+
+const segBit = int32(1) << 30
+
+// Pos returns the slot's position within its heavy path.
+func (n SlotNav) Pos() int32 { return n.posF &^ segBit }
+
+// Seg reports whether the path is long enough (> FlatPathMax) to carry
+// a segment tree rather than being scanned directly.
+func (n SlotNav) Seg() bool { return n.posF&segBit != 0 }
+
+// Up returns the slot of the path head's parent, or -1 for the root's
+// path: the slot a root-path climb continues from after exhausting the
+// path's prefix.
+func (n SlotNav) Up() int32 { return n.upSlot }
+
+// heavyPathMeta is a heavy path's layout: first global slot and length.
+type heavyPathMeta struct {
+	base, n int32
 }
 
 // New builds a tree from a parent vector. parents[0] must be None and
@@ -129,7 +173,58 @@ func New(parents []NodeID) (*Tree, error) {
 		}
 		t.preOut[v] = t.preIn[v] + t.subSize[v]
 	}
+	t.buildHeavyPaths()
 	return t, nil
+}
+
+// buildHeavyPaths computes the heavy-path decomposition: every node's
+// heavy child is its child with the largest subtree (first wins on
+// ties), and maximal heavy chains are laid out as contiguous slot
+// ranges in hord. A root path crosses at most ⌊log2 n⌋ light edges, so
+// it intersects at most ⌊log2 n⌋+1 paths, each in a prefix of the
+// path's slot range.
+func (t *Tree) buildHeavyPaths() {
+	n := len(t.parent)
+	t.heavy = make([]NodeID, n)
+	t.hslot = make([]int32, n)
+	t.hnav = make([]SlotNav, n)
+	t.hpid = make([]int32, n)
+	t.hord = make([]NodeID, 0, n)
+	for v := 0; v < n; v++ {
+		t.heavy[v] = None
+		var best int32
+		for _, c := range t.Children(NodeID(v)) {
+			if t.subSize[c] > best {
+				best = t.subSize[c]
+				t.heavy[v] = c
+			}
+		}
+	}
+	for _, v := range t.preorder {
+		if p := t.parent[v]; p != None && t.heavy[p] == v {
+			continue // interior of a path; laid out with its head
+		}
+		pid := int32(len(t.hmeta))
+		base := int32(len(t.hord))
+		for u := v; u != None; u = t.heavy[u] {
+			t.hslot[u] = int32(len(t.hord))
+			t.hord = append(t.hord, u)
+		}
+		ln := int32(len(t.hord)) - base
+		var flag int32
+		if ln > FlatPathMax {
+			flag = segBit
+		}
+		upSlot := int32(-1)
+		if up := t.parent[v]; up != None {
+			upSlot = t.hslot[up] // ancestors are laid out before descendants
+		}
+		for pos := int32(0); pos < ln; pos++ {
+			t.hnav[base+pos] = SlotNav{posF: pos | flag, upSlot: upSlot}
+			t.hpid[base+pos] = pid
+		}
+		t.hmeta = append(t.hmeta, heavyPathMeta{base: base, n: ln})
+	}
 }
 
 // MustNew is New but panics on error. Intended for tests and builders
@@ -318,6 +413,58 @@ func (t *Tree) CapMembers(root NodeID, members []NodeID) (map[NodeID]int, error)
 	}
 	return sz, nil
 }
+
+// HeavyChild returns the heavy child of v (the child heading the
+// largest subtree, first wins on ties), or None for a leaf.
+func (t *Tree) HeavyChild(v NodeID) NodeID { return t.heavy[v] }
+
+// NumHeavyPaths returns the number of heavy paths of the decomposition.
+func (t *Tree) NumHeavyPaths() int { return len(t.hmeta) }
+
+// HeavySlot returns v's global slot: HeavyPathBase(HeavyPathOf(v)) +
+// HeavyPos(v). Slots of one path are contiguous.
+func (t *Tree) HeavySlot(v NodeID) int32 { return t.hslot[v] }
+
+// HeavyNav returns slot g's packed climb record.
+func (t *Tree) HeavyNav(g int32) SlotNav { return t.hnav[g] }
+
+// HeavyPathOfSlot returns the id of the heavy path owning slot g.
+func (t *Tree) HeavyPathOfSlot(g int32) int32 { return t.hpid[g] }
+
+// HeavyPathOf returns the id of the heavy path containing v.
+func (t *Tree) HeavyPathOf(v NodeID) int32 { return t.hpid[t.hslot[v]] }
+
+// HeavyPos returns v's position within its heavy path; 0 is the head
+// (the topmost node of the path, closest to the root).
+func (t *Tree) HeavyPos(v NodeID) int32 { return t.hnav[t.hslot[v]].Pos() }
+
+// NodeAtHeavySlot is the inverse of HeavySlot.
+func (t *Tree) NodeAtHeavySlot(g int32) NodeID { return t.hord[g] }
+
+// HeavyPathBase returns the first global slot of path p.
+func (t *Tree) HeavyPathBase(p int32) int32 { return t.hmeta[p].base }
+
+// HeavyPathLen returns the number of nodes on path p.
+func (t *Tree) HeavyPathLen(p int32) int32 { return t.hmeta[p].n }
+
+// HeavyPathHead returns the head (topmost node) of path p. Its parent,
+// if any, lies on a different heavy path across a light edge.
+func (t *Tree) HeavyPathHead(p int32) NodeID { return t.hord[t.hmeta[p].base] }
+
+// HeavyPathUp returns the parent of path p's head (None for the root's
+// path): the node a root-path climb continues from after exhausting
+// path p's prefix.
+func (t *Tree) HeavyPathUp(p int32) NodeID {
+	up := t.hnav[t.hmeta[p].base].upSlot
+	if up < 0 {
+		return None
+	}
+	return t.hord[up]
+}
+
+// HeavyOrder returns all nodes laid out path by path (the slot order).
+// The returned slice must not be modified.
+func (t *Tree) HeavyOrder() []NodeID { return t.hord }
 
 // String returns a short description of the tree.
 func (t *Tree) String() string {
