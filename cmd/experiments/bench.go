@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -60,6 +61,19 @@ func runEngineBench(c experiments.EngineBenchCase) benchResult {
 	}
 }
 
+// runBurstBench measures one cell of the batched-serve burst grid
+// (body shared with the repo-root BenchmarkTCBurst / BenchmarkTCBurstSeq).
+func runBurstBench(c experiments.BurstBenchCase) benchResult {
+	r := testing.Benchmark(func(b *testing.B) { experiments.BurstBench(b, c) })
+	return benchResult{
+		Name:        c.Name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
 func runBenchCase(c experiments.BenchCase) benchResult {
 	t := c.Build()
 	rng := rand.New(rand.NewSource(1))
@@ -101,11 +115,16 @@ func emitBenchJSON(path string, asBaseline bool) error {
 		return fmt.Errorf("bench-json: cannot read existing %s: %v", path, err)
 	}
 	cases := experiments.TCBenchCases()
-	engineCases := experiments.EngineBenchCases()
-	results := make([]benchResult, 0, len(cases)+len(engineCases))
+	burstCases := experiments.BurstBenchCases()
+	engineCases := append(experiments.EngineBenchCases(), experiments.EngineBurstCases()...)
+	results := make([]benchResult, 0, len(cases)+len(burstCases)+len(engineCases))
 	for _, c := range cases {
 		fmt.Fprintf(os.Stderr, "bench %s...\n", c.Name)
 		results = append(results, runBenchCase(c))
+	}
+	for _, c := range burstCases {
+		fmt.Fprintf(os.Stderr, "bench %s...\n", c.Name)
+		results = append(results, runBurstBench(c))
 	}
 	for _, c := range engineCases {
 		fmt.Fprintf(os.Stderr, "bench %s...\n", c.Name)
@@ -135,7 +154,13 @@ func emitBenchJSON(path string, asBaseline bool) error {
 // quote speedups mechanically:
 //
 //	experiments -bench-compare old.json new.json
-func compareBenchJSON(oldPath, newPath string) error {
+//
+// tolerance is the regression gate in percent: benchmarks whose ns/op
+// grew by more than it are flagged and make the compare return an
+// error (non-zero exit), so CI and scripts only fail on regressions
+// beyond the shared-container drift (±30% on this hardware class, see
+// ROADMAP), not on noise.
+func compareBenchJSON(oldPath, newPath string, tolerance float64) error {
 	load := func(path string) (map[string]benchResult, []string, error) {
 		raw, err := os.ReadFile(path)
 		if err != nil {
@@ -168,6 +193,7 @@ func compareBenchJSON(oldPath, newPath string) error {
 	if err != nil {
 		return err
 	}
+	var regressions []string
 	fmt.Printf("%-28s %12s %12s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "speedup")
 	for _, name := range newOrder {
 		nw := newM[name]
@@ -177,13 +203,22 @@ func compareBenchJSON(oldPath, newPath string) error {
 			continue
 		}
 		delta := (nw.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
-		fmt.Printf("%-28s %12.2f %12.2f %+8.1f%% %8.2fx\n",
-			name, old.NsPerOp, nw.NsPerOp, delta, old.NsPerOp/nw.NsPerOp)
+		mark := ""
+		if tolerance > 0 && delta > tolerance {
+			mark = "  REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s %+.1f%%", name, delta))
+		}
+		fmt.Printf("%-28s %12.2f %12.2f %+8.1f%% %8.2fx%s\n",
+			name, old.NsPerOp, nw.NsPerOp, delta, old.NsPerOp/nw.NsPerOp, mark)
 	}
 	for _, name := range oldOrder {
 		if _, ok := newM[name]; !ok {
 			fmt.Printf("%-28s %12.2f %12s %9s %9s\n", name, oldM[name].NsPerOp, "-", "gone", "-")
 		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench-compare: %d benchmark(s) regressed beyond the ±%.0f%% tolerance: %s",
+			len(regressions), tolerance, strings.Join(regressions, ", "))
 	}
 	return nil
 }

@@ -31,14 +31,15 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "run the TC microbenchmarks and merge the results into this JSON file, then exit")
 	benchBaseline := flag.Bool("bench-baseline", false, "with -bench-json, store results under the persistent 'baseline' section instead of 'current'")
 	benchCompare := flag.Bool("bench-compare", false, "compare two bench JSON files (args: old.json new.json) and print a per-benchmark delta table, then exit")
+	benchTolerance := flag.Float64("bench-tolerance", 30, "with -bench-compare, exit non-zero only when a benchmark's ns/op regressed by more than this percentage (matches the ±30% container drift; 0 disables the gate)")
 	flag.Parse()
 
 	if *benchCompare {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: experiments -bench-compare old.json new.json")
+			fmt.Fprintln(os.Stderr, "usage: experiments -bench-compare [-bench-tolerance pct] old.json new.json")
 			os.Exit(2)
 		}
-		if err := compareBenchJSON(flag.Arg(0), flag.Arg(1)); err != nil {
+		if err := compareBenchJSON(flag.Arg(0), flag.Arg(1), *benchTolerance); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -35,6 +35,10 @@ func (l Ledger) Total() int64 { return l.Serve + l.Move }
 // PayServe charges the unit serving cost.
 func (l *Ledger) PayServe() { l.Serve++ }
 
+// PayServeN charges the unit serving cost for n requests at once (the
+// batched serve path settles whole coalesced runs in one call).
+func (l *Ledger) PayServeN(n int64) { l.Serve += n }
+
 // PayFetch charges α·n for fetching n nodes.
 func (l *Ledger) PayFetch(n int) {
 	l.Move += l.Alpha * int64(n)

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// Benchmarks comparing ServeBatch against the per-request serve path
+// in the same process, so the two sides see identical machine
+// conditions (the repo-root TCBurst/TCBurstSeq rows drift ±30%
+// between runs on shared hardware; this pair is the authoritative
+// before/after delta for the batched serve core). Run with:
+//
+//	go test -run '^$' -bench BenchmarkServeBatch ./internal/core
+
+type burstShape struct {
+	name     string
+	build    func() *tree.Tree
+	capacity int
+}
+
+func burstShapes() []burstShape {
+	return []burstShape{
+		{"binary/n=16384", func() *tree.Tree { return tree.CompleteKary(1<<14, 2) }, 1 << 13},
+		{"caterpillar/n=16384", func() *tree.Tree { return tree.Caterpillar(1<<13, 1) }, 1 << 13},
+	}
+}
+
+func benchBurst(b *testing.B, batched bool) {
+	for _, sh := range burstShapes() {
+		for _, runLen := range []int{8, 64, 512} {
+			b.Run(fmt.Sprintf("%s/run=%d", sh.name, runLen), func(b *testing.B) {
+				t := sh.build()
+				input := trace.Bursts(rand.New(rand.NewSource(11)), t, trace.BurstsConfig{
+					Rounds: 1 << 16, RunLen: runLen, ZipfS: 1.1, NegFrac: 0.5,
+				})
+				tc := New(t, Config{Alpha: 8, Capacity: sh.capacity})
+				const chunk = 1024
+				b.ReportAllocs()
+				b.ResetTimer()
+				for served := 0; served < b.N; {
+					lo := served & (1<<16 - 1)
+					hi := lo + chunk
+					if hi > len(input) {
+						hi = len(input)
+					}
+					if hi-lo > b.N-served {
+						hi = lo + (b.N - served)
+					}
+					if batched {
+						tc.ServeBatch(input[lo:hi])
+					} else {
+						for _, req := range input[lo:hi] {
+							tc.Serve(req)
+						}
+					}
+					served += hi - lo
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkServeBatch measures the run-coalescing batched serve path.
+func BenchmarkServeBatch(b *testing.B) { benchBurst(b, true) }
+
+// BenchmarkServeBatchOracle replays the identical bursty traces
+// per-request — the before side of the amortization claim.
+func BenchmarkServeBatchOracle(b *testing.B) { benchBurst(b, false) }

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// serveBatchBothWays replays input through a batched TC (chunks of
+// batchLen via ServeBatch) and a per-request TC, asserting identical
+// per-chunk costs, phases, ledgers and final cache contents — the
+// batched path must be observationally indistinguishable from the
+// sequential one.
+func serveBatchBothWays(t *testing.T, tr *tree.Tree, cfg Config, input trace.Trace, batchLen int) {
+	t.Helper()
+	bat := New(tr, cfg)
+	seq := New(tr, cfg)
+	for lo := 0; lo < len(input); lo += batchLen {
+		hi := lo + batchLen
+		if hi > len(input) {
+			hi = len(input)
+		}
+		chunk := input[lo:hi]
+		sb, mb := bat.ServeBatch(chunk)
+		var ss, ms int64
+		for _, req := range chunk {
+			s, m := seq.Serve(req)
+			ss += s
+			ms += m
+		}
+		if sb != ss || mb != ms {
+			t.Fatalf("chunk [%d:%d): batched cost (%d,%d) != sequential (%d,%d)", lo, hi, sb, mb, ss, ms)
+		}
+		if bat.Phase() != seq.Phase() {
+			t.Fatalf("chunk [%d:%d): batched phase %d != sequential %d", lo, hi, bat.Phase(), seq.Phase())
+		}
+		if bat.CacheLen() != seq.CacheLen() {
+			t.Fatalf("chunk [%d:%d): batched cache %d nodes != sequential %d", lo, hi, bat.CacheLen(), seq.CacheLen())
+		}
+	}
+	if bat.Ledger() != seq.Ledger() {
+		t.Fatalf("ledgers differ: %+v vs %+v", bat.Ledger(), seq.Ledger())
+	}
+	if bat.Round() != seq.Round() {
+		t.Fatalf("rounds differ: %d vs %d", bat.Round(), seq.Round())
+	}
+	if bat.MaxCacheLen() != seq.MaxCacheLen() {
+		t.Fatalf("peak occupancy differs: %d vs %d", bat.MaxCacheLen(), seq.MaxCacheLen())
+	}
+	if !sameMembers(bat.CacheMembers(), seq.CacheMembers()) {
+		t.Fatalf("final caches differ: %v vs %v", bat.CacheMembers(), seq.CacheMembers())
+	}
+	// Counters are reconstructed from the aggregates; spot-check them on
+	// a deterministic sample of nodes.
+	for v := 0; v < tr.Len(); v += 1 + tr.Len()/37 {
+		if cb, cs := bat.Counter(tree.NodeID(v)), seq.Counter(tree.NodeID(v)); cb != cs {
+			t.Fatalf("counter of node %d differs: %d vs %d", v, cb, cs)
+		}
+	}
+}
+
+func batchShapes() []struct {
+	name     string
+	t        *tree.Tree
+	capacity int
+} {
+	return []struct {
+		name     string
+		t        *tree.Tree
+		capacity int
+	}{
+		{"path", tree.Path(64), 32},
+		{"star", tree.Star(48), 24},
+		{"binary", tree.CompleteKary(127, 2), 64},
+		{"caterpillar", tree.Caterpillar(24, 3), 48},
+		{"deep-path", tree.Path(300), 150}, // longer than tree.FlatPathMax: segment paths
+		{"deep-random", tree.Random(rand.New(rand.NewSource(3)), 400, 3), 180},
+	}
+}
+
+// TestServeBatchDifferential pins ServeBatch against per-request Serve
+// across shapes, burst lengths and batch granularities, including runs
+// far longer than any saturation threshold (they cross fetches, phase
+// ends and re-saturations inside one run).
+func TestServeBatchDifferential(t *testing.T) {
+	for _, sh := range batchShapes() {
+		for _, runLen := range []int{1, 3, 8, 17, 64} {
+			name := fmt.Sprintf("%s/run=%d", sh.name, runLen)
+			t.Run(name, func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(sh.t.Len()*1000 + runLen)))
+				input := trace.Bursts(rng, sh.t, trace.BurstsConfig{
+					Rounds: 6000, RunLen: runLen, ZipfS: 1.1, NegFrac: 0.5,
+				})
+				for _, batchLen := range []int{1, 7, 256, len(input)} {
+					serveBatchBothWays(t, sh.t, Config{Alpha: 8, Capacity: sh.capacity}, input, batchLen)
+				}
+			})
+		}
+	}
+}
+
+// TestServeBatchSaturationBoundaries builds adversarial batches that
+// straddle saturation boundaries exactly: runs sized to end one
+// request before, at, and one after the analytic saturation point of a
+// fresh phase (α·|T(v)| for positives, α for negatives), plus mixed ±
+// runs on the same node so the positive and negative structures hand
+// the node back and forth within one batch.
+func TestServeBatchSaturationBoundaries(t *testing.T) {
+	const alpha = 8
+	for _, sh := range batchShapes() {
+		t.Run(sh.name, func(t *testing.T) {
+			leaves := sh.t.Leaves()
+			deep := leaves[len(leaves)-1]
+			sat := int(alpha) * sh.t.SubtreeSize(deep) // fresh-phase saturation of P(deep) = T(deep)
+			var input trace.Trace
+			appendRun := func(req trace.Request, k int) {
+				for i := 0; i < k; i++ {
+					input = append(input, req)
+				}
+			}
+			// Straddle the positive saturation point of the deep leaf.
+			appendRun(trace.Pos(deep), sat-1)
+			appendRun(trace.Pos(deep), 1)
+			appendRun(trace.Pos(deep), 1)
+			// α-negative storm boundaries on the just-fetched node.
+			appendRun(trace.Neg(deep), alpha-1)
+			appendRun(trace.Neg(deep), 1)
+			appendRun(trace.Neg(deep), 1)
+			// Alternating signs on one node, then a run long enough to
+			// cross several fetch/evict cycles and phase ends in one go.
+			for i := 0; i < 2*alpha; i++ {
+				input = append(input, trace.Pos(deep), trace.Neg(deep))
+			}
+			appendRun(trace.Pos(deep), 20*sat)
+			appendRun(trace.Neg(deep), 20*alpha)
+			// Same-node ± mixes on the root and on a mid node.
+			mid := tree.NodeID(sh.t.Len() / 2)
+			appendRun(trace.Pos(mid), alpha*sh.t.SubtreeSize(mid)+3)
+			appendRun(trace.Neg(mid), 3*alpha)
+			appendRun(trace.Pos(0), alpha*sh.t.Len()+1)
+			for _, batchLen := range []int{1, 13, len(input)} {
+				serveBatchBothWays(t, sh.t, Config{Alpha: alpha, Capacity: sh.capacity}, input, batchLen)
+			}
+		})
+	}
+}
+
+// TestServeBatchObserverExact: with an observer attached, ServeBatch
+// must deliver exactly the per-request event stream (it serves
+// sequentially under observation), so analysis instrumentation sees no
+// difference between the two entry points.
+func TestServeBatchObserverExact(t *testing.T) {
+	tr := tree.Caterpillar(16, 2)
+	rng := rand.New(rand.NewSource(11))
+	input := trace.Bursts(rng, tr, trace.BurstsConfig{Rounds: 3000, RunLen: 6, ZipfS: 1.0, NegFrac: 0.5})
+	type event struct {
+		kind  string
+		round int64
+		n     int
+	}
+	record := func(serve func(*TC)) []event {
+		var events []event
+		obs := &funcObserver{
+			onRequest: func(round int64, v tree.NodeID, k trace.Kind, paid bool) {
+				n := int(v) << 1
+				if paid {
+					n |= 1
+				}
+				events = append(events, event{"req", round, n})
+			},
+			onApply: func(round int64, x []tree.NodeID, positive bool) {
+				n := len(x) << 1
+				if positive {
+					n |= 1
+				}
+				events = append(events, event{"apply", round, n})
+			},
+			onPhaseEnd: func(round int64, evicted, wouldFetch []tree.NodeID) {
+				events = append(events, event{"phase", round, len(evicted)<<16 | len(wouldFetch)})
+			},
+		}
+		serve(New(tr, Config{Alpha: 4, Capacity: 20, Observer: obs}))
+		return events
+	}
+	batched := record(func(a *TC) {
+		for lo := 0; lo < len(input); lo += 128 {
+			hi := lo + 128
+			if hi > len(input) {
+				hi = len(input)
+			}
+			a.ServeBatch(input[lo:hi])
+		}
+	})
+	sequential := record(func(a *TC) {
+		for _, req := range input {
+			a.Serve(req)
+		}
+	})
+	if len(batched) != len(sequential) {
+		t.Fatalf("event counts differ: %d vs %d", len(batched), len(sequential))
+	}
+	for i := range batched {
+		if batched[i] != sequential[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, batched[i], sequential[i])
+		}
+	}
+}
+
+type funcObserver struct {
+	onRequest  func(int64, tree.NodeID, trace.Kind, bool)
+	onApply    func(int64, []tree.NodeID, bool)
+	onPhaseEnd func(int64, []tree.NodeID, []tree.NodeID)
+}
+
+func (o *funcObserver) OnRequest(r int64, v tree.NodeID, k trace.Kind, p bool) { o.onRequest(r, v, k, p) }
+func (o *funcObserver) OnApply(r int64, x []tree.NodeID, pos bool)             { o.onApply(r, x, pos) }
+func (o *funcObserver) OnPhaseEnd(r int64, e, w []tree.NodeID)                 { o.onPhaseEnd(r, e, w) }
+
+// TestServeBatchZeroAllocs asserts the batched serve path keeps the
+// zero-allocation guarantee: one warm replay grows the scratch arena,
+// then the identical batched replay must not allocate at all.
+func TestServeBatchZeroAllocs(t *testing.T) {
+	for _, sh := range []struct {
+		name     string
+		t        *tree.Tree
+		capacity int
+	}{
+		{"binary", tree.CompleteKary(1024, 2), 512},
+		{"deep-path", tree.Path(4096), 2048},
+		{"caterpillar", tree.Caterpillar(1024, 3), 2048},
+	} {
+		t.Run(sh.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			input := trace.Bursts(rng, sh.t, trace.BurstsConfig{Rounds: 4096, RunLen: 16, ZipfS: 1.1, NegFrac: 0.5})
+			tc := New(sh.t, Config{Alpha: 8, Capacity: sh.capacity})
+			replay := func() {
+				for lo := 0; lo < len(input); lo += 512 {
+					hi := lo + 512
+					if hi > len(input) {
+						hi = len(input)
+					}
+					tc.ServeBatch(input[lo:hi])
+				}
+				tc.Reset()
+			}
+			replay()
+			if allocs := testing.AllocsPerRun(3, replay); allocs != 0 {
+				t.Errorf("steady-state ServeBatch allocated %.1f times per %d-request replay, want 0", allocs, len(input))
+			}
+		})
+	}
+}
+
+// FuzzBatchDifferential decodes arbitrary bytes into (shape, α,
+// capacity, batch granularity, run-length-encoded request sequence)
+// and pins ServeBatch against per-request Serve on identical traces —
+// cost, ledger and final cache set must be exactly equal. Run with
+//
+//	go test -fuzz FuzzBatchDifferential ./internal/core
+//
+// for continuous fuzzing; plain `go test` executes the seed corpus.
+func FuzzBatchDifferential(f *testing.F) {
+	f.Add([]byte{7, 0, 2, 16, 1, 8, 129, 8, 1, 200, 2, 3})
+	f.Add([]byte{12, 1, 4, 1, 200, 19, 72, 255, 0, 16, 1, 2, 3})
+	f.Add([]byte{5, 2, 2, 255, 0, 40, 128, 40, 0, 40, 128, 40})
+	f.Add([]byte{16, 3, 6, 7, 255, 254, 1, 2, 250, 3, 130, 99})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			t.Skip()
+		}
+		n := 2 + int(data[0])%12 // 2..13 nodes
+		var tr *tree.Tree
+		switch data[1] % 4 {
+		case 0:
+			tr = tree.Path(n)
+		case 1:
+			tr = tree.Star(n)
+		case 2:
+			tr = tree.CompleteKary(n, 2)
+		default:
+			tr = tree.CompleteKary(n, 3)
+		}
+		alpha := int64(2 * (1 + int(data[2])%3))
+		capa := 1 + int(data[2]/4)%n
+		batchLen := 1 + int(data[3])%96
+		var input trace.Trace
+		for i := 4; i+1 < len(data); i += 2 {
+			req := trace.Request{Node: tree.NodeID(int(data[i]&0x7f) % n), Kind: trace.Positive}
+			if data[i]&0x80 != 0 {
+				req.Kind = trace.Negative
+			}
+			// Run lengths biased to straddle the α and α·|T| saturation
+			// boundaries of such small trees.
+			k := 1 + int(data[i+1])%(3*int(alpha)*n/2)
+			for j := 0; j < k; j++ {
+				input = append(input, req)
+			}
+		}
+		if len(input) == 0 {
+			t.Skip()
+		}
+		cfg := Config{Alpha: alpha, Capacity: capa}
+		bat := New(tr, cfg)
+		seq := New(tr, cfg)
+		for lo := 0; lo < len(input); lo += batchLen {
+			hi := lo + batchLen
+			if hi > len(input) {
+				hi = len(input)
+			}
+			sb, mb := bat.ServeBatch(input[lo:hi])
+			var ss, ms int64
+			for _, req := range input[lo:hi] {
+				s, m := seq.Serve(req)
+				ss += s
+				ms += m
+			}
+			if sb != ss || mb != ms {
+				t.Fatalf("chunk [%d:%d): batched (%d,%d) vs sequential (%d,%d) on %v (α=%d, k=%d)",
+					lo, hi, sb, mb, ss, ms, tr, alpha, capa)
+			}
+		}
+		if bat.Ledger() != seq.Ledger() {
+			t.Fatalf("ledgers differ: %+v vs %+v", bat.Ledger(), seq.Ledger())
+		}
+		if !sameMembers(bat.CacheMembers(), seq.CacheMembers()) {
+			t.Fatalf("final caches differ: %v vs %v", bat.CacheMembers(), seq.CacheMembers())
+		}
+	})
+}

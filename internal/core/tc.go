@@ -200,6 +200,7 @@ type TC struct {
 	phase  int64
 	epoch  int32 // incremented at each phase start; lazily resets state
 	rounds int64 // rounds within phase (diagnostics)
+	peak   int   // high-water cache occupancy since Reset (grows only at fetches)
 
 	pL   []posLeaf // positive leaves, indexed by heavy slot
 	pS   []posSz   // positive leaf sizes, indexed by heavy slot (cold side table)
@@ -286,6 +287,12 @@ func (a *TC) Cached(v tree.NodeID) bool { return a.cache.Contains(v) }
 // CacheLen returns the current number of cached nodes.
 func (a *TC) CacheLen() int { return a.cache.Len() }
 
+// MaxCacheLen returns the peak cache occupancy since the last Reset.
+// Occupancy grows only at fetches, so this equals the maximum
+// post-request occupancy of a per-request replay; the engine's batched
+// workers read it instead of sampling CacheLen after every request.
+func (a *TC) MaxCacheLen() int { return a.peak }
+
 // CacheMembers returns the cached nodes in preorder (copies).
 func (a *TC) CacheMembers() []tree.NodeID { return a.cache.Members() }
 
@@ -344,6 +351,7 @@ func (a *TC) Reset() {
 	a.cache.Clear()
 	a.led.Reset()
 	a.round, a.phase, a.rounds = 0, 0, 0
+	a.peak = 0
 	a.epoch++
 }
 
@@ -596,22 +604,32 @@ func (a *TC) posRootPathAdd(g int32, dK int64, dS int32) {
 
 func (a *TC) servePositive(v tree.NodeID) {
 	// v is non-cached, hence (downward closure) so is its whole root
-	// path. The root path decomposes into O(log n) heavy-path prefixes;
-	// each gets a +1 range-add on its keys, and a first-saturated query
-	// finds the topmost key ≥ 0 — exactly the first saturated P_t(u) of
-	// the paper's root-down scan, i.e. the unique maximal saturated
-	// changeset. Segments are processed bottom-up, so the last hit is
-	// the topmost. The counter bump itself is absorbed by the +1 on
-	// every root-path key (v's own key included).
+	// path, and the counter bump is absorbed by the +1 on every
+	// root-path key (v's own key included).
+	if top := a.posRootPathBump(a.t.HeavySlot(v), 1); top >= 0 {
+		key, s := a.posRead(top)
+		a.applyFetch(a.t.NodeAtHeavySlot(top), top, key+int64(s)*a.cfg.Alpha, s)
+	}
+}
+
+// posRootPathBump adds dK to every key on the root path of the node at
+// slot g and returns the topmost slot whose key is now ≥ 0, or −1. The
+// root path decomposes into O(log n) heavy-path prefixes; each gets
+// one range-add on its keys, and a first-saturated query finds the
+// topmost key ≥ 0 — exactly the first saturated P_t(u) of the paper's
+// root-down scan, i.e. the unique maximal saturated changeset.
+// Segments are processed bottom-up, so the last hit is the topmost.
+// Serve bumps with dK = 1; the batched path bumps whole coalesced runs
+// with dK = j* (the analytically computed saturation point).
+func (a *TC) posRootPathBump(g int32, dK int64) int32 {
 	top := int32(-1)
-	g := a.t.HeavySlot(v)
 	for g >= 0 {
 		u := a.pL[g].up
 		if !upIsFlat(u) {
 			pos := a.t.HeavyNav(g).Pos()
 			base := g - pos
 			pid := a.t.HeavyPathOfSlot(g)
-			a.posSegAdd(pid, base, 0, pos, 1, 0)
+			a.posSegAdd(pid, base, 0, pos, dK, 0)
 			if hit := a.posSegFirstSat(pid, base, pos); hit >= 0 {
 				top = base + hit
 			}
@@ -622,16 +640,13 @@ func (a *TC) servePositive(v tree.NodeID) {
 		// record's own cache line, so this is the old per-ancestor
 		// loop with contiguous (per-path) instead of scattered slots.
 		l := a.pLeaf(g)
-		l.key++
+		l.key += dK
 		if l.key >= 0 {
 			top = g
 		}
 		g = u
 	}
-	if top >= 0 {
-		key, s := a.posRead(top)
-		a.applyFetch(a.t.NodeAtHeavySlot(top), top, key+int64(s)*a.cfg.Alpha, s)
-	}
+	return top
 }
 
 // applyFetch fetches X = P_t(u) (cnt c, size s) where u sits at slot
@@ -655,6 +670,9 @@ func (a *TC) applyFetch(u tree.NodeID, gu int32, c int64, s int32) {
 		panic("core: " + err.Error())
 	}
 	a.led.PayFetch(len(x))
+	if n := a.cache.Len(); n > a.peak {
+		a.peak = n
+	}
 	// Ancestors of u lose X from their P-aggregates: cnt −= c and
 	// size −= s, i.e. key += α·s − c. (u itself is now cached; its
 	// stale aggregates are rebuilt on eviction. Fetched counters reset

@@ -8,7 +8,10 @@
 //   - Every shard owns exactly one Algorithm instance and exactly one
 //     worker goroutine; only that goroutine ever calls Serve, so the
 //     serve path needs no locks and the zero-allocation property of
-//     the underlying algorithm is preserved.
+//     the underlying algorithm is preserved. Algorithms that implement
+//     the optional BatchServer interface (core.TC's run-coalescing
+//     ServeBatch) are served batch-at-a-time, so correlated bursts are
+//     amortized instead of paying the full decision cost per request.
 //   - Submit routes a batch to the shard's FIFO channel; batches of
 //     one tenant are therefore served in submission order, which makes
 //     a concurrent run equivalent to per-tenant sequential replay (the
@@ -21,6 +24,9 @@
 //   - The optional Parallelism cap is a batch-granularity token
 //     channel: it bounds how many workers serve simultaneously without
 //     adding any per-request synchronization.
+//   - SubmitMulti chunk buffers are engine-owned and cycle through a
+//     free list (dispatcher → shard queue → worker → free list), so
+//     steady-state dispatch performs no per-batch allocation.
 //   - Shards that serve the same *tree.Tree share its immutable
 //     heavy-path index and segment-tree skeleton (built lazily, once,
 //     under the tree's sync.Once): NewShard callbacks constructing one
@@ -50,6 +56,20 @@ type Algorithm interface {
 	CacheLen() int
 	// Ledger returns the accumulated costs.
 	Ledger() cache.Ledger
+}
+
+// BatchServer is optionally implemented by algorithms that serve a
+// whole batch at amortized cost (core.TC's run-coalescing ServeBatch).
+// Shard workers detect it once at construction and then serve every
+// dispatched batch through it — semantics must be identical to calling
+// Serve per request, so the engine's sequential-equivalence guarantees
+// are unchanged. MaxCacheLen substitutes for the per-request CacheLen
+// sampling the batched path skips: it must return the peak occupancy
+// since construction (occupancy only grows at fetches, so a high-water
+// mark equals the per-request peak exactly).
+type BatchServer interface {
+	ServeBatch(batch trace.Trace) (serveCost, moveCost int64)
+	MaxCacheLen() int
 }
 
 // Config parameterises an Engine.
@@ -106,18 +126,22 @@ type Stats struct {
 func (s Stats) Total() int64 { return s.Serve + s.Move }
 
 // message is one queue entry: either a batch of requests or a drain
-// token carrying the channel to acknowledge on.
+// token carrying the channel to acknowledge on. box, when non-nil,
+// marks an engine-owned (pooled) batch buffer: the worker recycles it
+// onto the engine's free list after serving.
 type message struct {
 	batch trace.Trace
+	box   *trace.Trace
 	flush chan<- struct{}
 }
 
 type shard struct {
-	id   int
-	name string
-	algo Algorithm
-	in   chan message
-	done chan struct{}
+	id    int
+	name  string
+	algo  Algorithm
+	batch BatchServer // non-nil when algo serves batches natively
+	in    chan message
+	done  chan struct{}
 	// pub is the published snapshot: a fresh immutable ShardStats is
 	// stored once per batch by the shard's single writer, so readers
 	// always see an internally consistent (never torn) snapshot.
@@ -130,6 +154,7 @@ type shard struct {
 type Engine struct {
 	shards []*shard
 	tokens chan struct{} // nil when Parallelism is uncapped
+	free   chan *trace.Trace
 	closed atomic.Bool
 }
 
@@ -149,7 +174,14 @@ func New(cfg Config) *Engine {
 	if queue <= 0 {
 		queue = 64
 	}
-	e := &Engine{shards: make([]*shard, cfg.Shards)}
+	e := &Engine{
+		shards: make([]*shard, cfg.Shards),
+		// Free list of recycled SubmitMulti batch buffers, sized so
+		// every in-flight pooled batch (a full queue, plus one popped
+		// by the worker, plus one being built by the dispatcher, per
+		// shard) fits without dropping capacity on the floor.
+		free: make(chan *trace.Trace, cfg.Shards*(queue+2)),
+	}
 	if cfg.Parallelism > 0 && cfg.Parallelism < cfg.Shards {
 		e.tokens = make(chan struct{}, cfg.Parallelism)
 		for i := 0; i < cfg.Parallelism; i++ {
@@ -165,6 +197,7 @@ func New(cfg Config) *Engine {
 			in:   make(chan message, queue),
 			done: make(chan struct{}),
 		}
+		s.batch, _ = algo.(BatchServer)
 		e.shards[i] = s
 		go e.worker(s)
 	}
@@ -184,6 +217,12 @@ func (e *Engine) Algorithm(i int) Algorithm { return e.shards[i].algo }
 // retained until served; callers must not mutate it before the next
 // Drain. Requests of one shard are served in submission order.
 func (e *Engine) Submit(shard int, batch trace.Trace) error {
+	return e.submit(shard, batch, nil)
+}
+
+// submit enqueues one batch; box, when non-nil, hands ownership of a
+// pooled buffer to the serving worker for recycling.
+func (e *Engine) submit(shard int, batch trace.Trace, box *trace.Trace) error {
 	if shard < 0 || shard >= len(e.shards) {
 		return fmt.Errorf("engine: shard %d out of range [0,%d)", shard, len(e.shards))
 	}
@@ -193,39 +232,84 @@ func (e *Engine) Submit(shard int, batch trace.Trace) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	e.shards[shard].in <- message{batch: batch}
+	e.shards[shard].in <- message{batch: batch, box: box}
 	return nil
+}
+
+// getBatchBuf takes a recycled batch buffer off the free list, or
+// allocates a fresh one when the list is empty.
+func (e *Engine) getBatchBuf(capHint int) *trace.Trace {
+	select {
+	case box := <-e.free:
+		return box
+	default:
+		b := make(trace.Trace, 0, capHint)
+		return &b
+	}
+}
+
+// putBatchBuf returns a pooled buffer to the free list (dropping it if
+// the list is full; correctness never depends on reuse).
+func (e *Engine) putBatchBuf(box *trace.Trace, batch trace.Trace) {
+	*box = batch[:0]
+	select {
+	case e.free <- box:
+	default:
+	}
 }
 
 // SubmitMulti routes a multi-tenant trace to the fleet (tenant i →
 // shard i), re-batching each tenant's stream into chunks of up to
 // batchLen requests (default 1024). Per-tenant order is preserved, so
 // the run is equivalent to serving mt.Split(Shards()) sequentially.
+// Chunk buffers come from a per-engine free list and are recycled by
+// the serving workers, so steady-state dispatch does not allocate per
+// batch.
 func (e *Engine) SubmitMulti(mt trace.MultiTrace, batchLen int) error {
 	if batchLen <= 0 {
 		batchLen = 1024
 	}
-	pending := make([]trace.Trace, len(e.shards))
-	for _, tr := range mt {
-		if tr.Tenant < 0 || tr.Tenant >= len(e.shards) {
-			return fmt.Errorf("engine: tenant %d out of range [0,%d)", tr.Tenant, len(e.shards))
-		}
-		if pending[tr.Tenant] == nil {
-			pending[tr.Tenant] = make(trace.Trace, 0, batchLen)
-		}
-		pending[tr.Tenant] = append(pending[tr.Tenant], tr.Req)
-		if len(pending[tr.Tenant]) == batchLen {
-			if err := e.Submit(tr.Tenant, pending[tr.Tenant]); err != nil {
-				return err
+	pending := make([]*trace.Trace, len(e.shards))
+	release := func() {
+		for _, box := range pending {
+			if box != nil {
+				e.putBatchBuf(box, *box)
 			}
-			pending[tr.Tenant] = nil
 		}
 	}
-	for t, b := range pending {
-		if len(b) > 0 {
-			if err := e.Submit(t, b); err != nil {
+	for _, tr := range mt {
+		if tr.Tenant < 0 || tr.Tenant >= len(e.shards) {
+			release()
+			return fmt.Errorf("engine: tenant %d out of range [0,%d)", tr.Tenant, len(e.shards))
+		}
+		box := pending[tr.Tenant]
+		if box == nil {
+			box = e.getBatchBuf(batchLen)
+			pending[tr.Tenant] = box
+		}
+		*box = append(*box, tr.Req)
+		if len(*box) == batchLen {
+			pending[tr.Tenant] = nil
+			if err := e.submit(tr.Tenant, *box, box); err != nil {
+				e.putBatchBuf(box, *box)
+				release()
 				return err
 			}
+		}
+	}
+	for t, box := range pending {
+		if box == nil {
+			continue
+		}
+		pending[t] = nil
+		if len(*box) == 0 {
+			e.putBatchBuf(box, *box)
+			continue
+		}
+		if err := e.submit(t, *box, box); err != nil {
+			e.putBatchBuf(box, *box)
+			release()
+			return err
 		}
 	}
 	return nil
@@ -295,15 +379,27 @@ func (e *Engine) worker(s *shard) {
 			<-e.tokens
 		}
 		start := time.Now()
-		for _, req := range msg.batch {
-			s.algo.Serve(req)
-			if c := s.algo.CacheLen(); c > maxCache {
+		if s.batch != nil {
+			// Native batched serving: one amortized call, peak
+			// occupancy from the algorithm's exact high-water mark.
+			s.batch.ServeBatch(msg.batch)
+			if c := s.batch.MaxCacheLen(); c > maxCache {
 				maxCache = c
+			}
+		} else {
+			for _, req := range msg.batch {
+				s.algo.Serve(req)
+				if c := s.algo.CacheLen(); c > maxCache {
+					maxCache = c
+				}
 			}
 		}
 		elapsed := time.Since(start).Nanoseconds()
 		if e.tokens != nil {
 			e.tokens <- struct{}{}
+		}
+		if msg.box != nil {
+			e.putBatchBuf(msg.box, msg.batch)
 		}
 		rounds += int64(len(msg.batch))
 		batches++

@@ -262,6 +262,49 @@ func TestRunParallelOnEngine(t *testing.T) {
 	}
 }
 
+// TestSubmitMultiPooledAllocs pins the dispatch path's allocation
+// behaviour: SubmitMulti chunk buffers are recycled through the
+// engine's free list, so a steady-state SubmitMulti+Drain cycle may
+// allocate at most the per-batch stats snapshot (one ShardStats
+// publication per batch) plus a small per-call constant — NOT a fresh
+// chunk buffer per batch, which is what the unpooled dispatcher paid.
+func TestSubmitMultiPooledAllocs(t *testing.T) {
+	const tenants = 4
+	trees := fleet(tenants)
+	rng := rand.New(rand.NewSource(205))
+	mt := trace.MultiTenant(rng, trees, trace.MultiTenantConfig{
+		Rounds: 1 << 13, TenantS: 0, NodeS: 1.0, NegFrac: 0.4, BurstFrac: 0.1, BurstLen: 8,
+	})
+	const batchLen = 64
+	batches := 0
+	for _, tr := range mt.Split(tenants) {
+		batches += (len(tr) + batchLen - 1) / batchLen
+	}
+	e := engine.New(engine.Config{
+		Shards: tenants,
+		NewShard: func(i int) engine.Algorithm {
+			return core.New(trees[i], core.Config{Alpha: 4, Capacity: 1 + trees[i].Len()/2})
+		},
+	})
+	defer e.Close()
+	run := func() {
+		if err := e.SubmitMulti(mt, batchLen); err != nil {
+			t.Fatal(err)
+		}
+		e.Drain()
+	}
+	run() // warm the free list and the per-shard scratch arenas
+	allocs := testing.AllocsPerRun(5, run)
+	// Snapshot publication is the only per-batch allocation left; the
+	// slack covers the per-call pending array, the drain channel and
+	// runtime noise. An unpooled dispatcher allocates ≥ 2 per batch
+	// (chunk buffer + snapshot) and fails this bound.
+	if limit := float64(batches) + 32; allocs > limit {
+		t.Errorf("SubmitMulti+Drain allocated %.0f times for %d batches, want <= %.0f (pooled chunk buffers)",
+			allocs, batches, limit)
+	}
+}
+
 func equalNodes(a, b []tree.NodeID) bool {
 	if len(a) != len(b) {
 		return false

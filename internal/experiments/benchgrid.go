@@ -53,6 +53,70 @@ func TCBenchCases() []BenchCase {
 	}
 }
 
+// BurstBenchCase is one cell of the batched-serve burst grid: a
+// Bursts(RunLen) workload over the TCBinary/n=16384 tree, served in
+// chunks of Batch requests. Batched rows go through TC.ServeBatch
+// (run-coalescing); the Seq row replays the identical trace
+// per-request and is the "before" side of the amortization claim.
+type BurstBenchCase struct {
+	Name    string
+	RunLen  int
+	Batch   int
+	Batched bool
+}
+
+// BurstBenchCases returns the canonical burst grid, shared by the
+// repo-root BenchmarkTCBurst and the cmd/experiments -bench-json
+// recorder. TCBurstSeq/run=64 records the per-request serve path on
+// the same trace as TCBurst/run=64, so the recorded JSON carries the
+// before/after pair (cross-run containers drift ±30%; the in-process
+// BenchmarkServeBatch/BenchmarkServeBatchOracle pair in internal/core
+// is the authoritative delta).
+func BurstBenchCases() []BurstBenchCase {
+	return []BurstBenchCase{
+		{"TCBurst/run=8", 8, 1024, true},
+		{"TCBurst/run=64", 64, 1024, true},
+		{"TCBurst/run=512", 512, 1024, true},
+		{"TCBurstSeq/run=64", 64, 1024, false},
+	}
+}
+
+// BurstBenchTree builds the tree of the burst grid.
+func BurstBenchTree() *tree.Tree { return tree.CompleteKary(1<<14, 2) }
+
+// BurstBench is the single benchmark body behind one burst grid cell:
+// b.N total requests of a deterministic bursty trace, served in
+// pre-chunked batches either via ServeBatch or per-request.
+func BurstBench(b *testing.B, c BurstBenchCase) {
+	t := BurstBenchTree()
+	rng := rand.New(rand.NewSource(11))
+	input := trace.Bursts(rng, t, trace.BurstsConfig{
+		Rounds: 1 << 16, RunLen: c.RunLen, ZipfS: 1.1, NegFrac: 0.5,
+	})
+	tc := core.New(t, core.Config{Alpha: 8, Capacity: 1 << 13})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for served := 0; served < b.N; {
+		lo := served & (1<<16 - 1)
+		hi := lo + c.Batch
+		if hi > len(input) {
+			hi = len(input)
+		}
+		if hi-lo > b.N-served {
+			hi = lo + (b.N - served)
+		}
+		chunk := input[lo:hi]
+		if c.Batched {
+			tc.ServeBatch(chunk)
+		} else {
+			for _, req := range chunk {
+				tc.Serve(req)
+			}
+		}
+		served += len(chunk)
+	}
+}
+
 // EngineBenchCase is one cell of the sharded-engine throughput grid:
 // a fleet of Shards TC instances, each over a complete binary tree of
 // 2^14 nodes (the TCBinary/n=16384 single-instance workload), served
@@ -60,10 +124,14 @@ func TCBenchCases() []BenchCase {
 // across the whole fleet, so aggregate ops/s = 1e9 / ns_per_op; on a
 // multi-core host shards=4 must beat shards=1 (the single-instance
 // serve path) by the core count, on a single-core host they tie.
+// RunLen > 0 switches the per-shard workload from RandomMixed to
+// Bursts(RunLen) — the EngineBurst rows, which measure how much of the
+// ServeBatch amortization survives fleet dispatch.
 type EngineBenchCase struct {
 	Name   string
 	Shards int
 	Batch  int
+	RunLen int
 }
 
 // EngineBenchCases returns the canonical fleet grid, shared by the
@@ -71,10 +139,21 @@ type EngineBenchCase struct {
 // recorder.
 func EngineBenchCases() []EngineBenchCase {
 	return []EngineBenchCase{
-		{"EngineFleet/shards=1", 1, 1024},
-		{"EngineFleet/shards=2", 2, 1024},
-		{"EngineFleet/shards=4", 4, 1024},
-		{"EngineFleet/shards=8", 8, 1024},
+		{"EngineFleet/shards=1", 1, 1024, 0},
+		{"EngineFleet/shards=2", 2, 1024, 0},
+		{"EngineFleet/shards=4", 4, 1024, 0},
+		{"EngineFleet/shards=8", 8, 1024, 0},
+	}
+}
+
+// EngineBurstCases returns the bursty fleet grid: 4 shards served
+// FIB-update-storm traffic, the workload the engine's batched workers
+// coalesce via ServeBatch.
+func EngineBurstCases() []EngineBenchCase {
+	return []EngineBenchCase{
+		{"EngineBurst/run=8", 4, 1024, 8},
+		{"EngineBurst/run=64", 4, 1024, 64},
+		{"EngineBurst/run=512", 4, 1024, 512},
 	}
 }
 
@@ -95,7 +174,14 @@ func EngineFleetBench(b *testing.B, c EngineBenchCase) {
 	inputs := make([][]trace.Trace, c.Shards)
 	for s := 0; s < c.Shards; s++ {
 		rng := rand.New(rand.NewSource(int64(1 + s)))
-		full := trace.RandomMixed(rng, t, 1<<16)
+		var full trace.Trace
+		if c.RunLen > 0 {
+			full = trace.Bursts(rng, t, trace.BurstsConfig{
+				Rounds: 1 << 16, RunLen: c.RunLen, ZipfS: 1.1, NegFrac: 0.5,
+			})
+		} else {
+			full = trace.RandomMixed(rng, t, 1<<16)
+		}
 		for lo := 0; lo < len(full); lo += c.Batch {
 			hi := lo + c.Batch
 			if hi > len(full) {

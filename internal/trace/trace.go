@@ -227,6 +227,48 @@ func Churn(rng *rand.Rand, t *tree.Tree, cfg ChurnConfig) Trace {
 	return tr
 }
 
+// BurstsConfig parameterises the correlated-burst workload generator.
+type BurstsConfig struct {
+	// Rounds is the total number of requests to generate.
+	Rounds int
+	// RunLen is the length of each burst: a run of identical requests
+	// to one node (default 8). The paper's Appendix B reduction uses
+	// runs of exactly α negative requests to encode one rule update.
+	RunLen int
+	// ZipfS is the Zipf exponent of the burst-target popularity; 0
+	// draws targets uniformly.
+	ZipfS float64
+	// NegFrac is the probability that a burst is a negative update
+	// storm instead of repeated positive traffic.
+	NegFrac float64
+}
+
+// Bursts generates the FIB-update-storm workload as one switch sees
+// it: requests arrive in runs of RunLen identical requests — repeated
+// lookups hitting one trie chain, or α-negative update storms on one
+// rule — with burst targets drawn Zipf(ZipfS) over all nodes. This is
+// the workload the batched serve path (core.TC.ServeBatch) coalesces:
+// every run collapses into a closed-form counter advance.
+func Bursts(rng *rand.Rand, t *tree.Tree, cfg BurstsConfig) Trace {
+	run := cfg.RunLen
+	if run < 1 {
+		run = 8
+	}
+	z := stats.NewZipf(rng, t.Len(), cfg.ZipfS, true)
+	tr := make(Trace, 0, cfg.Rounds)
+	for len(tr) < cfg.Rounds {
+		v := tree.NodeID(z.Draw())
+		req := Pos(v)
+		if rng.Float64() < cfg.NegFrac {
+			req = Neg(v)
+		}
+		for j := 0; j < run && len(tr) < cfg.Rounds; j++ {
+			tr = append(tr, req)
+		}
+	}
+	return tr
+}
+
 // WorkingSet generates positive requests with temporal locality: a
 // working set of wsSize nodes is sampled uniformly; each request comes
 // from the working set with probability hitFrac, and the working set is

@@ -158,6 +158,66 @@ func TestWorkingSetLocality(t *testing.T) {
 	}
 }
 
+func TestBurstsStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	tr := tree.CompleteKary(100, 2)
+	const runLen = 7
+	out := Bursts(rng, tr, BurstsConfig{Rounds: 5000, RunLen: runLen, ZipfS: 1.1, NegFrac: 0.4})
+	if len(out) != 5000 {
+		t.Fatalf("rounds = %d", len(out))
+	}
+	if err := out.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	pos, neg := out.CountKinds()
+	if pos == 0 || neg == 0 {
+		t.Fatalf("bursts degenerate: pos=%d neg=%d", pos, neg)
+	}
+	// Every burst is a full run of runLen identical requests (only the
+	// final one may be truncated by the round budget), so the trace
+	// decomposes into maximal runs whose lengths are multiples of
+	// runLen — identical neighbouring bursts merge into one longer run.
+	for i := 0; i < len(out); {
+		j := i + 1
+		for j < len(out) && out[j] == out[i] {
+			j++
+		}
+		if run := j - i; run%runLen != 0 && j != len(out) {
+			t.Fatalf("run of %d at %d is not a multiple of %d", run, i, runLen)
+		}
+		i = j
+	}
+}
+
+func TestBurstsDeterministic(t *testing.T) {
+	tr := tree.Star(64)
+	cfg := BurstsConfig{Rounds: 1000, RunLen: 8, ZipfS: 1.0, NegFrac: 0.5}
+	a := Bursts(rand.New(rand.NewSource(9)), tr, cfg)
+	b := Bursts(rand.New(rand.NewSource(9)), tr, cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generator not deterministic at %d", i)
+		}
+	}
+}
+
+func TestBurstsDefaultRunLen(t *testing.T) {
+	tr := tree.Path(16)
+	out := Bursts(rand.New(rand.NewSource(10)), tr, BurstsConfig{Rounds: 64})
+	if len(out) != 64 {
+		t.Fatalf("rounds = %d", len(out))
+	}
+	// RunLen 0 defaults to 8: the first run must span 8 requests (or
+	// merge into a multiple of 8).
+	j := 1
+	for j < len(out) && out[j] == out[0] {
+		j++
+	}
+	if j%8 != 0 {
+		t.Fatalf("default run length: first run has %d requests", j)
+	}
+}
+
 func TestRepeat(t *testing.T) {
 	atom := Trace{Pos(1), Neg(2)}
 	out := Repeat(atom, 3)

@@ -51,6 +51,10 @@ type EngineOptions struct {
 // instance per tree/tenant, each confined to its own worker goroutine
 // (single-writer shards, lock-free serve path). Submit routes batches
 // to shards; Drain waits for completion; Stats aggregates the fleet.
+// Every dispatched batch is served through Cache.ServeBatch, so
+// correlated bursts inside a batch are coalesced instead of paying the
+// full per-request decision cost (Submit, SubmitTrace and SubmitMulti
+// all route through the same batched path).
 type Engine struct {
 	e      *engine.Engine
 	caches []*Cache
@@ -91,7 +95,8 @@ func (f *Engine) Submit(shard int, reqs ...Request) error {
 	return f.e.Submit(shard, trace.Trace(reqs))
 }
 
-// SubmitTrace enqueues a whole trace as one batch for one shard. The
+// SubmitTrace enqueues a whole trace as one batch for one shard,
+// served via the shard Cache's batched (run-coalescing) path. The
 // trace is retained until served; do not mutate it before Drain.
 func (f *Engine) SubmitTrace(shard int, tr Trace) error {
 	return f.e.Submit(shard, tr)

@@ -104,4 +104,56 @@ func TestWorkloadGenerators(t *testing.T) {
 	if len(churn) != 200 {
 		t.Fatalf("ChurnTrace length %d", len(churn))
 	}
+	bursts := treecache.BurstTrace(rng, tr, treecache.BurstsConfig{
+		Rounds: 200, RunLen: 8, ZipfS: 1.0, NegFrac: 0.5,
+	})
+	if len(bursts) != 200 {
+		t.Fatalf("BurstTrace length %d", len(bursts))
+	}
+}
+
+// TestCacheServeBatchMatchesRequest pins the public batched entry
+// point against per-request serving: identical costs, phases, peak
+// occupancy and final cache contents on a bursty workload.
+func TestCacheServeBatchMatchesRequest(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := treecache.Caterpillar(64, 2)
+	input := treecache.BurstTrace(rng, tr, treecache.BurstsConfig{
+		Rounds: 8000, RunLen: 12, ZipfS: 1.1, NegFrac: 0.5,
+	})
+	opts := treecache.Options{Alpha: 8, Capacity: 96}
+	bat := treecache.New(tr, opts)
+	seq := treecache.New(tr, opts)
+	for lo := 0; lo < len(input); lo += 512 {
+		hi := lo + 512
+		if hi > len(input) {
+			hi = len(input)
+		}
+		sb, mb := bat.ServeBatch(input[lo:hi])
+		var ss, ms int64
+		for _, req := range input[lo:hi] {
+			s, m := seq.Request(req)
+			ss += s
+			ms += m
+		}
+		if sb != ss || mb != ms {
+			t.Fatalf("chunk [%d:%d): ServeBatch cost (%d,%d) != Request (%d,%d)", lo, hi, sb, mb, ss, ms)
+		}
+	}
+	if bat.Ledger() != seq.Ledger() {
+		t.Fatalf("ledgers differ: %+v vs %+v", bat.Ledger(), seq.Ledger())
+	}
+	if bat.Phases() != seq.Phases() || bat.MaxCacheLen() != seq.MaxCacheLen() {
+		t.Fatalf("phases/peak differ: (%d,%d) vs (%d,%d)",
+			bat.Phases(), bat.MaxCacheLen(), seq.Phases(), seq.MaxCacheLen())
+	}
+	a, b := bat.Members(), seq.Members()
+	if len(a) != len(b) {
+		t.Fatalf("cache sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("caches differ at %d: %v vs %v", i, a, b)
+		}
+	}
 }

@@ -111,6 +111,18 @@ func (c *Cache) Request(r Request) (serveCost, moveCost int64) { return c.tc.Ser
 // Serve makes Cache itself satisfy Algorithm.
 func (c *Cache) Serve(r Request) (int64, int64) { return c.tc.Serve(r) }
 
+// ServeBatch serves a whole batch of requests — semantics identical to
+// calling Request per element, in order — and returns the batch's
+// total serving and movement cost. Consecutive identical requests
+// (correlated bursts: α-negative update storms, repeated hits on one
+// trie chain) are coalesced into closed-form counter advances, so a
+// run costs O(log² n) instead of O(run·log² n). Engine shards serve
+// every dispatched batch through this path.
+func (c *Cache) ServeBatch(batch Trace) (serveCost, moveCost int64) { return c.tc.ServeBatch(batch) }
+
+// MaxCacheLen returns the peak cache occupancy since the last Reset.
+func (c *Cache) MaxCacheLen() int { return c.tc.MaxCacheLen() }
+
 // Name implements Algorithm.
 func (c *Cache) Name() string { return c.tc.Name() }
 

@@ -40,3 +40,14 @@ func ChurnTrace(rng *rand.Rand, t *Tree, cfg ChurnConfig) Trace {
 func MixedTrace(rng *rand.Rand, t *Tree, n int) Trace {
 	return trace.RandomMixed(rng, t, n)
 }
+
+// BurstsConfig configures BurstTrace; see the field documentation in
+// the underlying type.
+type BurstsConfig = trace.BurstsConfig
+
+// BurstTrace generates FIB-update-storm traffic: runs of identical
+// requests (repeated hits on one trie chain, α-negative update storms)
+// with Zipf-drawn targets — the workload Cache.ServeBatch coalesces.
+func BurstTrace(rng *rand.Rand, t *Tree, cfg BurstsConfig) Trace {
+	return trace.Bursts(rng, t, cfg)
+}
