@@ -61,6 +61,24 @@ func runEngineBench(c experiments.EngineBenchCase) benchResult {
 	}
 }
 
+// runChurnBench measures one cell of the dynamic-topology churn grid
+// (body shared with the repo-root BenchmarkTCChurn / BenchmarkEngineChurn):
+// ns/op is per operation, mutations included.
+func runChurnBench(c experiments.ChurnBenchCase) benchResult {
+	body := experiments.ChurnBench
+	if c.Shards > 0 {
+		body = experiments.EngineChurnBench
+	}
+	r := testing.Benchmark(func(b *testing.B) { body(b, c) })
+	return benchResult{
+		Name:        c.Name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
 // runBurstBench measures one cell of the batched-serve burst grid
 // (body shared with the repo-root BenchmarkTCBurst / BenchmarkTCBurstSeq).
 func runBurstBench(c experiments.BurstBenchCase) benchResult {
@@ -116,8 +134,9 @@ func emitBenchJSON(path string, asBaseline bool) error {
 	}
 	cases := experiments.TCBenchCases()
 	burstCases := experiments.BurstBenchCases()
+	churnCases := append(experiments.ChurnBenchCases(), experiments.EngineChurnCases()...)
 	engineCases := append(experiments.EngineBenchCases(), experiments.EngineBurstCases()...)
-	results := make([]benchResult, 0, len(cases)+len(burstCases)+len(engineCases))
+	results := make([]benchResult, 0, len(cases)+len(burstCases)+len(churnCases)+len(engineCases))
 	for _, c := range cases {
 		fmt.Fprintf(os.Stderr, "bench %s...\n", c.Name)
 		results = append(results, runBenchCase(c))
@@ -125,6 +144,10 @@ func emitBenchJSON(path string, asBaseline bool) error {
 	for _, c := range burstCases {
 		fmt.Fprintf(os.Stderr, "bench %s...\n", c.Name)
 		results = append(results, runBurstBench(c))
+	}
+	for _, c := range churnCases {
+		fmt.Fprintf(os.Stderr, "bench %s...\n", c.Name)
+		results = append(results, runChurnBench(c))
 	}
 	for _, c := range engineCases {
 		fmt.Fprintf(os.Stderr, "bench %s...\n", c.Name)

@@ -3,9 +3,16 @@
 // the controller holding the full table, under Zipf traffic and
 // BGP-style update churn (Figure 1 of the paper).
 //
-// Usage example:
+// Usage examples:
 //
 //	fibsim -rules 8192 -capacity 512 -packets 200000 -zipf 1.1 -updates 0.01 -alpha 8
+//	fibsim -rules 8192 -capacity 512 -packets 200000 -churn 0.005
+//
+// With -churn > 0 the run replays an announce/withdraw schedule
+// against the live table: each churn event withdraws a random prefix
+// or announces a derived one, mapped onto online mutations of the
+// dependency tree (covered prefixes reparent), while the dynamic TC
+// instance keeps serving — no rebuild-the-world events.
 package main
 
 import (
@@ -19,7 +26,73 @@ import (
 	"repro/internal/fib"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/tree"
 )
+
+// runChurn replays the announce/withdraw schedule of -churn mode and
+// prints the dynamic instance's ledger and topology trajectory.
+func runChurn(rng *rand.Rand, table *fib.Table, packets int, churn float64, zipfS float64, alpha int64, capacity int) {
+	algo := core.NewMutable(table.Tree(), core.MutableConfig{
+		Config: core.Config{Alpha: alpha, Capacity: capacity},
+	})
+	d, err := fib.NewDynamicTable(table, algo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	live := make([]fib.Prefix, 0, table.Len())
+	for v := 1; v < table.Len(); v++ {
+		live = append(live, table.Rule(tree.NodeID(v)).Prefix)
+	}
+	zipf := stats.NewZipf(rng, len(live), zipfS, true)
+	var announced, withdrawn, hits int64
+	for p := 0; p < packets; p++ {
+		for churn > 0 && rng.Float64() < churn {
+			if rng.Intn(2) == 0 && len(live) > 1 {
+				i := rng.Intn(len(live))
+				if err := d.Withdraw(live[i]); err == nil {
+					withdrawn++
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+			} else {
+				// Announce a prefix derived from a live one: one bit
+				// longer, so it sometimes covers existing more-specific
+				// rules and sometimes lands as a fresh leaf.
+				q := live[rng.Intn(len(live))]
+				if q.Len >= 30 {
+					continue
+				}
+				np := fib.Prefix{Addr: q.Addr | (rng.Uint32() & 1 << (31 - q.Len)), Len: q.Len + 1}
+				np.Addr &= np.Mask()
+				if d.Node(np) != tree.None {
+					continue
+				}
+				if _, err := d.Add(fib.Rule{Prefix: np, NextHop: rng.Intn(16)}); err == nil {
+					announced++
+					live = append(live, np)
+				}
+			}
+		}
+		// A packet to a (Zipf-ranked) live rule's address space.
+		i := zipf.Draw() % len(live)
+		v := d.Node(live[i])
+		addr := d.RandomAddrIn(rng.Uint32, v)
+		rule := d.Lookup(addr)
+		if algo.Cached(rule) {
+			hits++
+		}
+		algo.Serve(trace.Pos(rule))
+	}
+	led := algo.Ledger()
+	fmt.Printf("churn replay: %d packets, %d announced, %d withdrawn (%d live rules)\n",
+		packets, announced, withdrawn, d.Len())
+	fmt.Printf("dynamic TC:   total=%d serve=%d move=%d ruleMsgs=%d hitRatio=%.3f\n",
+		led.Total(), led.Serve, led.Move, led.Fetched+led.Evicted, float64(hits)/float64(packets))
+	fmt.Printf("topology:     epoch=%d rebuilds=%d pending=%d peak=%d\n",
+		algo.Epoch(), algo.Rebuilds(), algo.Pending(), algo.MaxCacheLen())
+}
 
 func main() {
 	var (
@@ -28,6 +101,7 @@ func main() {
 		packets  = flag.Int("packets", 200000, "packet arrivals")
 		zipfS    = flag.Float64("zipf", 1.1, "traffic Zipf exponent")
 		updates  = flag.Float64("updates", 0.01, "rule updates per packet (BGP churn)")
+		churn    = flag.Float64("churn", 0, "announce/withdraw events per packet (topology churn; replaces -updates)")
 		alpha    = flag.Int64("alpha", 8, "rule install/remove cost α")
 		seed     = flag.Int64("seed", 1, "PRNG seed")
 	)
@@ -42,6 +116,11 @@ func main() {
 	t := table.Tree()
 	fmt.Printf("rule table: %d rules, dependency tree height %d, max fanout %d\n",
 		table.Len(), t.Height(), t.MaxDegree())
+
+	if *churn > 0 {
+		runChurn(rng, table, *packets, *churn, *zipfS, *alpha, *capacity)
+		return
+	}
 
 	w := fib.GenerateWorkload(rng, table, fib.WorkloadConfig{
 		Packets: *packets, ZipfS: *zipfS, UpdateRate: *updates, Alpha: *alpha,

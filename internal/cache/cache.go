@@ -298,6 +298,27 @@ func (s *Subforest) Evict(x []tree.NodeID) error {
 	return nil
 }
 
+// InstallMembers adds members to the cache without changeset
+// validation, revalidating the per-heavy-path cached boundaries as it
+// goes. It is the topology-epoch migration primitive: a dynamic
+// instance carries its cached set into a freshly rebuilt snapshot (or
+// re-pins tombstoned nodes after a phase flush), where the member set
+// is downward-closed by construction rather than a valid changeset
+// against the current contents. Nodes already present are ignored;
+// allocation-free.
+func (s *Subforest) InstallMembers(members []tree.NodeID) {
+	for _, v := range members {
+		if s.in[v] {
+			continue
+		}
+		s.in[v] = true
+		s.n++
+		if pid, pos := s.t.HeavyPathOf(v), s.t.HeavyPos(v); pos < s.cstart[pid] {
+			s.cstart[pid] = pos
+		}
+	}
+}
+
 // Clear empties the cache and returns the number of nodes evicted.
 func (s *Subforest) Clear() int {
 	k := s.n

@@ -60,6 +60,58 @@ func TestServeZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestMutableServeZeroAllocs asserts that a dynamic-topology instance's
+// steady-state serve path between rebuilds performs zero heap
+// allocations, with a non-empty overlay (inserted leaves pending, a
+// withdrawn tombstone pinned) and requests routed to both snapshot and
+// overlay nodes: the stable→dense translation, the overlay serve
+// paths, fetch joiners and phase-flush re-pinning must all run on
+// persistent scratch.
+func TestMutableServeZeroAllocs(t *testing.T) {
+	base := tree.CompleteKary(4096, 2)
+	m := NewMutable(base, MutableConfig{Config: Config{Alpha: 8, Capacity: 2048}})
+	// A handful of mutations, far below the rebuild threshold (512).
+	var inserted []tree.NodeID
+	for i := 0; i < 16; i++ {
+		v, err := m.Insert(tree.NodeID(1 + i*17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inserted = append(inserted, v)
+	}
+	if err := m.Delete(tree.NodeID(base.Len() - 1)); err != nil { // tombstone a snapshot leaf
+		t.Fatal(err)
+	}
+	if m.Rebuilds() != 0 {
+		t.Fatalf("rebuild fired below threshold")
+	}
+	rng := rand.New(rand.NewSource(13))
+	input := trace.RandomMixed(rng, base, 4096)
+	for i := range input {
+		if i%7 == 0 {
+			input[i].Node = inserted[rng.Intn(len(inserted))]
+		} else if input[i].Node == tree.NodeID(base.Len()-1) {
+			input[i].Node = 0 // avoid the withdrawn id (a no-op anyway)
+		}
+	}
+	for _, req := range input {
+		m.Serve(req)
+	}
+	m.Reset()
+	allocs := testing.AllocsPerRun(3, func() {
+		for _, req := range input {
+			m.Serve(req)
+		}
+		m.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state dynamic Serve allocated %.1f times per %d-request replay, want 0", allocs, len(input))
+	}
+	if m.Rebuilds() != 0 {
+		t.Fatalf("serving triggered a rebuild")
+	}
+}
+
 // TestLayoutEquivalenceAgainstReference replays identical deterministic
 // traces through the brute-force Section 4 reference implementation and
 // the CSR/interval-based TC on the canonical shapes, asserting equal

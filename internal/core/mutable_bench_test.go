@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// BenchmarkChurnMutation measures the amortized per-mutation cost of
+// the dynamic-topology layer — overlay absorption plus the periodic
+// state-migrating rebuild — at two tree sizes in the same process. The
+// acceptance claim is sublinearity: a rebuild costs O(n log n) and
+// fires every RebuildFrac·n mutations, so per-mutation cost must grow
+// like log n, not n (16× nodes ⇒ far less than 16× ns/op). A warm
+// cache (half the tree) makes the migrated state non-trivial. Run with
+//
+//	go test -run '^$' -bench BenchmarkChurnMutation ./internal/core
+func BenchmarkChurnMutation(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			t := tree.CompleteKary(n, 2)
+			m := NewMutable(t, MutableConfig{Config: Config{Alpha: 8, Capacity: n / 2}})
+			rng := rand.New(rand.NewSource(3))
+			for _, req := range trace.RandomMixed(rng, t, 4*n) {
+				m.Serve(req)
+			}
+			var stack []tree.NodeID
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(stack) == 0 || i%2 == 0 {
+					v, err := m.Insert(tree.NodeID(1 + (i*2654435761)%(n-1)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					stack = append(stack, v)
+				} else {
+					if err := m.Delete(stack[len(stack)-1]); err != nil {
+						b.Fatal(err)
+					}
+					stack = stack[:len(stack)-1]
+				}
+			}
+		})
+	}
+}

@@ -209,6 +209,13 @@ type TC struct {
 	nL   []negLeaf // negative leaves, indexed by heavy slot
 	nI   []negNode // negative internal nodes, indexed by segment arena
 
+	// ov, when non-nil, is the dynamic-topology overlay (MutableTC):
+	// leaves inserted since the last snapshot rebuild and tombstones of
+	// deleted snapshot nodes. All hooks are nil-checked, so a static TC
+	// pays one predictable branch on the cold fetch/evict/phase paths
+	// and nothing on the per-request serve path.
+	ov *tcOverlay
+
 	// Scratch buffers reused across rounds; Serve never heap-allocates
 	// in steady state.
 	xbuf    []tree.NodeID
@@ -332,6 +339,9 @@ func (a *TC) Counter(v tree.NodeID) int64 {
 				c -= chA
 			}
 		}
+		if a.ov != nil {
+			c -= a.ov.cachedChildHA(a, v)
+		}
 		return c
 	}
 	key, size := a.posRead(a.t.HeavySlot(v))
@@ -341,6 +351,9 @@ func (a *TC) Counter(v tree.NodeID) int64 {
 			k, s := a.posRead(a.t.HeavySlot(ch))
 			c -= k + int64(s)*a.cfg.Alpha
 		}
+	}
+	if a.ov != nil {
+		c -= a.ov.missingChildCnt(v)
 	}
 	return c
 }
@@ -353,6 +366,9 @@ func (a *TC) Reset() {
 	a.round, a.phase, a.rounds = 0, 0, 0
 	a.peak = 0
 	a.epoch++
+	if a.ov != nil {
+		a.ov.afterFlush(a)
+	}
 }
 
 // Serve processes the request of the next round and returns the serving
@@ -649,8 +665,23 @@ func (a *TC) posRootPathBump(g int32, dK int64) int32 {
 	return top
 }
 
+// effCacheLen returns the cache occupancy of the live topology:
+// tombstoned (phantom-pinned) nodes excluded, cached overlay leaves
+// included. Identical to cache.Len() for a static TC.
+func (a *TC) effCacheLen() int {
+	n := a.cache.Len()
+	if a.ov != nil {
+		n += a.ov.nCached - len(a.ov.phNode)
+	}
+	return n
+}
+
 // applyFetch fetches X = P_t(u) (cnt c, size s) where u sits at slot
 // gu, or flushes the cache and starts a new phase if X does not fit.
+// Under a dynamic overlay P_t(u) also contains the non-cached overlay
+// leaves hanging below T(u); they join the fetch (and the size s
+// already counts them, since insertions adjust the ancestor
+// aggregates).
 func (a *TC) applyFetch(u tree.NodeID, gu int32, c int64, s int32) {
 	// Collect X = P(u): the non-cached nodes of T(u) in preorder, via
 	// the interval walk of AppendMissing (O(|X|) plus one interval test
@@ -659,18 +690,25 @@ func (a *TC) applyFetch(u tree.NodeID, gu int32, c int64, s int32) {
 	// analysis' "artificial fetch" at end(P)).
 	x := a.cache.AppendMissing(a.xbuf[:0], u)
 	a.xbuf = x
-	if len(x) != int(s) {
-		panic(fmt.Sprintf("core: P(%d) size mismatch: aggregate %d, collected %d", u, s, len(x)))
+	nJoin := 0
+	if a.ov != nil {
+		nJoin = a.ov.collectJoiners(a, u)
 	}
-	if a.cache.Len()+int(s) > a.cfg.Capacity {
+	if len(x)+nJoin != int(s) {
+		panic(fmt.Sprintf("core: P(%d) size mismatch: aggregate %d, collected %d+%d", u, s, len(x), nJoin))
+	}
+	if a.effCacheLen()+int(s) > a.cfg.Capacity {
 		a.endPhase(x)
 		return
 	}
 	if err := a.cache.Fetch(x); err != nil {
 		panic("core: " + err.Error())
 	}
-	a.led.PayFetch(len(x))
-	if n := a.cache.Len(); n > a.peak {
+	if a.ov != nil {
+		a.ov.fetchJoiners()
+	}
+	a.led.PayFetch(int(s))
+	if n := a.effCacheLen(); n > a.peak {
 		a.peak = n
 	}
 	// Ancestors of u lose X from their P-aggregates: cnt −= c and
@@ -1043,6 +1081,13 @@ func (a *TC) initHval(w tree.NodeID) {
 			sb += hB
 		}
 	}
+	if a.ov != nil {
+		// Cached overlay children of w are singleton cached-tree roots
+		// at this point (w was non-cached), so by Lemma 5.1 their hval
+		// is negative between rounds and the sum is provably zero; the
+		// hook keeps the derivation uniform rather than relying on that.
+		sa += a.ov.cachedChildHA(a, w)
+	}
 	a.negAssign(a.t.HeavySlot(w), sa-a.cfg.Alpha, 1+sb)
 }
 
@@ -1073,14 +1118,22 @@ func (a *TC) applyEvict(r tree.NodeID) {
 		}
 	}
 	a.xbuf = x
+	// Cached overlay leaves hanging below the evicted set with hA ≥ 0
+	// belong to H(r) too (leaves with hA < 0 stay cached and become
+	// roots of their own singleton cached trees, exactly like a cached
+	// snapshot child outside the cap).
+	nEv := 0
+	if a.ov != nil {
+		nEv = a.ov.collectEvictions(a, inX)
+	}
 	if err := a.cache.Evict(x); err != nil {
 		panic("core: " + err.Error())
 	}
-	a.led.PayEvict(len(x))
+	a.led.PayEvict(len(x) + nEv)
 	// Rebuild P-aggregates bottom-up within the cap: size = |X ∩ T(x)|
 	// (all other descendants remain cached), cnt = 0, so key = −α·size.
 	// The evicted slots also return to the sentinel on the negative
-	// side.
+	// side. Evicted overlay leaves count into their parent's size.
 	for i := len(x) - 1; i >= 0; i-- {
 		w := x[i]
 		var sz int32 = 1
@@ -1090,18 +1143,25 @@ func (a *TC) applyEvict(r tree.NodeID) {
 				sz += cs
 			}
 		}
+		if a.ov != nil {
+			sz += a.ov.evictedUnder(w)
+		}
 		gw := a.t.HeavySlot(w)
 		a.posAssign(gw, -a.cfg.Alpha*int64(sz), sz)
 		a.negAssign(gw, notCachedHA, 0)
 	}
+	if a.ov != nil {
+		a.ov.finalizeEvictions()
+	}
 	a.clearSet(x, inX)
 	// Ancestors of r (all non-cached) gain |X| non-cached descendants
 	// with zero counters: size += |X|, key −= α·|X|.
+	total := len(x) + nEv
 	gr := a.t.HeavySlot(r)
 	if nav := a.t.HeavyNav(gr); nav.Pos() > 0 {
-		a.posRootPathAdd(gr-1, -a.cfg.Alpha*int64(len(x)), int32(len(x)))
+		a.posRootPathAdd(gr-1, -a.cfg.Alpha*int64(total), int32(total))
 	} else if nav.Up() >= 0 {
-		a.posRootPathAdd(nav.Up(), -a.cfg.Alpha*int64(len(x)), int32(len(x)))
+		a.posRootPathAdd(nav.Up(), -a.cfg.Alpha*int64(total), int32(total))
 	}
 	if a.cfg.Observer != nil {
 		a.cfg.Observer.OnApply(a.round, x, false)
@@ -1139,15 +1199,24 @@ func (a *TC) endPhase(wouldFetch []tree.NodeID) {
 	var evicted []tree.NodeID
 	if a.cfg.Observer != nil {
 		evicted = a.cache.Members()
+		if a.ov != nil {
+			evicted = a.ov.filterPhantoms(evicted)
+		}
 	}
-	if n := a.cache.Len(); n > 0 {
+	if n := a.effCacheLen(); n > 0 {
 		a.led.PayEvict(n)
-		a.cache.Clear()
 	}
+	a.cache.Clear()
 	if a.cfg.Observer != nil {
 		a.cfg.Observer.OnPhaseEnd(a.round, evicted, wouldFetch)
 	}
 	a.phase++
 	a.rounds = 0
 	a.epoch++ // all keys and hvals (and hence counters) reset lazily
+	if a.ov != nil {
+		// The lazy reset restores phase-start state for the snapshot
+		// shape; the overlay re-applies the live topology's deltas
+		// (tombstones out, inserted leaves in).
+		a.ov.afterFlush(a)
+	}
 }

@@ -58,6 +58,15 @@ type Algorithm interface {
 	Ledger() cache.Ledger
 }
 
+// TopologyServer is optionally implemented by algorithms whose rule
+// tree accepts online mutations (core.MutableTC). ApplyTopology
+// control messages are serialized through the shard's single-writer
+// worker, so mutations take effect between batches, never inside one,
+// and need no locking against the serve path.
+type TopologyServer interface {
+	ApplyTopology(muts []trace.Mutation) error
+}
+
 // BatchServer is optionally implemented by algorithms that serve a
 // whole batch at amortized cost (core.TC's run-coalescing ServeBatch).
 // Shard workers detect it once at construction and then serve every
@@ -104,6 +113,11 @@ type ShardStats struct {
 	Batches   int64 // batches served
 	BusyNs    int64 // total wall time spent serving batches
 	MaxBatch  int64 // slowest single batch, ns
+	// TopoApplied counts applied topology mutations; TopoErrs counts
+	// mutations the shard's algorithm rejected (first error wins per
+	// control message; the rest of that message is dropped).
+	TopoApplied int64
+	TopoErrs    int64
 }
 
 // Total returns Serve + Move.
@@ -113,25 +127,29 @@ func (s ShardStats) Total() int64 { return s.Serve + s.Move }
 type Stats struct {
 	Shards []ShardStats
 	// Sums over all shards.
-	Rounds  int64
-	Serve   int64
-	Move    int64
-	Fetched int64
-	Evicted int64
-	Batches int64
-	BusyNs  int64
+	Rounds      int64
+	Serve       int64
+	Move        int64
+	Fetched     int64
+	Evicted     int64
+	Batches     int64
+	BusyNs      int64
+	TopoApplied int64
+	TopoErrs    int64
 }
 
 // Total returns the fleet-wide Serve + Move.
 func (s Stats) Total() int64 { return s.Serve + s.Move }
 
-// message is one queue entry: either a batch of requests or a drain
-// token carrying the channel to acknowledge on. box, when non-nil,
-// marks an engine-owned (pooled) batch buffer: the worker recycles it
-// onto the engine's free list after serving.
+// message is one queue entry: a batch of requests, a topology-mutation
+// control message, or a drain token carrying the channel to
+// acknowledge on. box, when non-nil, marks an engine-owned (pooled)
+// batch buffer: the worker recycles it onto the engine's free list
+// after serving.
 type message struct {
 	batch trace.Trace
 	box   *trace.Trace
+	muts  []trace.Mutation
 	flush chan<- struct{}
 }
 
@@ -139,7 +157,8 @@ type shard struct {
 	id    int
 	name  string
 	algo  Algorithm
-	batch BatchServer // non-nil when algo serves batches natively
+	batch BatchServer    // non-nil when algo serves batches natively
+	topo  TopologyServer // non-nil when algo accepts topology mutations
 	in    chan message
 	done  chan struct{}
 	// pub is the published snapshot: a fresh immutable ShardStats is
@@ -198,6 +217,7 @@ func New(cfg Config) *Engine {
 			done: make(chan struct{}),
 		}
 		s.batch, _ = algo.(BatchServer)
+		s.topo, _ = algo.(TopologyServer)
 		e.shards[i] = s
 		go e.worker(s)
 	}
@@ -258,13 +278,37 @@ func (e *Engine) putBatchBuf(box *trace.Trace, batch trace.Trace) {
 	}
 }
 
+// ApplyTopology enqueues a topology-mutation control message for one
+// shard: the mutations are applied by the shard's single-writer worker
+// after every batch submitted before this call and before every batch
+// submitted after it. The slice is retained until applied; application
+// errors are counted in the shard's stats (TopoErrs), not returned
+// here. The shard's algorithm must implement TopologyServer.
+func (e *Engine) ApplyTopology(shard int, muts []trace.Mutation) error {
+	if shard < 0 || shard >= len(e.shards) {
+		return fmt.Errorf("engine: shard %d out of range [0,%d)", shard, len(e.shards))
+	}
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if e.shards[shard].topo == nil {
+		return fmt.Errorf("engine: shard %d algorithm %q does not accept topology mutations", shard, e.shards[shard].name)
+	}
+	if len(muts) == 0 {
+		return nil
+	}
+	e.shards[shard].in <- message{muts: muts}
+	return nil
+}
+
 // SubmitMulti routes a multi-tenant trace to the fleet (tenant i →
 // shard i), re-batching each tenant's stream into chunks of up to
 // batchLen requests (default 1024). Per-tenant order is preserved, so
-// the run is equivalent to serving mt.Split(Shards()) sequentially.
-// Chunk buffers come from a per-engine free list and are recycled by
-// the serving workers, so steady-state dispatch does not allocate per
-// batch.
+// the run is equivalent to serving mt.Split(Shards()) sequentially;
+// topology mutation events are routed as in-order control messages
+// (the tenant's pending chunk is flushed first). Chunk buffers come
+// from a per-engine free list and are recycled by the serving workers,
+// so steady-state dispatch does not allocate per batch.
 func (e *Engine) SubmitMulti(mt trace.MultiTrace, batchLen int) error {
 	if batchLen <= 0 {
 		batchLen = 1024
@@ -281,6 +325,23 @@ func (e *Engine) SubmitMulti(mt trace.MultiTrace, batchLen int) error {
 		if tr.Tenant < 0 || tr.Tenant >= len(e.shards) {
 			release()
 			return fmt.Errorf("engine: tenant %d out of range [0,%d)", tr.Tenant, len(e.shards))
+		}
+		if tr.IsMut {
+			// Flush the tenant's open chunk so the mutation lands at
+			// its recorded position in the tenant's stream.
+			if box := pending[tr.Tenant]; box != nil && len(*box) > 0 {
+				pending[tr.Tenant] = nil
+				if err := e.submit(tr.Tenant, *box, box); err != nil {
+					e.putBatchBuf(box, *box)
+					release()
+					return err
+				}
+			}
+			if err := e.ApplyTopology(tr.Tenant, []trace.Mutation{tr.Mut}); err != nil {
+				release()
+				return err
+			}
+			continue
 		}
 		box := pending[tr.Tenant]
 		if box == nil {
@@ -359,6 +420,8 @@ func (e *Engine) Stats() Stats {
 		st.Evicted += ss.Evicted
 		st.Batches += ss.Batches
 		st.BusyNs += ss.BusyNs
+		st.TopoApplied += ss.TopoApplied
+		st.TopoErrs += ss.TopoErrs
 	}
 	return st
 }
@@ -369,10 +432,34 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) worker(s *shard) {
 	defer close(s.done)
 	var rounds, batches, busyNs, maxBatch int64
+	var topoOK, topoErrs int64
 	maxCache := 0
 	for msg := range s.in {
 		if msg.flush != nil {
 			msg.flush <- struct{}{}
+			continue
+		}
+		if msg.muts != nil {
+			// Apply one by one so a rejected mutation drops only the
+			// rest of its own control message.
+			for i := range msg.muts {
+				if err := s.topo.ApplyTopology(msg.muts[i : i+1]); err != nil {
+					topoErrs += int64(len(msg.muts) - i)
+					break
+				}
+				topoOK++
+			}
+			// Mutations can grow occupancy (an insert under a cached
+			// parent installs the new rule), so refresh the peak before
+			// publishing.
+			if s.batch != nil {
+				if c := s.batch.MaxCacheLen(); c > maxCache {
+					maxCache = c
+				}
+			} else if c := s.algo.CacheLen(); c > maxCache {
+				maxCache = c
+			}
+			s.publish(rounds, batches, busyNs, maxBatch, topoOK, topoErrs, maxCache)
 			continue
 		}
 		if e.tokens != nil {
@@ -407,19 +494,27 @@ func (e *Engine) worker(s *shard) {
 		if elapsed > maxBatch {
 			maxBatch = elapsed
 		}
-		led := s.algo.Ledger()
-		s.pub.Store(&ShardStats{
-			Shard:     s.id,
-			Algorithm: s.name,
-			Rounds:    rounds,
-			Serve:     led.Serve,
-			Move:      led.Move,
-			Fetched:   led.Fetched,
-			Evicted:   led.Evicted,
-			MaxCache:  maxCache,
-			Batches:   batches,
-			BusyNs:    busyNs,
-			MaxBatch:  maxBatch,
-		})
+		s.publish(rounds, batches, busyNs, maxBatch, topoOK, topoErrs, maxCache)
 	}
+}
+
+// publish stores one immutable stats snapshot; only the shard's worker
+// calls it.
+func (s *shard) publish(rounds, batches, busyNs, maxBatch, topoOK, topoErrs int64, maxCache int) {
+	led := s.algo.Ledger()
+	s.pub.Store(&ShardStats{
+		Shard:       s.id,
+		Algorithm:   s.name,
+		Rounds:      rounds,
+		Serve:       led.Serve,
+		Move:        led.Move,
+		Fetched:     led.Fetched,
+		Evicted:     led.Evicted,
+		MaxCache:    maxCache,
+		Batches:     batches,
+		BusyNs:      busyNs,
+		MaxBatch:    maxBatch,
+		TopoApplied: topoOK,
+		TopoErrs:    topoErrs,
+	})
 }

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// TestEngineApplyTopology pins the dynamic-topology control path: a
+// fleet of MutableTC shards receives interleaved batches and
+// ApplyTopology messages (via SubmitMulti routing of a mutation-event
+// MultiTrace), and every shard must end bit-identical — ledger, cache
+// contents, topology epoch — to a sequential ServeChurn replay of its
+// per-tenant stream.
+func TestEngineApplyTopology(t *testing.T) {
+	const shards = 3
+	trees := make([]*tree.Tree, shards)
+	for i := range trees {
+		trees[i] = tree.CompleteKary(200+40*i, 2+i)
+	}
+	cfg := func(i int) core.MutableConfig {
+		return core.MutableConfig{Config: core.Config{Alpha: 4, Capacity: trees[i].Len() / 2}}
+	}
+	// Build a multi-tenant churn stream by interleaving per-tenant
+	// ChurnWorkload streams round-robin (per-tenant order preserved).
+	perTenant := make([]trace.ChurnTrace, shards)
+	for i := range perTenant {
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		perTenant[i] = trace.ChurnWorkload(rng, trees[i], trace.ChurnWorkloadConfig{
+			Rounds: 4000, MutEvery: 16, ZipfS: 0.9, NegFrac: 0.3,
+		})
+	}
+	var mt trace.MultiTrace
+	for pos := 0; pos < 4000; pos++ {
+		for s := 0; s < shards; s++ {
+			op := perTenant[s][pos]
+			if op.IsMut {
+				mt = append(mt, trace.TenantMut(s, op.Mut))
+			} else {
+				mt = append(mt, trace.TenantReq(s, op.Req))
+			}
+		}
+	}
+	if err := mt.Validate(trees); err != nil {
+		t.Fatal(err)
+	}
+	algos := make([]*core.MutableTC, shards)
+	e := New(Config{
+		Shards: shards,
+		NewShard: func(i int) Algorithm {
+			algos[i] = core.NewMutable(trees[i], cfg(i))
+			return algos[i]
+		},
+	})
+	if err := e.SubmitMulti(mt, 64); err != nil {
+		t.Fatal(err)
+	}
+	e.Drain()
+	st := e.Stats()
+	defer e.Close()
+	var wantMuts int64
+	for _, r := range mt {
+		if r.IsMut {
+			wantMuts++
+		}
+	}
+	if st.TopoApplied != wantMuts || st.TopoErrs != 0 {
+		t.Fatalf("topo counters: applied %d errs %d, want %d/0", st.TopoApplied, st.TopoErrs, wantMuts)
+	}
+	for s := 0; s < shards; s++ {
+		ref := core.NewMutable(trees[s], cfg(s))
+		if _, _, err := ref.ServeChurn(perTenant[s]); err != nil {
+			t.Fatal(err)
+		}
+		if algos[s].Ledger() != ref.Ledger() {
+			t.Fatalf("shard %d ledger %+v != sequential %+v", s, algos[s].Ledger(), ref.Ledger())
+		}
+		if algos[s].Epoch() != ref.Epoch() || algos[s].Pending() != ref.Pending() {
+			t.Fatalf("shard %d topology (epoch %d, pending %d) != sequential (%d, %d)",
+				s, algos[s].Epoch(), algos[s].Pending(), ref.Epoch(), ref.Pending())
+		}
+		got, want := algos[s].CacheMembers(), ref.CacheMembers()
+		if len(got) != len(want) {
+			t.Fatalf("shard %d cache size %d != %d", s, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shard %d cache diverged at %d: %v vs %v", s, i, got, want)
+			}
+		}
+	}
+}
+
+// TestEngineTopologyErrors covers the rejection paths: a shard whose
+// algorithm is static, and an invalid mutation surfacing in TopoErrs.
+func TestEngineTopologyErrors(t *testing.T) {
+	tr := tree.Path(8)
+	e := New(Config{
+		Shards: 2,
+		NewShard: func(i int) Algorithm {
+			if i == 0 {
+				return core.New(tr, core.Config{Alpha: 2, Capacity: 4})
+			}
+			return core.NewMutable(tr, core.MutableConfig{Config: core.Config{Alpha: 2, Capacity: 4}})
+		},
+	})
+	defer e.Close()
+	if err := e.ApplyTopology(0, []trace.Mutation{trace.DeleteMut(7)}); err == nil {
+		t.Fatal("static shard accepted a topology mutation")
+	}
+	if err := e.ApplyTopology(5, []trace.Mutation{trace.DeleteMut(7)}); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	// One valid delete, then an invalid one (root), then one more that
+	// is dropped with the rest of its message.
+	if err := e.ApplyTopology(1, []trace.Mutation{
+		trace.DeleteMut(7), trace.DeleteMut(0), trace.DeleteMut(6),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.Drain()
+	st := e.Stats()
+	if st.TopoApplied != 1 || st.TopoErrs != 2 {
+		t.Fatalf("topo counters: applied %d errs %d, want 1/2", st.TopoApplied, st.TopoErrs)
+	}
+}

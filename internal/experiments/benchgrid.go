@@ -117,6 +117,147 @@ func BurstBench(b *testing.B, c BurstBenchCase) {
 	}
 }
 
+// ChurnBenchCase is one cell of the dynamic-topology churn grid: a
+// MutableTC over the TCBinary/n=16384 tree served RandomMixed traffic
+// with one topology mutation (announce/withdraw, net-zero growth)
+// every Rate operations. ns_per_op is per operation (request or
+// mutation), so the rate=1 row is pure mutation throughput — the
+// amortized overlay + state-migrating-rebuild cost — and rate=256 is
+// serving with background churn.
+type ChurnBenchCase struct {
+	Name   string
+	Rate   int // one mutation every Rate operations
+	Shards int // 0 = single instance; > 0 = sharded engine with ApplyTopology
+	Batch  int // engine batch size (engine rows only)
+}
+
+// ChurnBenchCases returns the canonical churn grid, shared by the
+// repo-root BenchmarkTCChurn and the cmd/experiments -bench-json
+// recorder. The in-process BenchmarkChurnMutation pair in
+// internal/core is the authoritative sublinearity evidence.
+func ChurnBenchCases() []ChurnBenchCase {
+	return []ChurnBenchCase{
+		{"TCChurn/rate=1", 1, 0, 0},
+		{"TCChurn/rate=16", 16, 0, 0},
+		{"TCChurn/rate=256", 256, 0, 0},
+	}
+}
+
+// EngineChurnCases returns the fleet churn row: 4 shards of MutableTC
+// served batches with interleaved ApplyTopology control messages (one
+// mutation per Rate requests, dispatched between batches).
+func EngineChurnCases() []ChurnBenchCase {
+	return []ChurnBenchCase{
+		{"EngineChurn/shards=4", 16, 4, 1024},
+	}
+}
+
+// churnMutator generates the net-zero mutation schedule of the churn
+// grid: odd mutations insert a leaf under a rotating seed node, even
+// mutations withdraw the most recently inserted live leaf (ids are
+// sequential and never reused, so the driver can predict them — the
+// engine rows rely on exactly this to address ApplyTopology messages).
+type churnMutator struct {
+	n     int
+	next  tree.NodeID
+	stack []tree.NodeID
+	step  int
+}
+
+func newChurnMutator(t *tree.Tree) *churnMutator {
+	return &churnMutator{n: t.Len(), next: tree.NodeID(t.Len())}
+}
+
+func (cm *churnMutator) mutation() trace.Mutation {
+	cm.step++
+	if len(cm.stack) == 0 || cm.step%2 == 1 {
+		parent := tree.NodeID(1 + (cm.step*2654435761)%(cm.n-1))
+		m := trace.InsertMut(cm.next, parent)
+		cm.stack = append(cm.stack, cm.next)
+		cm.next++
+		return m
+	}
+	v := cm.stack[len(cm.stack)-1]
+	cm.stack = cm.stack[:len(cm.stack)-1]
+	return trace.DeleteMut(v)
+}
+
+// ChurnBench is the single benchmark body behind one single-instance
+// churn cell: b.N operations, every Rate-th a topology mutation.
+func ChurnBench(b *testing.B, c ChurnBenchCase) {
+	t := BurstBenchTree()
+	rng := rand.New(rand.NewSource(17))
+	input := trace.RandomMixed(rng, t, 1<<16)
+	m := core.NewMutable(t, core.MutableConfig{Config: core.Config{Alpha: 8, Capacity: 1 << 13}})
+	cm := newChurnMutator(t)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%c.Rate == 0 {
+			if err := m.Apply(cm.mutation()); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		m.Serve(input[i&(1<<16-1)])
+	}
+}
+
+// EngineChurnBench is the benchmark body behind the fleet churn cell:
+// b.N requests are submitted round-robin in pre-chunked batches with
+// one ApplyTopology control message (Batch/Rate mutations) between a
+// shard's consecutive batches.
+func EngineChurnBench(b *testing.B, c ChurnBenchCase) {
+	t := EngineBenchTree()
+	inputs := make([]trace.Trace, c.Shards)
+	for s := range inputs {
+		inputs[s] = trace.RandomMixed(rand.New(rand.NewSource(int64(1+s))), t, 1<<16)
+	}
+	muts := make([]*churnMutator, c.Shards)
+	for s := range muts {
+		muts[s] = newChurnMutator(t)
+	}
+	e := engine.New(engine.Config{
+		Shards: c.Shards,
+		NewShard: func(i int) engine.Algorithm {
+			return core.NewMutable(t, core.MutableConfig{Config: core.Config{Alpha: 8, Capacity: EngineBenchCapacity}})
+		},
+	})
+	defer e.Close()
+	perMsg := c.Batch / c.Rate
+	b.ReportAllocs()
+	b.ResetTimer()
+	remaining := b.N
+	for i := 0; remaining > 0; i++ {
+		for s := 0; s < c.Shards && remaining > 0; s++ {
+			lo := (i * c.Batch) & (1<<16 - 1)
+			hi := lo + c.Batch
+			if hi > len(inputs[s]) {
+				hi = len(inputs[s])
+			}
+			chunk := inputs[s][lo:hi]
+			if len(chunk) > remaining {
+				chunk = chunk[:remaining]
+			}
+			batch := make([]trace.Mutation, 0, perMsg)
+			for k := 0; k < perMsg; k++ {
+				batch = append(batch, muts[s].mutation())
+			}
+			if err := e.ApplyTopology(s, batch); err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Submit(s, chunk); err != nil {
+				b.Fatal(err)
+			}
+			remaining -= len(chunk)
+		}
+	}
+	e.Drain()
+	if st := e.Stats(); st.TopoErrs > 0 {
+		b.Fatalf("%d topology mutations rejected", st.TopoErrs)
+	}
+}
+
 // EngineBenchCase is one cell of the sharded-engine throughput grid:
 // a fleet of Shards TC instances, each over a complete binary tree of
 // 2^14 nodes (the TCBinary/n=16384 single-instance workload), served

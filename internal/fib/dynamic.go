@@ -1,0 +1,228 @@
+package fib
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/tree"
+)
+
+// DynamicTable is a rule table under route churn: a live view of an
+// announced/withdrawn prefix set bound to a dynamic-topology cache
+// instance. Every Add/Withdraw is mapped onto the tree mutations of
+// the underlying core.MutableTC:
+//
+//   - announcing a prefix that covers no existing rule is a leaf
+//     insertion under its longest-matching enclosing prefix;
+//   - announcing a prefix that covers existing more-specific rules
+//     reparents those rules below it (LMP reparenting — the covered
+//     prefixes' dependency edges move from the common parent to the
+//     new rule), which is an interior insertion and migrates the cache
+//     state through a snapshot rebuild;
+//   - withdrawing a leaf rule settles its counter into its parent;
+//     withdrawing a covering rule lifts its dependents back to its
+//     parent (interior withdrawal, again a migrating rebuild).
+//
+// Rule ids are the MutableTC's stable node ids: they survive snapshot
+// rebuilds, so traffic generators and switch-side state can keep
+// naming rules across churn. DynamicTable is not safe for concurrent
+// use; in a fleet each table lives with its shard's worker.
+type DynamicTable struct {
+	algo     *core.MutableTC
+	rules    []Rule        // by stable id; entries of dead ids are stale
+	live     []bool        // by stable id
+	parent   []tree.NodeID // by stable id (live entries)
+	children [][]tree.NodeID
+	byPrefix map[Prefix]tree.NodeID
+}
+
+// NewDynamicTable binds a freshly generated rule table to a dynamic
+// cache instance created over the table's dependency tree
+// (core.NewMutable(tb.Tree(), ...)).
+func NewDynamicTable(tb *Table, algo *core.MutableTC) (*DynamicTable, error) {
+	if algo.Snapshot() != tb.Tree() {
+		return nil, fmt.Errorf("fib: cache instance not built over the table's dependency tree")
+	}
+	n := tb.Len()
+	d := &DynamicTable{
+		algo:     algo,
+		rules:    make([]Rule, n),
+		live:     make([]bool, n),
+		parent:   make([]tree.NodeID, n),
+		children: make([][]tree.NodeID, n),
+		byPrefix: make(map[Prefix]tree.NodeID, n),
+	}
+	t := tb.Tree()
+	for v := 0; v < n; v++ {
+		id := tree.NodeID(v)
+		d.rules[v] = tb.Rule(id)
+		d.live[v] = true
+		d.parent[v] = t.Parent(id)
+		d.children[v] = append([]tree.NodeID(nil), tb.sorted[v]...)
+		d.byPrefix[tb.Rule(id).Prefix] = id
+	}
+	return d, nil
+}
+
+// Algo returns the bound dynamic cache instance.
+func (d *DynamicTable) Algo() *core.MutableTC { return d.algo }
+
+// Len returns the number of live rules (including the default rule).
+func (d *DynamicTable) Len() int { return d.algo.Dyn().Len() }
+
+// Rule returns live rule v.
+func (d *DynamicTable) Rule(v tree.NodeID) Rule { return d.rules[v] }
+
+// Node returns the id of the live rule holding prefix p, or tree.None.
+func (d *DynamicTable) Node(p Prefix) tree.NodeID {
+	if v, ok := d.byPrefix[p]; ok {
+		return v
+	}
+	return tree.None
+}
+
+// lmpParent returns the deepest live rule strictly containing prefix p.
+func (d *DynamicTable) lmpParent(p Prefix) tree.NodeID {
+	cur := tree.NodeID(0)
+	for {
+		cs := d.children[cur]
+		lo, hi := 0, len(cs)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if d.rules[cs[mid]].Prefix.Addr <= p.Addr {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == 0 {
+			return cur
+		}
+		next := cs[lo-1]
+		np := d.rules[next].Prefix
+		if !np.ContainsPrefix(p) || np == p {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// Add announces a rule: a fresh prefix is inserted at its LMP position
+// (covered more-specific rules reparent below it); re-announcing an
+// existing prefix only updates its action. Returns the rule's stable
+// id.
+func (d *DynamicTable) Add(r Rule) (tree.NodeID, error) {
+	r.Prefix.Addr &= r.Prefix.Mask()
+	if v, ok := d.byPrefix[r.Prefix]; ok {
+		d.rules[v].NextHop = r.NextHop // action update, no topology change
+		return v, nil
+	}
+	p := d.lmpParent(r.Prefix)
+	// Covered children of p occupy a contiguous run of the
+	// addr-sorted child list (siblings hold disjoint prefixes).
+	cs := d.children[p]
+	lo := sort.Search(len(cs), func(i int) bool { return d.rules[cs[i]].Prefix.Addr >= r.Prefix.Addr })
+	hi := lo
+	for hi < len(cs) && r.Prefix.ContainsPrefix(d.rules[cs[hi]].Prefix) {
+		hi++
+	}
+	covered := cs[lo:hi]
+	v, err := d.algo.InsertBetween(p, covered)
+	if err != nil {
+		return tree.None, err
+	}
+	// Grow the stable-id tables and splice the child lists: the covered
+	// run moves below v, v takes its place.
+	d.rules = append(d.rules, r)
+	d.live = append(d.live, true)
+	d.parent = append(d.parent, p)
+	d.children = append(d.children, append([]tree.NodeID(nil), covered...))
+	for _, c := range covered {
+		d.parent[c] = v
+	}
+	newCS := make([]tree.NodeID, 0, len(cs)-len(covered)+1)
+	newCS = append(newCS, cs[:lo]...)
+	newCS = append(newCS, v)
+	newCS = append(newCS, cs[hi:]...)
+	d.children[p] = newCS
+	d.byPrefix[r.Prefix] = v
+	return v, nil
+}
+
+// Withdraw removes the rule holding prefix p; rules that depended on
+// it reattach to its parent. The default rule cannot be withdrawn.
+func (d *DynamicTable) Withdraw(p Prefix) error {
+	p.Addr &= p.Mask()
+	v, ok := d.byPrefix[p]
+	if !ok {
+		return fmt.Errorf("fib: withdraw of unknown prefix %v", p)
+	}
+	if v == 0 {
+		return fmt.Errorf("fib: the default rule cannot be withdrawn")
+	}
+	if err := d.algo.Delete(v); err != nil {
+		return err
+	}
+	par := d.parent[v]
+	lifted := d.children[v]
+	for _, c := range lifted {
+		d.parent[c] = par
+	}
+	// Remove v from its parent's sorted child list and merge the lifted
+	// children back in (they occupy v's address range, so they splice
+	// into v's former position already sorted).
+	cs := d.children[par]
+	i := sort.Search(len(cs), func(i int) bool { return d.rules[cs[i]].Prefix.Addr >= p.Addr })
+	for i < len(cs) && cs[i] != v {
+		i++
+	}
+	if i == len(cs) {
+		return fmt.Errorf("fib: internal: rule %d missing from parent %d", v, par)
+	}
+	newCS := make([]tree.NodeID, 0, len(cs)-1+len(lifted))
+	newCS = append(newCS, cs[:i]...)
+	newCS = append(newCS, lifted...)
+	newCS = append(newCS, cs[i+1:]...)
+	d.children[par] = newCS
+	d.children[v] = nil
+	d.live[v] = false
+	delete(d.byPrefix, p)
+	return nil
+}
+
+// Lookup performs longest-matching-prefix lookup over the live rules
+// and returns the matched rule's stable id (at worst the default rule).
+func (d *DynamicTable) Lookup(addr uint32) tree.NodeID {
+	cur := tree.NodeID(0)
+	for {
+		cs := d.children[cur]
+		lo, hi := 0, len(cs)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if d.rules[cs[mid]].Prefix.Addr <= addr {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == 0 {
+			return cur
+		}
+		next := cs[lo-1]
+		if !d.rules[next].Prefix.MatchAddr(addr) {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// RandomAddrIn draws a uniform address inside live rule v's prefix.
+func (d *DynamicTable) RandomAddrIn(rngUint32 func() uint32, v tree.NodeID) uint32 {
+	p := d.rules[v].Prefix
+	host := uint32(0)
+	if p.Len < 32 {
+		host = rngUint32() & ^p.Mask()
+	}
+	return p.Addr | host
+}

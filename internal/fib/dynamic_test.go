@@ -1,0 +1,127 @@
+package fib
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// TestDynamicTableChurn drives a DynamicTable through a random
+// announce/withdraw schedule with traffic interleaved, asserting after
+// every step that (a) Lookup over the live rules matches a from-scratch
+// Table built on the surviving rule set, and (b) the bound cache
+// instance keeps the subforest invariant over the live dependency tree
+// (a cached rule's more-specific live dependents are cached — the
+// wrong-port hazard of Section 2 never opens up under churn).
+func TestDynamicTableChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tb, err := GenerateTable(rng, TableConfig{Rules: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo := core.NewMutable(tb.Tree(), core.MutableConfig{
+		Config: core.Config{Alpha: 4, Capacity: 128},
+	})
+	d, err := NewDynamicTable(tb, algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var livePrefixes []Prefix
+	for v := 1; v < tb.Len(); v++ {
+		livePrefixes = append(livePrefixes, tb.Rule(tree.NodeID(v)).Prefix)
+	}
+	checkOracle := func(step int) {
+		t.Helper()
+		rules := make([]Rule, 0, len(livePrefixes))
+		for _, p := range livePrefixes {
+			v := d.Node(p)
+			if v == tree.None {
+				t.Fatalf("step %d: live prefix %v has no node", step, p)
+			}
+			rules = append(rules, d.Rule(v))
+		}
+		oracle, err := NewTable(rules)
+		if err != nil {
+			t.Fatalf("step %d: oracle table: %v", step, err)
+		}
+		for i := 0; i < 200; i++ {
+			addr := rng.Uint32()
+			got := d.rules[d.Lookup(addr)].Prefix
+			want := oracle.Rule(oracle.Lookup(addr)).Prefix
+			if got != want {
+				t.Fatalf("step %d: Lookup(%08x) = %v, oracle %v", step, addr, got, want)
+			}
+		}
+		// Subforest invariant over the live topology.
+		dyn := algo.Dyn()
+		for v := 0; v < dyn.NumIDs(); v++ {
+			sv := tree.NodeID(v)
+			if !dyn.Live(sv) || sv == 0 {
+				continue
+			}
+			if algo.Cached(dyn.Parent(sv)) && !algo.Cached(sv) {
+				t.Fatalf("step %d: rule %d cached but dependent %d is not", step, dyn.Parent(sv), sv)
+			}
+		}
+	}
+	checkOracle(-1)
+	for step := 0; step < 120; step++ {
+		// Traffic between updates, so the cache has state to migrate.
+		for i := 0; i < 50; i++ {
+			addr := rng.Uint32()
+			algo.Serve(trace.Pos(d.Lookup(addr)))
+		}
+		if rng.Intn(2) == 0 && len(livePrefixes) > 0 {
+			i := rng.Intn(len(livePrefixes))
+			p := livePrefixes[i]
+			if err := d.Withdraw(p); err != nil {
+				t.Fatalf("step %d: withdraw %v: %v", step, p, err)
+			}
+			livePrefixes[i] = livePrefixes[len(livePrefixes)-1]
+			livePrefixes = livePrefixes[:len(livePrefixes)-1]
+		} else {
+			// Derive a fresh prefix: sometimes one that covers existing
+			// rules (shorter than a live prefix), sometimes more
+			// specific (longer).
+			var p Prefix
+			if len(livePrefixes) > 0 && rng.Intn(2) == 0 {
+				q := livePrefixes[rng.Intn(len(livePrefixes))]
+				if q.Len >= 2 {
+					p = Prefix{Addr: q.Addr, Len: q.Len - 1}
+				} else {
+					p = Prefix{Addr: rng.Uint32(), Len: uint8(8 + rng.Intn(17))}
+				}
+			} else {
+				p = Prefix{Addr: rng.Uint32(), Len: uint8(8 + rng.Intn(17))}
+			}
+			p.Addr &= p.Mask()
+			if d.Node(p) != tree.None {
+				continue
+			}
+			if _, err := d.Add(Rule{Prefix: p, NextHop: rng.Intn(8)}); err != nil {
+				t.Fatalf("step %d: add %v: %v", step, p, err)
+			}
+			livePrefixes = append(livePrefixes, p)
+		}
+		checkOracle(step)
+	}
+	if algo.Rebuilds() == 0 {
+		t.Fatalf("churn schedule never triggered a rebuild")
+	}
+	// Re-announcing an existing prefix only updates the action.
+	p := livePrefixes[0]
+	v0 := d.Node(p)
+	v1, err := d.Add(Rule{Prefix: p, NextHop: 99})
+	if err != nil || v1 != v0 {
+		t.Fatalf("re-announce: id %d err %v, want %d", v1, err, v0)
+	}
+	if d.Rule(v0).NextHop != 99 {
+		t.Fatalf("re-announce did not update the action")
+	}
+	if err := d.Withdraw(Prefix{0, 0}); err == nil {
+		t.Fatal("default rule withdrawal accepted")
+	}
+}

@@ -1,0 +1,293 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/tree"
+)
+
+// MutKind distinguishes topology insertions from withdrawals.
+type MutKind uint8
+
+const (
+	// MutInsert attaches a fresh leaf (the announced rule) under Parent.
+	MutInsert MutKind = iota
+	// MutDelete withdraws Node; children of an interior node lift to
+	// its parent.
+	MutDelete
+)
+
+// Mutation is one topology mutation event of a dynamic-topology trace.
+// Node and Parent are stable node ids (see tree.Dyn): an insertion's
+// Node is the id the mutation allocates (tree.Dyn assigns ids
+// sequentially, so recorded traces replay deterministically); Node may
+// be tree.None to let the replaying instance allocate.
+type Mutation struct {
+	Kind   MutKind
+	Node   tree.NodeID
+	Parent tree.NodeID // insertion target; unused for MutDelete
+}
+
+// InsertMut and DeleteMut are convenience constructors.
+func InsertMut(node, parent tree.NodeID) Mutation {
+	return Mutation{Kind: MutInsert, Node: node, Parent: parent}
+}
+func DeleteMut(node tree.NodeID) Mutation { return Mutation{Kind: MutDelete, Node: node} }
+
+// String renders the trace-format form: "+^node@parent" / "-^node".
+func (m Mutation) String() string {
+	if m.Kind == MutInsert {
+		return fmt.Sprintf("+^%d@%d", m.Node, m.Parent)
+	}
+	return fmt.Sprintf("-^%d", m.Node)
+}
+
+// ChurnOp is one operation of a dynamic-topology trace: either a
+// request (IsMut false) or a topology mutation (IsMut true).
+type ChurnOp struct {
+	Req   Request
+	Mut   Mutation
+	IsMut bool
+}
+
+// ReqOp and MutOp are convenience constructors.
+func ReqOp(r Request) ChurnOp  { return ChurnOp{Req: r} }
+func MutOp(m Mutation) ChurnOp { return ChurnOp{Mut: m, IsMut: true} }
+
+// ChurnTrace is a request sequence interleaved with topology mutation
+// events, the input of a dynamic-topology (route churn) replay. All
+// node ids are stable ids of the replaying tree.Dyn.
+type ChurnTrace []ChurnOp
+
+// Requests projects the trace onto its requests, dropping mutations.
+func (ct ChurnTrace) Requests() Trace {
+	var tr Trace
+	for _, op := range ct {
+		if !op.IsMut {
+			tr = append(tr, op.Req)
+		}
+	}
+	return tr
+}
+
+// CountMutations returns the number of insert and delete events.
+func (ct ChurnTrace) CountMutations() (inserts, deletes int) {
+	for _, op := range ct {
+		if !op.IsMut {
+			continue
+		}
+		if op.Mut.Kind == MutInsert {
+			inserts++
+		} else {
+			deletes++
+		}
+	}
+	return
+}
+
+// Write emits the churn text format: requests as "+<node>"/"-<node>"
+// (the Trace format) and mutation events as "+^<node>@<parent>" /
+// "-^<node>", one per line. The format round-trips through ReadChurn
+// byte-identically for canonical (comment-free) files.
+func (ct ChurnTrace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range ct {
+		var err error
+		if op.IsMut {
+			_, err = fmt.Fprintf(bw, "%s\n", op.Mut)
+		} else {
+			_, err = fmt.Fprintf(bw, "%s%d\n", op.Req.Kind, op.Req.Node)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// parseMutation parses the body of a mutation line after the +^ / -^
+// marker has been identified: positive is the sign, rest the text after
+// the '^'.
+func parseMutation(positive bool, rest string) (Mutation, error) {
+	if positive {
+		at := strings.IndexByte(rest, '@')
+		if at <= 0 || at+1 >= len(rest) {
+			return Mutation{}, fmt.Errorf("expected +^node@parent, got %q", "+^"+rest)
+		}
+		node, err := strconv.Atoi(rest[:at])
+		if err != nil || node < 0 {
+			return Mutation{}, fmt.Errorf("bad inserted node id in %q", "+^"+rest)
+		}
+		parent, err := strconv.Atoi(rest[at+1:])
+		if err != nil || parent < 0 {
+			return Mutation{}, fmt.Errorf("bad parent id in %q", "+^"+rest)
+		}
+		return InsertMut(tree.NodeID(node), tree.NodeID(parent)), nil
+	}
+	node, err := strconv.Atoi(rest)
+	if err != nil || node < 0 {
+		return Mutation{}, fmt.Errorf("bad withdrawn node id in %q", "-^"+rest)
+	}
+	return DeleteMut(tree.NodeID(node)), nil
+}
+
+// ReadChurn parses the churn text format written by ChurnTrace.Write.
+// Blank lines and lines starting with '#' are ignored.
+func ReadChurn(r io.Reader) (ChurnTrace, error) {
+	var ct ChurnTrace
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(line) < 2 {
+			return nil, fmt.Errorf("trace: line %d: malformed %q", lineNo, line)
+		}
+		var positive bool
+		switch line[0] {
+		case '+':
+			positive = true
+		case '-':
+		default:
+			return nil, fmt.Errorf("trace: line %d: expected +/- prefix in %q", lineNo, line)
+		}
+		if line[1] == '^' {
+			m, err := parseMutation(positive, line[2:])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			ct = append(ct, MutOp(m))
+			continue
+		}
+		v, err := strconv.Atoi(line[1:])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad node id: %v", lineNo, err)
+		}
+		k := Positive
+		if !positive {
+			k = Negative
+		}
+		ct = append(ct, ReqOp(Request{Node: tree.NodeID(v), Kind: k}))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+// Validate checks the trace against tree t's id space: requests and
+// deletions must name ids below the running insertion frontier, and
+// every insertion must carry the next sequential stable id (tree.None
+// is allowed: "let the instance allocate"). Liveness at each round is
+// the dynamic layer's apply-time concern, exactly as for MultiTrace.
+func (ct ChurnTrace) Validate(t *tree.Tree) error {
+	next := tree.NodeID(t.Len())
+	for i, op := range ct {
+		if op.IsMut {
+			m := op.Mut
+			if m.Kind == MutInsert {
+				if m.Parent < 0 || m.Parent >= next {
+					return fmt.Errorf("trace: op %d: insertion parent %d out of range [0,%d)", i+1, m.Parent, next)
+				}
+				if m.Node != tree.None && m.Node != next {
+					return fmt.Errorf("trace: op %d: insertion id %d, expected next id %d", i+1, m.Node, next)
+				}
+				next++
+				continue
+			}
+			if m.Node <= 0 || m.Node >= next {
+				return fmt.Errorf("trace: op %d: withdrawal of id %d out of range (0,%d)", i+1, m.Node, next)
+			}
+			continue
+		}
+		if op.Req.Node < 0 || op.Req.Node >= next {
+			return fmt.Errorf("trace: op %d: node %d out of range [0,%d)", i+1, op.Req.Node, next)
+		}
+	}
+	return nil
+}
+
+// ChurnWorkloadConfig parameterises the route-churn workload generator.
+type ChurnWorkloadConfig struct {
+	// Rounds is the total number of operations (requests + mutations).
+	Rounds int
+	// MutEvery inserts one topology mutation every MutEvery operations
+	// (default 64): rate ≈ Rounds/MutEvery mutations per trace, the
+	// BGP-feed announce/withdraw cadence.
+	MutEvery int
+	// InsertFrac is the fraction of mutations that are announcements
+	// (insertions); the rest are withdrawals of churn-inserted leaves,
+	// so the topology size stays near the seed tree. Default 0.5.
+	InsertFrac float64
+	// ZipfS is the Zipf exponent of request and insertion-parent
+	// popularity; 0 draws uniformly.
+	ZipfS float64
+	// NegFrac is the probability that a request is negative.
+	NegFrac float64
+}
+
+// ChurnWorkload generates a dynamic-topology workload over t: Zipf
+// traffic interleaved with announce/withdraw mutation events, ids
+// assigned exactly as a replaying tree.Dyn will assign them. Announced
+// leaves attach under Zipf-popular live nodes (including earlier
+// churn-inserted ones); withdrawals remove the most recent still-live
+// churn-inserted leaf first (LIFO, so every generated event is valid by
+// construction: the seed tree is never withdrawn and interior deletes
+// cannot occur). Deterministic in rng.
+func ChurnWorkload(rng *rand.Rand, t *tree.Tree, cfg ChurnWorkloadConfig) ChurnTrace {
+	mutEvery := cfg.MutEvery
+	if mutEvery < 1 {
+		mutEvery = 64
+	}
+	insertFrac := cfg.InsertFrac
+	if insertFrac <= 0 {
+		insertFrac = 0.5
+	}
+	n := t.Len()
+	z := stats.NewZipf(rng, n, cfg.ZipfS, true)
+	next := tree.NodeID(n)     // next stable id a replaying Dyn allocates
+	var inserted []tree.NodeID // churn-inserted, still-live nodes (LIFO)
+	ct := make(ChurnTrace, 0, cfg.Rounds)
+	// pickLive draws a live node: a Zipf-popular seed node, or (20% of
+	// draws when any exist) a churn-inserted leaf.
+	pickLive := func() tree.NodeID {
+		if len(inserted) > 0 && rng.Float64() < 0.2 {
+			return inserted[rng.Intn(len(inserted))]
+		}
+		return tree.NodeID(z.Draw())
+	}
+	for len(ct) < cfg.Rounds {
+		if (len(ct)+1)%mutEvery == 0 {
+			if rng.Float64() < insertFrac || len(inserted) == 0 {
+				p := pickLive()
+				ct = append(ct, MutOp(InsertMut(next, p)))
+				inserted = append(inserted, next)
+				next++
+			} else {
+				// Withdraw the most recent live churn-inserted leaf:
+				// LIFO guarantees it has no live children (its children,
+				// if any, were inserted later and already withdrawn).
+				v := inserted[len(inserted)-1]
+				inserted = inserted[:len(inserted)-1]
+				ct = append(ct, MutOp(DeleteMut(v)))
+			}
+			continue
+		}
+		v := pickLive()
+		if rng.Float64() < cfg.NegFrac {
+			ct = append(ct, ReqOp(Neg(v)))
+		} else {
+			ct = append(ct, ReqOp(Pos(v)))
+		}
+	}
+	return ct
+}

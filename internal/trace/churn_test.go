@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// TestChurnTraceGoldenRoundTrip: for every canonical churn testdata
+// file, parse → serialize must reproduce the file byte-for-byte, and a
+// second parse must reproduce the first (the PR-2 golden harness,
+// extended to the mutation-event lines).
+func TestChurnTraceGoldenRoundTrip(t *testing.T) {
+	for _, name := range []string{"churn_zipf.txt"} {
+		raw, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := ReadChurn(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(ct) == 0 {
+			t.Fatalf("%s: empty golden trace", name)
+		}
+		if ins, del := ct.CountMutations(); ins == 0 || del == 0 {
+			t.Fatalf("%s: golden trace has no mutation events (%d/%d)", name, ins, del)
+		}
+		var buf bytes.Buffer
+		if err := ct.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), raw) {
+			t.Fatalf("%s: serialization is not byte-identical to the golden file", name)
+		}
+		back, err := ReadChurn(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != len(ct) {
+			t.Fatalf("%s: reparse length %d, want %d", name, len(back), len(ct))
+		}
+		for i := range ct {
+			if back[i] != ct[i] {
+				t.Fatalf("%s: reparse mismatch at %d: %v vs %v", name, i, back[i], ct[i])
+			}
+		}
+		if err := ct.Validate(tree.CompleteKary(63, 2)); err != nil {
+			t.Fatalf("%s: golden trace invalid for the reference tree: %v", name, err)
+		}
+	}
+}
+
+// TestChurnTraceHandwritten: comments and blanks are ignored; the
+// parsed form round-trips through Write/ReadChurn exactly.
+func TestChurnTraceHandwritten(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "churn_handwritten.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ReadChurn(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ChurnTrace{
+		ReqOp(Pos(5)), ReqOp(Pos(5)), ReqOp(Neg(0)),
+		MutOp(InsertMut(12, 5)),
+		ReqOp(Pos(12)), ReqOp(Pos(12)), ReqOp(Neg(12)),
+		MutOp(InsertMut(13, 12)),
+		ReqOp(Pos(13)),
+		MutOp(DeleteMut(13)),
+		ReqOp(Pos(3)),
+		MutOp(DeleteMut(12)),
+		ReqOp(Pos(5)),
+	}
+	if len(ct) != len(want) {
+		t.Fatalf("parsed %d ops, want %d", len(ct), len(want))
+	}
+	for i := range want {
+		if ct[i] != want[i] {
+			t.Fatalf("op %d: %v, want %v", i, ct[i], want[i])
+		}
+	}
+	if err := ct.Validate(tree.Path(12)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ct.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadChurn(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if back[i] != want[i] {
+			t.Fatalf("canonical round trip broke op %d", i)
+		}
+	}
+}
+
+func TestReadChurnRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"^5@2", "+^@2", "+^5@", "+^5", "+^a@2", "+^5@b", "-^", "-^x", "+^-3@2", "x5",
+	} {
+		if _, err := ReadChurn(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("malformed churn line %q accepted", bad)
+		}
+	}
+}
+
+func TestChurnValidate(t *testing.T) {
+	tr := tree.Path(4)
+	ok := ChurnTrace{MutOp(InsertMut(4, 3)), ReqOp(Pos(4)), MutOp(DeleteMut(4))}
+	if err := ok.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := (ChurnTrace{MutOp(InsertMut(9, 3))}).Validate(tr); err == nil {
+		t.Fatal("gapped insertion id accepted")
+	}
+	if err := (ChurnTrace{ReqOp(Pos(4))}).Validate(tr); err == nil {
+		t.Fatal("out-of-range request accepted")
+	}
+	if err := (ChurnTrace{MutOp(DeleteMut(0))}).Validate(tr); err == nil {
+		t.Fatal("root withdrawal accepted")
+	}
+	if err := (ChurnTrace{MutOp(InsertMut(tree.None, 0))}).Validate(tr); err != nil {
+		t.Fatalf("allocate-id insertion rejected: %v", err)
+	}
+}
+
+// TestChurnWorkloadStructure: the generator emits the configured
+// mutation cadence, ids replay sequentially (Validate passes), and the
+// stream is deterministic in the rng.
+func TestChurnWorkloadStructure(t *testing.T) {
+	tr := tree.CompleteKary(63, 2)
+	cfg := ChurnWorkloadConfig{Rounds: 4000, MutEvery: 16, ZipfS: 1.0, NegFrac: 0.3}
+	ct := ChurnWorkload(rand.New(rand.NewSource(7)), tr, cfg)
+	if len(ct) != cfg.Rounds {
+		t.Fatalf("generated %d ops, want %d", len(ct), cfg.Rounds)
+	}
+	if err := ct.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	ins, del := ct.CountMutations()
+	if ins+del != cfg.Rounds/cfg.MutEvery {
+		t.Fatalf("mutation cadence: %d+%d events, want %d", ins, del, cfg.Rounds/cfg.MutEvery)
+	}
+	if ins == 0 || del == 0 {
+		t.Fatalf("generator never mixed announce (%d) and withdraw (%d)", ins, del)
+	}
+	again := ChurnWorkload(rand.New(rand.NewSource(7)), tr, cfg)
+	for i := range ct {
+		if ct[i] != again[i] {
+			t.Fatalf("generator not deterministic at op %d", i)
+		}
+	}
+	reqs := ct.Requests()
+	if len(reqs) != cfg.Rounds-ins-del {
+		t.Fatalf("Requests() projected %d, want %d", len(reqs), cfg.Rounds-ins-del)
+	}
+}
+
+// TestMultiTraceChurnGolden pins the multi-tenant mutation-event
+// format ("<tenant>:+^node@parent") through the golden file.
+func TestMultiTraceChurnGolden(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "multitenant_churn.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := ReadMulti(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nMut := 0
+	for _, r := range mt {
+		if r.IsMut {
+			nMut++
+		}
+	}
+	if nMut == 0 {
+		t.Fatalf("golden multi-tenant churn trace has no mutation events")
+	}
+	var buf bytes.Buffer
+	if err := mt.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatalf("serialization is not byte-identical to the golden file")
+	}
+	if err := mt.Validate(testFleet()); err != nil {
+		t.Fatalf("golden trace invalid for the reference fleet: %v", err)
+	}
+	churn := mt.SplitChurn(len(testFleet()))
+	total := 0
+	for _, ct := range churn {
+		total += len(ct)
+	}
+	if total != len(mt) {
+		t.Fatalf("SplitChurn dropped ops: %d of %d", total, len(mt))
+	}
+}

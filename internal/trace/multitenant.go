@@ -13,10 +13,25 @@ import (
 )
 
 // TenantRequest tags a Request with the tenant (fleet shard) whose
-// tree it targets.
+// tree it targets. An entry with IsMut set is a topology mutation
+// event for the tenant's tree instead of a request (the dynamic-
+// topology extension: "<tenant>:+^node@parent" / "<tenant>:-^node" in
+// the text format).
 type TenantRequest struct {
 	Tenant int
 	Req    Request
+	Mut    Mutation
+	IsMut  bool
+}
+
+// TenantReq constructs a request entry for one tenant.
+func TenantReq(tenant int, r Request) TenantRequest {
+	return TenantRequest{Tenant: tenant, Req: r}
+}
+
+// TenantMut constructs a topology mutation event for one tenant.
+func TenantMut(tenant int, m Mutation) TenantRequest {
+	return TenantRequest{Tenant: tenant, Mut: m, IsMut: true}
 }
 
 // MultiTrace is a multi-tenant request sequence: one global arrival
@@ -39,40 +54,87 @@ func (mt MultiTrace) Tenants() int {
 }
 
 // Split projects the trace onto per-tenant sequential traces. Requests
-// with tenant ≥ tenants are dropped; per-tenant order is preserved.
+// with tenant ≥ tenants are dropped, as are topology mutation events
+// (use SplitChurn to keep them); per-tenant order is preserved.
 func (mt MultiTrace) Split(tenants int) []Trace {
 	out := make([]Trace, tenants)
 	for _, r := range mt {
-		if r.Tenant >= 0 && r.Tenant < tenants {
+		if r.Tenant >= 0 && r.Tenant < tenants && !r.IsMut {
 			out[r.Tenant] = append(out[r.Tenant], r.Req)
 		}
 	}
 	return out
 }
 
-// Validate checks every request names an existing tenant and an
-// existing node of that tenant's tree.
+// SplitChurn projects the trace onto per-tenant churn traces, keeping
+// topology mutation events interleaved in per-tenant order.
+func (mt MultiTrace) SplitChurn(tenants int) []ChurnTrace {
+	out := make([]ChurnTrace, tenants)
+	for _, r := range mt {
+		if r.Tenant < 0 || r.Tenant >= tenants {
+			continue
+		}
+		if r.IsMut {
+			out[r.Tenant] = append(out[r.Tenant], MutOp(r.Mut))
+		} else {
+			out[r.Tenant] = append(out[r.Tenant], ReqOp(r.Req))
+		}
+	}
+	return out
+}
+
+// Validate checks every request names an existing tenant and a node id
+// within that tenant's id space — the tree's nodes plus any ids earlier
+// insertion events of the trace made available. Mutation events are
+// checked shallowly (non-negative ids, insertions extend the id space
+// sequentially); whether an id is live at its round depends on the
+// replaying instance's mutation history, which the dynamic layer
+// validates at apply time.
 func (mt MultiTrace) Validate(trees []*tree.Tree) error {
+	next := make([]int, len(trees))
+	for t, tr := range trees {
+		next[t] = tr.Len()
+	}
 	for i, r := range mt {
 		if r.Tenant < 0 || r.Tenant >= len(trees) {
 			return fmt.Errorf("trace: round %d: tenant %d out of range [0,%d)", i+1, r.Tenant, len(trees))
 		}
-		if r.Req.Node < 0 || int(r.Req.Node) >= trees[r.Tenant].Len() {
+		if r.IsMut {
+			if r.Mut.Node < 0 || (r.Mut.Kind == MutInsert && r.Mut.Parent < 0) {
+				return fmt.Errorf("trace: round %d: tenant %d malformed mutation %v", i+1, r.Tenant, r.Mut)
+			}
+			if r.Mut.Kind == MutInsert {
+				if int(r.Mut.Node) != next[r.Tenant] {
+					return fmt.Errorf("trace: round %d: tenant %d insertion id %d, expected next id %d",
+						i+1, r.Tenant, r.Mut.Node, next[r.Tenant])
+				}
+				next[r.Tenant]++
+			}
+			continue
+		}
+		if r.Req.Node < 0 || int(r.Req.Node) >= next[r.Tenant] {
 			return fmt.Errorf("trace: round %d: tenant %d node %d out of range [0,%d)",
-				i+1, r.Tenant, r.Req.Node, trees[r.Tenant].Len())
+				i+1, r.Tenant, r.Req.Node, next[r.Tenant])
 		}
 	}
 	return nil
 }
 
-// Write emits the multi-tenant text format, one request per line:
-// "<tenant>:<sign><node>", e.g. "3:+17". The format round-trips
-// through ReadMulti byte-identically for canonical (comment-free)
-// files.
+// Write emits the multi-tenant text format, one entry per line:
+// requests as "<tenant>:<sign><node>" (e.g. "3:+17") and topology
+// mutation events as "<tenant>:+^<node>@<parent>" / "<tenant>:-^<node>"
+// (e.g. "3:+^40@17"). The format round-trips through ReadMulti
+// byte-identically for canonical (comment-free) files.
 func (mt MultiTrace) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, r := range mt {
-		if _, err := fmt.Fprintf(bw, "%d:%s%d\n", r.Tenant, r.Req.Kind, r.Req.Node); err != nil {
+		var err error
+		if r.IsMut {
+			_, err = fmt.Fprintf(bw, "%d:%s\n", r.Tenant, r.Mut)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d:%s%d\n", r.Tenant, r.Req.Kind, r.Req.Node)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -108,6 +170,14 @@ func ReadMulti(r io.Reader) (MultiTrace, error) {
 			k = Negative
 		default:
 			return nil, fmt.Errorf("trace: line %d: expected +/- prefix in %q", lineNo, line)
+		}
+		if len(rest) >= 2 && rest[1] == '^' {
+			m, err := parseMutation(k == Positive, rest[2:])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			mt = append(mt, TenantMut(tenant, m))
+			continue
 		}
 		v, err := strconv.Atoi(rest[1:])
 		if err != nil {

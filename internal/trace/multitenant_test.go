@@ -73,9 +73,9 @@ func TestMultiTraceHandwritten(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := MultiTrace{
-		{0, Pos(5)}, {0, Pos(5)}, {1, Neg(0)},
-		{2, Pos(3)}, {2, Pos(3)}, {2, Pos(3)},
-		{1, Pos(7)}, {0, Neg(2)}, {2, Neg(1)},
+		TenantReq(0, Pos(5)), TenantReq(0, Pos(5)), TenantReq(1, Neg(0)),
+		TenantReq(2, Pos(3)), TenantReq(2, Pos(3)), TenantReq(2, Pos(3)),
+		TenantReq(1, Pos(7)), TenantReq(0, Neg(2)), TenantReq(2, Neg(1)),
 	}
 	if len(mt) != len(want) {
 		t.Fatalf("parsed %d requests, want %d", len(mt), len(want))
@@ -109,7 +109,7 @@ func TestReadMultiRejectsMalformed(t *testing.T) {
 }
 
 func TestMultiTraceSplitAndTenants(t *testing.T) {
-	mt := MultiTrace{{2, Pos(1)}, {0, Neg(2)}, {2, Pos(3)}, {1, Pos(0)}}
+	mt := MultiTrace{TenantReq(2, Pos(1)), TenantReq(0, Neg(2)), TenantReq(2, Pos(3)), TenantReq(1, Pos(0))}
 	if mt.Tenants() != 3 {
 		t.Fatalf("tenants = %d", mt.Tenants())
 	}
@@ -127,13 +127,13 @@ func TestMultiTraceSplitAndTenants(t *testing.T) {
 
 func TestMultiTraceValidate(t *testing.T) {
 	trees := testFleet()
-	if err := (MultiTrace{{0, Pos(30)}}).Validate(trees); err != nil {
+	if err := (MultiTrace{TenantReq(0, Pos(30))}).Validate(trees); err != nil {
 		t.Fatal(err)
 	}
-	if err := (MultiTrace{{0, Pos(31)}}).Validate(trees); err == nil {
+	if err := (MultiTrace{TenantReq(0, Pos(31))}).Validate(trees); err == nil {
 		t.Fatal("out-of-range node accepted")
 	}
-	if err := (MultiTrace{{9, Pos(0)}}).Validate(trees); err == nil {
+	if err := (MultiTrace{TenantReq(9, Pos(0))}).Validate(trees); err == nil {
 		t.Fatal("out-of-range tenant accepted")
 	}
 }

@@ -40,6 +40,7 @@ type Tree struct {
 	preOut   []int32 // preOut[v] = preIn[v] + subSize[v]; T(v) = preorder[preIn[v]:preOut[v]]
 	height   int
 	maxDeg   int
+	epoch    int64 // topology epoch: 0 for a fresh tree, bumped per Dyn.Rebuild
 
 	// Heavy-path decomposition (computed at build time). Every node
 	// belongs to exactly one heavy path; a path's nodes occupy one
@@ -90,6 +91,13 @@ type heavyPathMeta struct {
 // any other node (the builder sorts out ordering), but the relation must
 // be acyclic and connected, i.e. a single rooted tree with root 0.
 func New(parents []NodeID) (*Tree, error) {
+	return NewAtEpoch(parents, 0)
+}
+
+// NewAtEpoch is New with an explicit topology epoch, used by Dyn to
+// version the snapshots of a mutating topology: epoch e+1 is the
+// rebuild of epoch e with its pending mutation log applied.
+func NewAtEpoch(parents []NodeID, epoch int64) (*Tree, error) {
 	n := len(parents)
 	if n == 0 {
 		return nil, fmt.Errorf("tree: empty parent vector")
@@ -98,6 +106,7 @@ func New(parents []NodeID) (*Tree, error) {
 		return nil, fmt.Errorf("tree: node 0 must be the root (parent None), got %d", parents[0])
 	}
 	t := &Tree{
+		epoch:    epoch,
 		parent:   make([]NodeID, n),
 		childArr: make([]NodeID, n-1),
 		childOff: make([]int32, n+1),
@@ -239,6 +248,10 @@ func MustNew(parents []NodeID) *Tree {
 
 // Len returns the number of nodes |T|.
 func (t *Tree) Len() int { return len(t.parent) }
+
+// Epoch returns the tree's topology epoch: 0 for a tree built directly
+// with New, e for the e-th rebuild of a dynamic topology (see Dyn).
+func (t *Tree) Epoch() int64 { return t.epoch }
 
 // Root returns the root node (always 0).
 func (t *Tree) Root() NodeID { return 0 }

@@ -1,0 +1,115 @@
+package treecache_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/treecache"
+	"repro/treecache/inspect"
+)
+
+// TestFacadeDynamicTopology drives the public dynamic surface end to
+// end: ChurnWorkload generation, the churn text format round-trip,
+// ServeChurn replay, Insert/Delete, Engine.ApplyTopology equivalence
+// and the inspect.Topology dump.
+func TestFacadeDynamicTopology(t *testing.T) {
+	tr := treecache.CompleteKary(127, 2)
+	rng := rand.New(rand.NewSource(7))
+	ct := treecache.ChurnWorkload(rng, tr, treecache.ChurnWorkloadConfig{
+		Rounds: 3000, MutEvery: 8, ZipfS: 1.0, NegFrac: 0.3,
+	})
+	var buf bytes.Buffer
+	if err := ct.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := treecache.ReadChurnTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := treecache.Options{Alpha: 4, Capacity: 48}
+	c := treecache.New(tr, opts)
+	serve, move, err := c.ServeChurn(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serve == 0 || move == 0 {
+		t.Fatalf("churn replay cost (%d,%d) looks degenerate", serve, move)
+	}
+	ti := inspect.Topology(c)
+	if ti.Live != c.Len() || ti.Cached != c.CacheLen() {
+		t.Fatalf("inspect.Topology %+v disagrees with the cache", ti)
+	}
+	if ti.Epoch == 0 {
+		t.Fatalf("3000-op churn replay never rebuilt: %v", ti)
+	}
+
+	// Manual mutations through the facade.
+	v, err := c.Insert(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Live(v) {
+		t.Fatalf("inserted node %d not live", v)
+	}
+	if _, _, err := c.ServeChurn(treecache.ChurnTrace{
+		trace2op(treecache.Pos(v)), trace2op(treecache.Pos(v)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(v); err != nil {
+		t.Fatal(err)
+	}
+	if c.Live(v) {
+		t.Fatalf("deleted node %d still live", v)
+	}
+
+	// Fleet equivalence: the same churn stream through an engine shard
+	// (batches + ApplyTopology control messages) must land on the same
+	// ledger and cache as the sequential replay above.
+	eng := treecache.NewEngine([]*treecache.Tree{tr}, opts, treecache.EngineOptions{})
+	defer eng.Close()
+	var batch treecache.Trace
+	flush := func() {
+		if len(batch) > 0 {
+			if err := eng.SubmitTrace(0, append(treecache.Trace(nil), batch...)); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	for _, op := range back {
+		if op.IsMut {
+			flush()
+			if err := eng.ApplyTopology(0, []treecache.Mutation{op.Mut}); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		batch = append(batch, op.Req)
+	}
+	flush()
+	eng.Drain()
+	seq := treecache.New(tr, opts)
+	if _, _, err := seq.ServeChurn(back); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Shard(0).Ledger() != seq.Ledger() {
+		t.Fatalf("engine churn ledger %+v != sequential %+v", eng.Shard(0).Ledger(), seq.Ledger())
+	}
+	a, b := eng.Shard(0).Members(), seq.Members()
+	if len(a) != len(b) {
+		t.Fatalf("cache sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("caches differ at %d", i)
+		}
+	}
+	st := eng.Stats()
+	if st.TopoErrs != 0 || st.TopoApplied == 0 {
+		t.Fatalf("topology stats: %+v", st)
+	}
+}
+
+func trace2op(r treecache.Request) treecache.ChurnOp { return treecache.ChurnOp{Req: r} }

@@ -74,8 +74,8 @@ func NewEngine(trees []*Tree, o Options, eo EngineOptions) *Engine {
 	e := engine.New(engine.Config{
 		Shards: len(trees),
 		NewShard: func(i int) engine.Algorithm {
-			caches[i] = &Cache{tc: core.New(trees[i], core.Config{
-				Alpha: o.Alpha, Capacity: o.Capacity, Observer: o.Observer,
+			caches[i] = &Cache{tc: core.NewMutable(trees[i], core.MutableConfig{
+				Config: core.Config{Alpha: o.Alpha, Capacity: o.Capacity, Observer: o.Observer},
 			})}
 			return caches[i]
 		},
@@ -83,6 +83,16 @@ func NewEngine(trees []*Tree, o Options, eo EngineOptions) *Engine {
 		Parallelism: eo.Parallelism,
 	})
 	return &Engine{e: e, caches: caches}
+}
+
+// ApplyTopology enqueues rule announce/withdraw mutations for one
+// shard, serialized through the shard's single-writer worker: they
+// take effect after every batch submitted before the call and before
+// every batch submitted after it. Application errors are counted in
+// the shard's TopoErrs stat. SubmitMulti routes mutation events of a
+// MultiTrace through the same path in per-tenant order.
+func (f *Engine) ApplyTopology(shard int, muts []Mutation) error {
+	return f.e.ApplyTopology(shard, muts)
 }
 
 // Shards returns the fleet size.

@@ -98,7 +98,7 @@ func TestWorkloadGenerators(t *testing.T) {
 	if got := len(treecache.UniformTrace(rng, tr, 50)); got != 50 {
 		t.Fatalf("UniformTrace length %d", got)
 	}
-	churn := treecache.ChurnTrace(rng, tr, treecache.ChurnConfig{
+	churn := treecache.UpdateChurnTrace(rng, tr, treecache.ChurnConfig{
 		Rounds: 200, ZipfS: 1.0, UpdateFrac: 0.3, BurstLen: 4,
 	})
 	if len(churn) != 200 {

@@ -46,6 +46,16 @@ func GenerateTable(rng *rand.Rand, cfg TableConfig) (*Table, error) {
 	return fib.GenerateTable(rng, cfg)
 }
 
+// DynamicTable is a rule table under route churn: Add/Withdraw map
+// announce/withdraw events onto the dependency tree's online mutations
+// (covered prefixes reparent below a new covering rule); see
+// fib.DynamicTable.
+type DynamicTable = fib.DynamicTable
+
+// NewDynamicTable binds a generated table to a dynamic cache instance
+// built over its dependency tree (core.NewMutable).
+var NewDynamicTable = fib.NewDynamicTable
+
 // WorkloadConfig parameterises GenerateWorkload.
 type WorkloadConfig = fib.WorkloadConfig
 

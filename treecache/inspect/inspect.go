@@ -17,10 +17,12 @@
 package inspect
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/analysis"
 	"repro/internal/tree"
+	"repro/treecache"
 )
 
 // Recorder implements treecache.Observer and reconstructs phases.
@@ -75,3 +77,32 @@ func RenderEventSpace(w io.Writer, t *tree.Tree, p *Phase, maxCols int) {
 // RenderPeriods draws one node's alternating in/out periods
 // (Figure 3).
 func RenderPeriods(w io.Writer, p *Phase, v tree.NodeID) { analysis.RenderPeriods(w, p, v) }
+
+// TopologyInfo summarises a dynamic cache's topology state: the
+// current epoch (how many state-migrating snapshot rebuilds have
+// run), the pending-mutation count held by the overlay, and the live
+// node and cache occupancy.
+type TopologyInfo struct {
+	Epoch    int64 // topology epoch of the current snapshot
+	Pending  int   // mutations absorbed since the last rebuild
+	Live     int   // live nodes of the current topology
+	Cached   int   // current cache occupancy
+	MaxCache int   // peak occupancy since the last Reset
+}
+
+// String renders a one-line dump.
+func (ti TopologyInfo) String() string {
+	return fmt.Sprintf("epoch=%d pending=%d live=%d cached=%d peak=%d",
+		ti.Epoch, ti.Pending, ti.Live, ti.Cached, ti.MaxCache)
+}
+
+// Topology dumps a cache's dynamic-topology state.
+func Topology(c *treecache.Cache) TopologyInfo {
+	return TopologyInfo{
+		Epoch:    c.Epoch(),
+		Pending:  c.PendingMutations(),
+		Live:     c.Len(),
+		Cached:   c.CacheLen(),
+		MaxCache: c.MaxCacheLen(),
+	}
+}

@@ -92,16 +92,47 @@ type Options struct {
 // Observer receives TC's events; see core.Observer for the contract.
 type Observer = core.Observer
 
-// Cache is the user-facing handle on a running TC instance.
+// Mutation is one topology mutation event (rule announce/withdraw);
+// see trace.Mutation and the "+^node@parent" / "-^node" trace format.
+type Mutation = trace.Mutation
+
+// InsertMut and DeleteMut construct mutation events. An insertion's
+// node id may be None to let the applying instance allocate the next
+// sequential id.
+func InsertMut(node, parent NodeID) Mutation { return trace.InsertMut(node, parent) }
+func DeleteMut(node NodeID) Mutation         { return trace.DeleteMut(node) }
+
+// ChurnOp and ChurnTrace interleave requests with topology mutation
+// events; see trace.ChurnTrace.
+type ChurnOp = trace.ChurnOp
+type ChurnTrace = trace.ChurnTrace
+
+// ReadChurnTrace parses the churn text format (requests plus mutation
+// events) written by ChurnTrace.Write.
+var ReadChurnTrace = trace.ReadChurn
+
+// ChurnWorkloadConfig parameterises the route-churn workload generator.
+type ChurnWorkloadConfig = trace.ChurnWorkloadConfig
+
+// ChurnWorkload generates Zipf traffic interleaved with valid
+// announce/withdraw mutation events; see trace.ChurnWorkload.
+var ChurnWorkload = trace.ChurnWorkload
+
+// Cache is the user-facing handle on a running TC instance. The
+// instance is dynamic: Insert and Delete mutate the rule tree while
+// serving (node ids are stable across the internal snapshot rebuilds;
+// see Epoch and PendingMutations).
 type Cache struct {
-	tc *core.TC
+	tc *core.MutableTC
 }
 
 // New creates a TC cache over t. It panics on invalid options (α not an
 // even integer ≥ 2 or capacity < 1), mirroring the constructor
 // conventions of the standard library for programmer errors.
 func New(t *Tree, o Options) *Cache {
-	return &Cache{tc: core.New(t, core.Config{Alpha: o.Alpha, Capacity: o.Capacity, Observer: o.Observer})}
+	return &Cache{tc: core.NewMutable(t, core.MutableConfig{
+		Config: core.Config{Alpha: o.Alpha, Capacity: o.Capacity, Observer: o.Observer},
+	})}
 }
 
 // Request serves one request and returns its serving cost (0 or 1) and
@@ -132,17 +163,74 @@ func (c *Cache) Cached(v NodeID) bool { return c.tc.Cached(v) }
 // CacheLen returns the current cache occupancy.
 func (c *Cache) CacheLen() int { return c.tc.CacheLen() }
 
-// Members returns the cached nodes in preorder.
+// Members returns the cached nodes in ascending id order.
 func (c *Cache) Members() []NodeID { return c.tc.CacheMembers() }
 
-// AppendMembers appends the cached nodes in preorder to dst and returns
-// it. Allocation-free when dst has capacity — the snapshot variant for
-// callers polling the cache on a hot path.
+// AppendMembers appends the cached nodes (ascending ids) to dst and
+// returns it — the snapshot variant for callers polling the cache on a
+// hot path.
 func (c *Cache) AppendMembers(dst []NodeID) []NodeID { return c.tc.AppendCacheMembers(dst) }
 
-// Roots returns the roots of the maximal cached subtrees in preorder
-// (the tops of the cached subforest).
+// Roots returns the roots of the maximal cached subtrees in ascending
+// id order (the tops of the cached subforest).
 func (c *Cache) Roots() []NodeID { return c.tc.CacheRoots() }
+
+// ---------------------------------------------------------------------------
+// Dynamic topology.
+// ---------------------------------------------------------------------------
+
+// Insert announces a fresh rule under live node parent and returns its
+// id (ids are sequential and stable across snapshot rebuilds). If the
+// parent is cached the new rule enters the cache with it (one α
+// install).
+func (c *Cache) Insert(parent NodeID) (NodeID, error) { return c.tc.Insert(parent) }
+
+// InsertBetween announces a rule under parent, adopting the given live
+// children of parent below it (the FIB application's LMP reparenting
+// of covered prefixes); adoption migrates state through an immediate
+// snapshot rebuild.
+func (c *Cache) InsertBetween(parent NodeID, adopt []NodeID) (NodeID, error) {
+	return c.tc.InsertBetween(parent, adopt)
+}
+
+// Delete withdraws live node v: a leaf settles its counter into its
+// parent (a cached leaf is force-evicted, one α remove); an interior
+// node's children lift to its parent through a migrating rebuild. The
+// root is permanent.
+func (c *Cache) Delete(v NodeID) error { return c.tc.Delete(v) }
+
+// Apply replays one recorded mutation event.
+func (c *Cache) Apply(m Mutation) error { return c.tc.Apply(m) }
+
+// ApplyTopology replays a batch of mutation events (stopping at the
+// first invalid one); it also makes Cache satisfy the engine's
+// TopologyServer interface, so Engine.ApplyTopology reaches shard
+// caches.
+func (c *Cache) ApplyTopology(muts []Mutation) error { return c.tc.ApplyTopology(muts) }
+
+// ServeChurn replays a churn trace (requests interleaved with mutation
+// events) and returns its total serving and movement cost.
+func (c *Cache) ServeChurn(ct ChurnTrace) (serveCost, moveCost int64, err error) {
+	return c.tc.ServeChurn(ct)
+}
+
+// Epoch returns the topology epoch: how many state-migrating snapshot
+// rebuilds the instance has absorbed.
+func (c *Cache) Epoch() int64 { return c.tc.Epoch() }
+
+// PendingMutations returns the number of mutations held by the overlay
+// since the last rebuild.
+func (c *Cache) PendingMutations() int { return c.tc.Pending() }
+
+// Rebuild forces the amortized state-migrating rebuild now.
+func (c *Cache) Rebuild() { c.tc.Rebuild() }
+
+// Live reports whether id v names a live (announced, not withdrawn)
+// node.
+func (c *Cache) Live(v NodeID) bool { return c.tc.Dyn().Live(v) }
+
+// Len returns the number of live nodes of the current topology.
+func (c *Cache) Len() int { return c.tc.Dyn().Len() }
 
 // Cost returns the total cost paid so far.
 func (c *Cache) Cost() int64 { return c.tc.Ledger().Total() }

@@ -26,13 +26,15 @@ func UniformTrace(rng *rand.Rand, t *Tree, n int) Trace {
 	return trace.UniformPositive(rng, t, n)
 }
 
-// ChurnConfig configures ChurnTrace; see the field documentation in
-// the underlying type.
+// ChurnConfig configures UpdateChurnTrace; see the field documentation
+// in the underlying type.
 type ChurnConfig = trace.ChurnConfig
 
-// ChurnTrace interleaves Zipf traffic with bursts of negative requests
-// (rule-update churn, Appendix B of the paper).
-func ChurnTrace(rng *rand.Rand, t *Tree, cfg ChurnConfig) Trace {
+// UpdateChurnTrace interleaves Zipf traffic with bursts of negative
+// requests (rule-update churn on a fixed topology, Appendix B of the
+// paper). For topology churn — announce/withdraw events that mutate
+// the rule tree itself — see ChurnWorkload and the ChurnTrace type.
+func UpdateChurnTrace(rng *rand.Rand, t *Tree, cfg ChurnConfig) Trace {
 	return trace.Churn(rng, t, cfg)
 }
 
