@@ -25,36 +25,73 @@ import (
 	"repro/internal/core"
 	"repro/internal/fib"
 	"repro/internal/sim"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/tree"
 )
 
+// suffixOp is one recorded algo-level operation of the churn replay's
+// post-snapshot suffix: a served request, an InsertBetween (announce)
+// or a Delete (withdraw). The crash-restart drill replays the suffix
+// against an instance restored from the mid-run snapshot; stable node
+// ids make the record exact (announces re-allocate the same ids).
+type suffixOp struct {
+	kind    byte // 0 serve, 1 insert, 2 delete
+	req     trace.Request
+	node    tree.NodeID // inserted / deleted stable id
+	parent  tree.NodeID
+	covered []tree.NodeID
+}
+
 // runChurn replays the announce/withdraw schedule of -churn mode and
-// prints the dynamic instance's ledger and topology trajectory.
-func runChurn(rng *rand.Rand, table *fib.Table, packets int, churn float64, zipfS float64, alpha int64, capacity int) {
+// prints the dynamic instance's ledger and topology trajectory. With
+// snapOut set it additionally runs the crash-restart drill: dump the
+// cache state at packet snapAt, record the algo-level suffix, and at
+// the end verify an instance restored from the file replays the
+// suffix to the identical ledger, cache and topology cursors.
+func runChurn(rng *rand.Rand, table *fib.Table, packets int, churn float64, zipfS float64, alpha int64, capacity int, snapOut string, snapAt int) error {
 	algo := core.NewMutable(table.Tree(), core.MutableConfig{
 		Config: core.Config{Alpha: alpha, Capacity: capacity},
 	})
 	d, err := fib.NewDynamicTable(table, algo)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	live := make([]fib.Prefix, 0, table.Len())
 	for v := 1; v < table.Len(); v++ {
 		live = append(live, table.Rule(tree.NodeID(v)).Prefix)
 	}
 	zipf := stats.NewZipf(rng, len(live), zipfS, true)
+	if snapAt <= 0 || snapAt > packets {
+		snapAt = packets / 2
+	}
+	var suffix []suffixOp
+	recording := false
 	var announced, withdrawn, hits int64
 	for p := 0; p < packets; p++ {
+		if snapOut != "" && p == snapAt {
+			blob, err := snapshot.Capture(algo)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(snapOut, blob, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("dumped %d bytes to %s at packet %d\n", len(blob), snapOut, p)
+			recording = true
+		}
 		for churn > 0 && rng.Float64() < churn {
 			if rng.Intn(2) == 0 && len(live) > 1 {
 				i := rng.Intn(len(live))
+				v := d.Node(live[i])
 				if err := d.Withdraw(live[i]); err == nil {
 					withdrawn++
 					live[i] = live[len(live)-1]
 					live = live[:len(live)-1]
+					if recording {
+						suffix = append(suffix, suffixOp{kind: 2, node: v})
+					}
 				}
 			} else {
 				// Announce a prefix derived from a live one: one bit
@@ -69,9 +106,12 @@ func runChurn(rng *rand.Rand, table *fib.Table, packets int, churn float64, zipf
 				if d.Node(np) != tree.None {
 					continue
 				}
-				if _, err := d.Add(fib.Rule{Prefix: np, NextHop: rng.Intn(16)}); err == nil {
+				if v, err := d.Add(fib.Rule{Prefix: np, NextHop: rng.Intn(16)}); err == nil {
 					announced++
 					live = append(live, np)
+					if recording {
+						suffix = append(suffix, suffixOp{kind: 1, node: v, parent: d.Parent(v), covered: d.Children(v)})
+					}
 				}
 			}
 		}
@@ -84,6 +124,9 @@ func runChurn(rng *rand.Rand, table *fib.Table, packets int, churn float64, zipf
 			hits++
 		}
 		algo.Serve(trace.Pos(rule))
+		if recording {
+			suffix = append(suffix, suffixOp{kind: 0, req: trace.Pos(rule)})
+		}
 	}
 	led := algo.Ledger()
 	fmt.Printf("churn replay: %d packets, %d announced, %d withdrawn (%d live rules)\n",
@@ -92,6 +135,71 @@ func runChurn(rng *rand.Rand, table *fib.Table, packets int, churn float64, zipf
 		led.Total(), led.Serve, led.Move, led.Fetched+led.Evicted, float64(hits)/float64(packets))
 	fmt.Printf("topology:     epoch=%d rebuilds=%d pending=%d peak=%d\n",
 		algo.Epoch(), algo.Rebuilds(), algo.Pending(), algo.MaxCacheLen())
+	if snapOut != "" {
+		return verifySuffixReplay(algo, snapOut, suffix)
+	}
+	return nil
+}
+
+// verifySuffixReplay restores a fresh instance from the snapshot file
+// and replays the recorded suffix: ledger, cache and topology cursors
+// must land exactly where the uninterrupted instance did.
+func verifySuffixReplay(algo *core.MutableTC, snapOut string, suffix []suffixOp) error {
+	blob, err := os.ReadFile(snapOut)
+	if err != nil {
+		return err
+	}
+	restored, err := snapshot.Restore(blob)
+	if err != nil {
+		return fmt.Errorf("fibsim: %s: %v", snapOut, err)
+	}
+	for i, op := range suffix {
+		switch op.kind {
+		case 0:
+			restored.Serve(op.req)
+		case 1:
+			v, err := restored.InsertBetween(op.parent, op.covered)
+			if err != nil {
+				return fmt.Errorf("fibsim: suffix op %d: replayed announce failed: %v", i, err)
+			}
+			if v != op.node {
+				return fmt.Errorf("fibsim: suffix op %d: replayed announce allocated id %d, original got %d", i, v, op.node)
+			}
+		case 2:
+			if err := restored.Delete(op.node); err != nil {
+				return fmt.Errorf("fibsim: suffix op %d: replayed withdraw failed: %v", i, err)
+			}
+		}
+	}
+	if restored.Ledger() != algo.Ledger() || restored.CacheLen() != algo.CacheLen() ||
+		restored.Epoch() != algo.Epoch() || restored.Round() != algo.Round() {
+		return fmt.Errorf("fibsim: snapshot drill FAILED: restored replay diverged from the uninterrupted run")
+	}
+	fmt.Printf("snapshot drill: restored replay of %d suffix ops matches the uninterrupted run\n", len(suffix))
+	return nil
+}
+
+// inspectSnapshot loads a snapshot file and prints the restored
+// instance's cursors — the operational "what state did the switch
+// crash with" view. The prefix table itself lives outside the cache
+// snapshot, so resuming a churn replay cross-process is the
+// -snapshot-out drill's job.
+func inspectSnapshot(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	m, err := snapshot.Restore(blob)
+	if err != nil {
+		return fmt.Errorf("fibsim: %s: %v", path, err)
+	}
+	led := m.Ledger()
+	fmt.Printf("snapshot %s: %d bytes\n", path, len(blob))
+	fmt.Printf("restored:  round=%d total=%d serve=%d move=%d cached=%d peak=%d\n",
+		m.Round(), led.Total(), led.Serve, led.Move, m.CacheLen(), m.MaxCacheLen())
+	fmt.Printf("topology:  %d live rules, epoch=%d pending=%d\n",
+		m.Dyn().Len(), m.Epoch(), m.Pending())
+	return nil
 }
 
 func main() {
@@ -104,8 +212,19 @@ func main() {
 		churn    = flag.Float64("churn", 0, "announce/withdraw events per packet (topology churn; replaces -updates)")
 		alpha    = flag.Int64("alpha", 8, "rule install/remove cost α")
 		seed     = flag.Int64("seed", 1, "PRNG seed")
+		snapOut  = flag.String("snapshot-out", "", "churn mode: dump the cache state to this file mid-replay and verify a restored instance replays the suffix identically")
+		snapAt   = flag.Int("snapshot-at", 0, "packet at which -snapshot-out captures (default: half the packets)")
+		snapIn   = flag.String("snapshot-in", "", "load a snapshot file and print the restored instance's state, then exit")
 	)
 	flag.Parse()
+
+	if *snapIn != "" {
+		if err := inspectSnapshot(*snapIn); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	table, err := fib.GenerateTable(rng, fib.TableConfig{Rules: *rules})
@@ -118,8 +237,15 @@ func main() {
 		table.Len(), t.Height(), t.MaxDegree())
 
 	if *churn > 0 {
-		runChurn(rng, table, *packets, *churn, *zipfS, *alpha, *capacity)
+		if err := runChurn(rng, table, *packets, *churn, *zipfS, *alpha, *capacity, *snapOut, *snapAt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		return
+	}
+	if *snapOut != "" {
+		fmt.Fprintln(os.Stderr, "fibsim: -snapshot-out requires -churn > 0 (only the dynamic instance is snapshot-capable)")
+		os.Exit(1)
 	}
 
 	w := fib.GenerateWorkload(rng, table, fib.WorkloadConfig{

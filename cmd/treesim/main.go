@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/opt"
 	"repro/internal/sim"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/tree"
@@ -39,6 +40,9 @@ func main() {
 		seed     = flag.Int64("seed", 1, "PRNG seed")
 		traceIn  = flag.String("trace", "", "read the workload from this trace file instead")
 		static   = flag.Bool("static", true, "also compute the optimal static cache")
+		snapOut  = flag.String("snapshot-out", "", "crash-restart drill: dump the TC state to this file mid-run and verify a restart from it matches the uninterrupted run")
+		snapAt   = flag.Int("snapshot-at", 0, "round at which -snapshot-out captures (default: half the workload)")
+		snapIn   = flag.String("snapshot-in", "", "resume from a snapshot file: skip the rounds it already served, serve the rest, compare against a fresh uninterrupted run (pass the same workload flags)")
 	)
 	flag.Parse()
 
@@ -54,6 +58,14 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("tree: %v  alpha: %d  capacity: %d  requests: %d\n\n", t, *alpha, *capacity, len(input))
+
+	if *snapOut != "" || *snapIn != "" {
+		if err := runSnapshotDrill(t, input, *alpha, *capacity, *snapOut, *snapIn, *snapAt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	algos := []sim.Algorithm{
 		core.New(t, core.Config{Alpha: *alpha, Capacity: *capacity}),
@@ -72,6 +84,91 @@ func main() {
 		tb.AddRow("Static-OPT", st.Cost, "-", "-", len(st.Set), 0, len(st.Set))
 	}
 	tb.Render(os.Stdout)
+}
+
+// runSnapshotDrill exercises the crash-restart path on a snapshot-
+// capable dynamic TC instance.
+//
+// With -snapshot-out: serve the first -snapshot-at rounds, dump the
+// state to the file, keep serving to the end (the uninterrupted run),
+// then restore a second instance from the file on disk, serve it the
+// same suffix, and require cost-for-cost agreement.
+//
+// With -snapshot-in: restore from the file, skip the rounds the
+// snapshot already served (the snapshot records its own round cursor),
+// serve the remainder, and compare against a fresh uninterrupted run —
+// the two-process version of the same drill, for use after a real
+// restart.
+func runSnapshotDrill(t *tree.Tree, input trace.Trace, alpha int64, capacity int, out, in string, at int) error {
+	mk := func() *core.MutableTC {
+		return core.NewMutable(t, core.MutableConfig{Config: core.Config{Alpha: alpha, Capacity: capacity}})
+	}
+	serve := func(m *core.MutableTC, tr trace.Trace) {
+		for _, r := range tr {
+			m.Serve(r)
+		}
+	}
+	report := func(label string, m *core.MutableTC) {
+		led := m.Ledger()
+		fmt.Printf("%-14s round=%d total=%d serve=%d move=%d cached=%d\n",
+			label+":", m.Round(), led.Total(), led.Serve, led.Move, m.CacheLen())
+	}
+	verdict := func(a, b *core.MutableTC) error {
+		if a.Ledger() != b.Ledger() || a.CacheLen() != b.CacheLen() {
+			return fmt.Errorf("treesim: snapshot drill FAILED: restarted run diverged from the uninterrupted run")
+		}
+		fmt.Println("snapshot drill: restarted run matches the uninterrupted run")
+		return nil
+	}
+
+	if in != "" {
+		blob, err := os.ReadFile(in)
+		if err != nil {
+			return err
+		}
+		m, err := snapshot.Restore(blob)
+		if err != nil {
+			return fmt.Errorf("treesim: %s: %v", in, err)
+		}
+		skip := int(m.Round())
+		if skip > len(input) {
+			return fmt.Errorf("treesim: snapshot already served %d rounds but the workload has only %d (same flags as the dumping run?)", skip, len(input))
+		}
+		fmt.Printf("resumed from %s at round %d\n", in, skip)
+		serve(m, input[skip:])
+		report("resumed", m)
+		ref := mk()
+		serve(ref, input)
+		report("uninterrupted", ref)
+		return verdict(m, ref)
+	}
+
+	if at <= 0 || at > len(input) {
+		at = len(input) / 2
+	}
+	m := mk()
+	serve(m, input[:at])
+	blob, err := snapshot.Capture(m)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("dumped %d bytes to %s at round %d\n", len(blob), out, at)
+	serve(m, input[at:])
+	report("uninterrupted", m)
+	blob, err = os.ReadFile(out)
+	if err != nil {
+		return err
+	}
+	m2, err := snapshot.Restore(blob)
+	if err != nil {
+		return fmt.Errorf("treesim: %s: %v", out, err)
+	}
+	serve(m2, input[at:])
+	report("restarted", m2)
+	return verdict(m, m2)
 }
 
 func buildTree(rng *rand.Rand, shape string, n int) (*tree.Tree, error) {

@@ -95,12 +95,25 @@ type Recorder struct {
 }
 
 // NewRecorder returns a Recorder for a TC instance over t with cost α.
+// The node universe is allowed to grow during the run: a
+// dynamic-topology instance (core.MutableTC) reports events in stable
+// ids, which exceed t.Len() once rules are inserted, and the Recorder
+// widens its per-node state on first sight of a new id.
 func NewRecorder(t *tree.Tree, alpha int64) *Recorder {
 	return &Recorder{
 		t:          t,
 		alpha:      alpha,
 		lastChange: make([]int64, t.Len()),
 		pending:    make(map[tree.NodeID][]Slot),
+	}
+}
+
+// touch widens the per-node state to cover id v. Nodes inserted
+// mid-phase start with lastChange at the phase begin, exactly like
+// nodes untouched since the phase started.
+func (r *Recorder) touch(v tree.NodeID) {
+	for int(v) >= len(r.lastChange) {
+		r.lastChange = append(r.lastChange, r.phaseBegin)
 	}
 }
 
@@ -139,6 +152,7 @@ func (r *Recorder) makeField(round int64, x []tree.NodeID, positive, artificial 
 		Artificial: artificial,
 	}
 	for _, v := range x {
+		r.touch(v)
 		f.Start[v] = r.lastChange[v] + 1
 		f.Requests = append(f.Requests, r.pending[v]...)
 		delete(r.pending, v)

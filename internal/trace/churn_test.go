@@ -105,12 +105,35 @@ func TestChurnTraceHandwritten(t *testing.T) {
 }
 
 func TestReadChurnRejectsMalformed(t *testing.T) {
-	for _, bad := range []string{
-		"^5@2", "+^@2", "+^5@", "+^5", "+^a@2", "+^5@b", "-^", "-^x", "+^-3@2", "x5",
-	} {
-		if _, err := ReadChurn(strings.NewReader(bad + "\n")); err == nil {
-			t.Errorf("malformed churn line %q accepted", bad)
-		}
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"mutation without sign", "^5@2", "expected +/- prefix"},
+		{"insert missing node", "+^@2", "expected +^node@parent"},
+		{"insert missing parent", "+^5@", "expected +^node@parent"},
+		{"insert missing @", "+^5", "expected +^node@parent"},
+		{"insert bad node", "+^a@2", "bad inserted node id"},
+		{"insert bad parent", "+^5@b", "bad parent id"},
+		{"withdraw missing node", "-^", "bad withdrawn node id"},
+		{"withdraw bad node", "-^x", "bad withdrawn node id"},
+		{"insert negative node", "+^-3@2", "bad inserted node id"},
+		{"insert negative parent", "+^3@-2", "bad parent id"},
+		{"request bad sign", "x5", "expected +/- prefix"},
+		{"request double sign", "+-3", "bad node id"},
+		{"request id overflows int32", "-2147483648", "32-bit node-id space"},
+		{"insert id overflows int32", "+^2147483648@0", "32-bit node-id space"},
+		{"line number reported", "+1\n+^5@2\n-^y", "line 3"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadChurn(strings.NewReader(c.in + "\n"))
+			if err == nil {
+				t.Fatalf("malformed churn input %q accepted", c.in)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("ReadChurn(%q) error %q, want it to mention %q", c.in, err, c.wantSub)
+			}
+		})
 	}
 }
 

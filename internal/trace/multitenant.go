@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -158,7 +159,7 @@ func ReadMulti(r io.Reader) (MultiTrace, error) {
 			return nil, fmt.Errorf("trace: line %d: malformed multi-tenant request %q", lineNo, line)
 		}
 		tenant, err := strconv.Atoi(line[:colon])
-		if err != nil || tenant < 0 {
+		if err != nil || tenant < 0 || tenant > math.MaxInt32 {
 			return nil, fmt.Errorf("trace: line %d: bad tenant id in %q", lineNo, line)
 		}
 		rest := line[colon+1:]
@@ -179,11 +180,11 @@ func ReadMulti(r io.Reader) (MultiTrace, error) {
 			mt = append(mt, TenantMut(tenant, m))
 			continue
 		}
-		v, err := strconv.Atoi(rest[1:])
+		v, err := parseNodeID(rest[1:])
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad node id: %v", lineNo, err)
+			return nil, fmt.Errorf("trace: line %d: bad node id in %q: %v", lineNo, line, err)
 		}
-		mt = append(mt, TenantRequest{Tenant: tenant, Req: Request{Node: tree.NodeID(v), Kind: k}})
+		mt = append(mt, TenantRequest{Tenant: tenant, Req: Request{Node: v, Kind: k}})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

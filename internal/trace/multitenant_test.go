@@ -101,10 +101,33 @@ func TestMultiTraceHandwritten(t *testing.T) {
 }
 
 func TestReadMultiRejectsMalformed(t *testing.T) {
-	for _, in := range []string{"+3", "0+3", ":+3", "x:+3", "-1:+3", "0:", "0:3", "0:+x"} {
-		if _, err := ReadMulti(strings.NewReader(in)); err == nil {
-			t.Fatalf("ReadMulti(%q) succeeded", in)
-		}
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"no tenant", "+3", "malformed"},
+		{"no colon", "0+3", "malformed"},
+		{"empty tenant", ":+3", "malformed"},
+		{"non-numeric tenant", "x:+3", "bad tenant id"},
+		{"negative tenant", "-1:+3", "bad tenant id"},
+		{"tenant overflows int32", "2147483648:+3", "bad tenant id"},
+		{"empty body", "0:", "malformed"},
+		{"body without sign", "0:3", "expected +/- prefix"},
+		{"non-numeric node", "0:+x", "bad node id"},
+		{"double sign", "0:+-3", "bad node id"},
+		{"node overflows int32", "0:-2147483648", "32-bit node-id space"},
+		{"bad mutation", "0:+^5@b", "bad parent id"},
+		{"line number reported", "0:+1\n1:-2\n2:+z", "line 3"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadMulti(strings.NewReader(c.in))
+			if err == nil {
+				t.Fatalf("ReadMulti(%q) succeeded", c.in)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("ReadMulti(%q) error %q, want it to mention %q", c.in, err, c.wantSub)
+			}
+		})
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -74,6 +75,25 @@ func (tr Trace) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
+// parseNodeID parses a non-negative node id that fits tree.NodeID,
+// the shared numeric validation of every trace reader: a signed value
+// (a second sign after the +/- op marker, as in "+-3") or an id
+// overflowing the 32-bit node-id space is a parse error, not a request
+// for a negative or silently truncated node.
+func parseNodeID(s string) (tree.NodeID, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative id %d", v)
+	}
+	if v > math.MaxInt32 {
+		return 0, fmt.Errorf("id %d exceeds the 32-bit node-id space", v)
+	}
+	return tree.NodeID(v), nil
+}
+
 // Read parses the text format written by Write. Blank lines and lines
 // starting with '#' are ignored.
 func Read(r io.Reader) (Trace, error) {
@@ -98,11 +118,11 @@ func Read(r io.Reader) (Trace, error) {
 		default:
 			return nil, fmt.Errorf("trace: line %d: expected +/- prefix in %q", lineNo, line)
 		}
-		v, err := strconv.Atoi(line[1:])
+		v, err := parseNodeID(line[1:])
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad node id: %v", lineNo, err)
+			return nil, fmt.Errorf("trace: line %d: bad node id in %q: %v", lineNo, line, err)
 		}
-		tr = append(tr, Request{Node: tree.NodeID(v), Kind: k})
+		tr = append(tr, Request{Node: v, Kind: k})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -2,12 +2,54 @@ package trace
 
 import (
 	"bytes"
+	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/tree"
 )
+
+// TestCorruptFixtures: each corrupt_*.txt fixture is a realistic
+// mangled trace file; the matching reader must reject it and report
+// the 1-based line number of the first bad line.
+func TestCorruptFixtures(t *testing.T) {
+	cases := []struct {
+		file     string
+		read     func(io.Reader) error
+		wantLine string
+		wantSub  string
+	}{
+		{"corrupt_trace.txt",
+			func(r io.Reader) error { _, err := Read(r); return err },
+			"line 5", "bad node id"},
+		{"corrupt_churn.txt",
+			func(r io.Reader) error { _, err := ReadChurn(r); return err },
+			"line 6", "32-bit node-id space"},
+		{"corrupt_multitenant.txt",
+			func(r io.Reader) error { _, err := ReadMulti(r); return err },
+			"line 7", "bad tenant id"},
+	}
+	for _, c := range cases {
+		t.Run(c.file, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join("testdata", c.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = c.read(bytes.NewReader(raw))
+			if err == nil {
+				t.Fatalf("%s accepted", c.file)
+			}
+			for _, sub := range []string{c.wantLine, c.wantSub} {
+				if !strings.Contains(err.Error(), sub) {
+					t.Fatalf("%s: error %q, want it to mention %q", c.file, err, sub)
+				}
+			}
+		})
+	}
+}
 
 func TestKindString(t *testing.T) {
 	if Positive.String() != "+" || Negative.String() != "-" {
@@ -55,10 +97,30 @@ func TestReadSkipsCommentsAndBlanks(t *testing.T) {
 }
 
 func TestReadRejectsMalformed(t *testing.T) {
-	for _, in := range []string{"3", "x3", "+", "+abc"} {
-		if _, err := Read(strings.NewReader(in)); err == nil {
-			t.Fatalf("Read(%q) succeeded", in)
-		}
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"no sign", "3", "malformed"},
+		{"bad sign", "x3", "expected +/- prefix"},
+		{"sign only", "+", "malformed"},
+		{"non-numeric", "+abc", "bad node id"},
+		{"double sign", "+-3", "bad node id"},
+		{"double plus", "+ +3", "bad node id"},
+		{"id overflows int32", "+2147483648", "32-bit node-id space"},
+		{"id overflows int64", "+99999999999999999999", "bad node id"},
+		{"line number reported", "+1\n+2\nx3", "line 3"},
+		{"comments do not shift line numbers", "# c\n\n+1\n+oops", "line 4"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(c.in))
+			if err == nil {
+				t.Fatalf("Read(%q) succeeded", c.in)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("Read(%q) error %q, want it to mention %q", c.in, err, c.wantSub)
+			}
+		})
 	}
 }
 

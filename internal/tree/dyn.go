@@ -60,6 +60,69 @@ func NewDyn(t *Tree) *Dyn {
 	return d
 }
 
+// RestoreDyn reconstructs a dynamic-topology handle from serialized
+// state: snap is the current snapshot (dense ids), stable[g] the stable
+// id of dense node g, and parent/live are indexed by stable id over the
+// full id space (dead ids included — stable ids are never reused, so
+// the dead entries keep NextID stable across a restore). pending is the
+// mutation count carried since the snapshot's rebuild. The function
+// validates the id-space wiring (mapping sizes, live parents, root
+// liveness) but trusts the per-entry values themselves, which the
+// snapshot codec integrity-checks upstream.
+func RestoreDyn(snap *Tree, stable []NodeID, parent []NodeID, live []bool, pending int) (*Dyn, error) {
+	n := snap.Len()
+	ids := len(live)
+	if len(parent) != ids {
+		return nil, fmt.Errorf("tree: restore: parent/live length mismatch (%d vs %d)", len(parent), ids)
+	}
+	if len(stable) != n {
+		return nil, fmt.Errorf("tree: restore: stable map length %d does not match snapshot length %d", len(stable), n)
+	}
+	if pending < 0 {
+		return nil, fmt.Errorf("tree: restore: negative pending count %d", pending)
+	}
+	if ids == 0 || !live[0] {
+		return nil, fmt.Errorf("tree: restore: the root (stable id 0) must be live")
+	}
+	d := &Dyn{
+		snap:    snap,
+		dense:   make([]NodeID, ids),
+		stable:  append([]NodeID(nil), stable...),
+		parent:  append([]NodeID(nil), parent...),
+		live:    append([]bool(nil), live...),
+		kids:    make([]int32, ids),
+		pending: pending,
+	}
+	for v := range d.dense {
+		d.dense[v] = None
+	}
+	for g := 0; g < n; g++ {
+		s := stable[g]
+		if s < 0 || int(s) >= ids {
+			return nil, fmt.Errorf("tree: restore: stable id %d of dense node %d out of range [0,%d)", s, g, ids)
+		}
+		if d.dense[s] != None {
+			return nil, fmt.Errorf("tree: restore: stable id %d mapped to two dense nodes", s)
+		}
+		d.dense[s] = NodeID(g)
+	}
+	for v := 0; v < ids; v++ {
+		if !live[v] {
+			continue
+		}
+		d.nLive++
+		if v == 0 {
+			continue
+		}
+		p := parent[v]
+		if p < 0 || int(p) >= ids || !live[p] {
+			return nil, fmt.Errorf("tree: restore: live node %d has dead or out-of-range parent %d", v, p)
+		}
+		d.kids[p]++
+	}
+	return d, nil
+}
+
 // Snapshot returns the current immutable snapshot.
 func (d *Dyn) Snapshot() *Tree { return d.snap }
 

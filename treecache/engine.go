@@ -1,6 +1,8 @@
 package treecache
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/trace"
@@ -45,7 +47,24 @@ type EngineOptions struct {
 	// Parallelism caps how many shards serve concurrently (0 = one
 	// goroutine per shard, no extra cap).
 	Parallelism int
+	// CheckpointEvery sets the supervision checkpoint cadence in
+	// served messages: each shard snapshots its cache every that many
+	// messages (and at Drain points), journals the messages in
+	// between, and on a panic restores the last checkpoint and replays
+	// the journal — no accepted batch lost or double-served. 0 uses
+	// the queue depth as the cadence; a negative value disables
+	// supervision (a shard panic then propagates and crashes the
+	// process, the pre-supervision behaviour).
+	CheckpointEvery int
 }
+
+// Engine error sentinels: ErrEngineClosed reports a Submit/Drain after
+// Close; ErrEngineOverloaded reports a TrySubmit against a full shard
+// queue (apply backpressure and retry, or drop).
+var (
+	ErrEngineClosed     = engine.ErrClosed
+	ErrEngineOverloaded = engine.ErrOverloaded
+)
 
 // Engine is a goroutine-safe fleet of independent caches — one TC
 // instance per tree/tenant, each confined to its own worker goroutine
@@ -79,11 +98,17 @@ func NewEngine(trees []*Tree, o Options, eo EngineOptions) *Engine {
 			})}
 			return caches[i]
 		},
-		QueueLen:    eo.QueueLen,
-		Parallelism: eo.Parallelism,
+		QueueLen:        eo.QueueLen,
+		Parallelism:     eo.Parallelism,
+		CheckpointEvery: eo.CheckpointEvery,
 	})
 	return &Engine{e: e, caches: caches}
 }
+
+// Supervised reports whether shard i runs under crash supervision
+// (checkpoint + journal replay). Cache is snapshot-capable, so this is
+// true unless EngineOptions.CheckpointEvery was negative.
+func (f *Engine) Supervised(i int) bool { return f.e.Supervised(i) }
 
 // ApplyTopology enqueues rule announce/withdraw mutations for one
 // shard, serialized through the shard's single-writer worker: they
@@ -110,6 +135,20 @@ func (f *Engine) Submit(shard int, reqs ...Request) error {
 // trace is retained until served; do not mutate it before Drain.
 func (f *Engine) SubmitTrace(shard int, tr Trace) error {
 	return f.e.Submit(shard, tr)
+}
+
+// TrySubmit enqueues a batch without blocking: if the shard's queue is
+// full it returns ErrEngineOverloaded immediately — the bounded-
+// backpressure submit for callers that must not stall (drop, shed or
+// retry on their own schedule).
+func (f *Engine) TrySubmit(shard int, reqs ...Request) error {
+	return f.e.TrySubmit(shard, trace.Trace(reqs))
+}
+
+// SubmitCtx enqueues a batch like Submit but gives up when ctx is
+// cancelled or its deadline passes, returning the context's error.
+func (f *Engine) SubmitCtx(ctx context.Context, shard int, tr Trace) error {
+	return f.e.SubmitCtx(ctx, shard, tr)
 }
 
 // SubmitMulti routes a multi-tenant trace across the fleet (tenant i →

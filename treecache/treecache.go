@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/opt"
 	"repro/internal/sim"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 	"repro/internal/tree"
 )
@@ -243,6 +244,36 @@ func (c *Cache) Phases() int64 { return c.tc.Phase() }
 
 // Reset restores the initial state (empty cache, zero cost).
 func (c *Cache) Reset() { c.tc.Reset() }
+
+// ---------------------------------------------------------------------------
+// State snapshot / restore.
+// ---------------------------------------------------------------------------
+
+// Snapshot serializes the cache's full observable state — topology,
+// cached set, per-node counters, cost ledger and phase cursors — into
+// a versioned, checksummed blob. Together with Restore it satisfies
+// the engine's Checkpointer interface, so a fleet built over
+// snapshot-capable caches is supervised (see EngineOptions).
+func (c *Cache) Snapshot() ([]byte, error) { return snapshot.Capture(c.tc) }
+
+// Restore replaces the cache's state with the snapshot's. The
+// instance's α must match the snapshot's; on any error (checksum,
+// truncation, config mismatch) the current state is left untouched.
+func (c *Cache) Restore(data []byte) error { return snapshot.RestoreInto(c.tc, data) }
+
+// VerifySnapshot checks a snapshot's envelope and checksum without
+// restoring it — the supervisor's accept gate for new checkpoints.
+func (c *Cache) VerifySnapshot(data []byte) error { return snapshot.Verify(data) }
+
+// RestoreCache reconstructs a fresh Cache from a snapshot blob: an
+// instance equivalent to the one captured, no trace replay needed.
+func RestoreCache(data []byte) (*Cache, error) {
+	m, err := snapshot.Restore(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{tc: m}, nil
+}
 
 // ---------------------------------------------------------------------------
 // Comparison algorithms and offline optima.
