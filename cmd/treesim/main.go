@@ -16,9 +16,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/opt"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
@@ -75,15 +77,41 @@ func main() {
 		baseline.NewEager(t, baseline.Config{Alpha: *alpha, Capacity: *capacity, Policy: baseline.Rand, Seed: *seed}),
 		baseline.NewNoCache(*alpha),
 	}
-	tb := stats.NewTable("algorithm", "total", "serve", "move", "fetched", "evicted", "maxCache")
-	for _, res := range sim.Compare(algos, input) {
-		tb.AddRow(res.Algorithm, res.Total(), res.Serve, res.Move, res.Fetched, res.Evicted, res.MaxCache)
+	tb := stats.NewTable("algorithm", "total", "serve", "move", "fetched", "evicted", "maxCache", "p50 ns", "p99 ns", "p999 ns")
+	for _, a := range algos {
+		res, lat := runTimed(a, input)
+		tb.AddRow(res.Algorithm, res.Total(), res.Serve, res.Move, res.Fetched, res.Evicted, res.MaxCache,
+			lat.Quantile(0.5), lat.Quantile(0.99), lat.Quantile(0.999))
 	}
 	if *static {
 		st := opt.Static(t, input, *capacity, *alpha)
-		tb.AddRow("Static-OPT", st.Cost, "-", "-", len(st.Set), 0, len(st.Set))
+		tb.AddRow("Static-OPT", st.Cost, "-", "-", len(st.Set), 0, len(st.Set), "-", "-", "-")
 	}
 	tb.Render(os.Stdout)
+}
+
+// runTimed is sim.Run plus wall-clock timing: each Serve call is timed
+// individually into a latency histogram so the table can report true
+// (not amortized) per-request decision-latency quantiles per algorithm.
+func runTimed(a sim.Algorithm, input trace.Trace) (sim.Result, metrics.Histogram) {
+	a.Reset()
+	var lat metrics.Histogram
+	res := sim.Result{Algorithm: a.Name()}
+	for _, req := range input {
+		start := time.Now()
+		a.Serve(req)
+		lat.Record(time.Since(start).Nanoseconds())
+		res.Rounds++
+		if c := a.CacheLen(); c > res.MaxCache {
+			res.MaxCache = c
+		}
+	}
+	led := a.Ledger()
+	res.Serve = led.Serve
+	res.Move = led.Move
+	res.Fetched = led.Fetched
+	res.Evicted = led.Evicted
+	return res, lat
 }
 
 // runSnapshotDrill exercises the crash-restart path on a snapshot-

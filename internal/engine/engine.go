@@ -61,6 +61,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -144,6 +145,13 @@ type Config struct {
 	// messages. 0 selects the default (the queue capacity); a negative
 	// value disables supervision even for Checkpointer algorithms.
 	CheckpointEvery int
+	// RatioMonitors optionally attaches an online competitive-ratio
+	// monitor to shard i (nil entries and missing tail entries mean no
+	// monitor). After each served batch the shard's worker feeds the
+	// monitor the batch and its exact ledger delta; the live ratio is
+	// exported by the /metrics handler. Monitors are goroutine-safe, so
+	// one monitor may be shared across shards serving the same tree.
+	RatioMonitors []*metrics.RatioMonitor
 }
 
 // ShardStats is one shard's published counters: a consistent snapshot
@@ -178,12 +186,20 @@ type ShardStats struct {
 	Checkpoints int64
 	CkptErrs    int64
 	Dropped     int64
+	// Latency is the shard's per-request service-latency histogram:
+	// each served batch records its amortized per-request latency
+	// (batch wall time / batch size) with weight = batch size, so
+	// quantiles are request-weighted without a clock read per request.
+	// Embedded by value: the published snapshot carries a consistent
+	// copy, and recording stays allocation-free in the worker.
+	Latency metrics.Histogram
 }
 
 // Total returns Serve + Move.
 func (s ShardStats) Total() int64 { return s.Serve + s.Move }
 
-// Stats aggregates the fleet: the per-shard snapshots plus their sums.
+// Stats aggregates the fleet: the per-shard snapshots plus their sums,
+// fleet-wide maxima and the merged latency histogram.
 type Stats struct {
 	Shards []ShardStats
 	// Sums over all shards.
@@ -200,6 +216,13 @@ type Stats struct {
 	Checkpoints int64
 	CkptErrs    int64
 	Dropped     int64
+	// Fleet-wide maxima over the per-shard maxima (not sums: a peak
+	// does not add across shards).
+	MaxCache int   // largest per-shard peak cache occupancy
+	MaxBatch int64 // slowest single batch anywhere in the fleet, ns
+	// Latency merges every shard's histogram: the fleet-level
+	// request-latency distribution.
+	Latency metrics.Histogram
 }
 
 // Total returns the fleet-wide Serve + Move.
@@ -237,15 +260,17 @@ type counters struct {
 	restarts, checkpoints, ckptErrs   int64
 	dropped                           int64
 	maxCache                          int
+	lat                               metrics.Histogram
 }
 
 type shard struct {
 	id    int
 	name  string
 	algo  Algorithm
-	batch BatchServer    // non-nil when algo serves batches natively
-	topo  TopologyServer // non-nil when algo accepts topology mutations
-	sup   *supervisor    // non-nil when the shard runs supervised
+	batch BatchServer           // non-nil when algo serves batches natively
+	topo  TopologyServer        // non-nil when algo accepts topology mutations
+	sup   *supervisor           // non-nil when the shard runs supervised
+	ratio *metrics.RatioMonitor // non-nil when a ratio monitor is attached
 	in    chan message
 	done  chan struct{}
 	// pub is the published snapshot: a fresh immutable ShardStats is
@@ -315,6 +340,9 @@ func New(cfg Config) *Engine {
 		}
 		s.batch, _ = algo.(BatchServer)
 		s.topo, _ = algo.(TopologyServer)
+		if i < len(cfg.RatioMonitors) {
+			s.ratio = cfg.RatioMonitors[i]
+		}
 		if ck, ok := algo.(Checkpointer); ok && cfg.CheckpointEvery >= 0 {
 			every := cfg.CheckpointEvery
 			if every == 0 {
@@ -607,6 +635,14 @@ func (e *Engine) Stats() Stats {
 		st.Checkpoints += ss.Checkpoints
 		st.CkptErrs += ss.CkptErrs
 		st.Dropped += ss.Dropped
+		// Maxima aggregate as maxima, not sums.
+		if ss.MaxCache > st.MaxCache {
+			st.MaxCache = ss.MaxCache
+		}
+		if ss.MaxBatch > st.MaxBatch {
+			st.MaxBatch = ss.MaxBatch
+		}
+		st.Latency.Merge(&ss.Latency)
 	}
 	return st
 }
@@ -654,6 +690,10 @@ func (e *Engine) worker(s *shard) {
 		if e.tokens != nil {
 			<-e.tokens
 		}
+		var ratioBase int64
+		if s.ratio != nil {
+			ratioBase = s.algo.Ledger().Total()
+		}
 		start := time.Now()
 		served := e.serveBatch(s, &w, msg)
 		elapsed := time.Since(start).Nanoseconds()
@@ -661,11 +701,18 @@ func (e *Engine) worker(s *shard) {
 			e.tokens <- struct{}{}
 		}
 		if served {
-			w.rounds += int64(len(msg.batch))
+			n := int64(len(msg.batch))
+			w.rounds += n
 			w.batches++
 			w.busyNs += elapsed
 			if elapsed > w.maxBatch {
 				w.maxBatch = elapsed
+			}
+			// Amortized per-request latency, request-weighted: one
+			// histogram update per batch, no per-request clock reads.
+			w.lat.RecordN(elapsed/n, n)
+			if s.ratio != nil {
+				s.ratio.Observe(msg.batch, s.algo.Ledger().Total()-ratioBase)
 			}
 		}
 		if s.sup == nil && msg.box != nil {
@@ -865,5 +912,6 @@ func (s *shard) publish(w *counters) {
 		Checkpoints: w.checkpoints,
 		CkptErrs:    w.ckptErrs,
 		Dropped:     w.dropped,
+		Latency:     w.lat,
 	})
 }

@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Key, Value string
+}
+
+// Writer emits the Prometheus text exposition format (version 0.0.4:
+// "# TYPE" headers, name{label="value"} sample lines). It buffers no
+// state beyond the first write error, which subsequent calls turn into
+// no-ops and Err reports — callers check once after the last sample.
+type Writer struct {
+	w   io.Writer
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err returns the first error any write encountered.
+func (e *Writer) Err() error { return e.err }
+
+func (e *Writer) printf(format string, args ...interface{}) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// Header emits the HELP and TYPE comment lines for a metric family.
+// typ is one of "counter", "gauge", "histogram".
+func (e *Writer) Header(name, typ, help string) {
+	if help != "" {
+		e.printf("# HELP %s %s\n", name, escapeHelp(help))
+	}
+	e.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Sample emits one sample line: name{labels} value.
+func (e *Writer) Sample(name string, labels []Label, value float64) {
+	e.printf("%s%s %s\n", name, formatLabels(labels), formatValue(value))
+}
+
+// Int is Sample for integer-valued counters and gauges (emitted
+// without a float exponent, which keeps the output grep-friendly).
+func (e *Writer) Int(name string, labels []Label, value int64) {
+	e.printf("%s%s %d\n", name, formatLabels(labels), value)
+}
+
+// Histogram emits a full Prometheus histogram family for h under name:
+// a sparse cumulative _bucket{le=...} series (one line per non-empty
+// bucket, each le the bucket's inclusive upper bound, plus le="+Inf"),
+// then _sum and _count. The TYPE header must already have been written
+// by the caller (once per family, ahead of the per-shard series).
+func (e *Writer) Histogram(name string, labels []Label, h *Histogram) {
+	bl := make([]Label, len(labels), len(labels)+1)
+	copy(bl, labels)
+	bl = append(bl, Label{"le", ""})
+	h.Buckets(func(bound, _, cum int64) {
+		bl[len(bl)-1].Value = strconv.FormatInt(bound, 10)
+		e.Int(name+"_bucket", bl, cum)
+	})
+	bl[len(bl)-1].Value = "+Inf"
+	e.Int(name+"_bucket", bl, h.Count())
+	e.Int(name+"_sum", labels, h.Sum())
+	e.Int(name+"_count", labels, h.Count())
+}
+
+// Quantiles emits summary-style gauge samples for the given quantiles
+// (e.g. 0.5, 0.99, 0.999), each labelled quantile="q" on top of the
+// caller's labels. The family TYPE header is the caller's business.
+func (e *Writer) Quantiles(name string, labels []Label, h *Histogram, qs ...float64) {
+	ql := make([]Label, len(labels), len(labels)+1)
+	copy(ql, labels)
+	ql = append(ql, Label{"quantile", ""})
+	for _, q := range qs {
+		ql[len(ql)-1].Value = strconv.FormatFloat(q, 'g', -1, 64)
+		e.Int(name, ql, h.Quantile(q))
+	}
+}
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double-quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a HELP text: backslash and newline only.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

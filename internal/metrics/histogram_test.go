@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestBucketLayout pins the log-linear layout invariants: every int64
+// maps to a valid bucket, bounds are strictly increasing, and each
+// value is <= the bound of its bucket but > the bound of the previous
+// one (buckets partition the value range).
+func TestBucketLayout(t *testing.T) {
+	prev := int64(-1)
+	for i := 0; i < NumBuckets; i++ {
+		b := BucketBound(i)
+		if b <= prev {
+			t.Fatalf("bucket %d bound %d not increasing (prev %d)", i, b, prev)
+		}
+		prev = b
+	}
+	if got := BucketBound(NumBuckets - 1); got != math.MaxInt64 {
+		t.Fatalf("last bucket bound = %d, want MaxInt64", got)
+	}
+	values := []int64{0, 1, 7, 8, 15, 16, 17, 100, 1023, 1024, 1 << 20, 1<<40 + 12345, math.MaxInt64}
+	for _, v := range values {
+		i := bucketIndex(v)
+		if i < 0 || i >= NumBuckets {
+			t.Fatalf("value %d: bucket %d out of range", v, i)
+		}
+		if v > BucketBound(i) {
+			t.Fatalf("value %d above its bucket bound %d (bucket %d)", v, BucketBound(i), i)
+		}
+		if i > 0 && v <= BucketBound(i-1) {
+			t.Fatalf("value %d not above previous bucket bound %d (bucket %d)", v, BucketBound(i-1), i)
+		}
+	}
+	// Relative bucket width stays within the designed 1/subBuckets.
+	for _, v := range []int64{100, 999, 12345, 1 << 30} {
+		i := bucketIndex(v)
+		lo, hi := BucketBound(i-1)+1, BucketBound(i)
+		if width := float64(hi-lo) / float64(lo); width > 1.0/subBuckets {
+			t.Fatalf("value %d: bucket [%d,%d] relative width %.3f > %.3f", v, lo, hi, width, 1.0/subBuckets)
+		}
+	}
+}
+
+// TestHistogramQuantiles cross-checks quantiles against exact
+// nearest-rank over the raw sample within the bucketing error bound.
+func TestHistogramQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	samples := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform latencies between ~10ns and ~10ms.
+		v := int64(math.Exp(rng.Float64()*13.8)) + 10
+		samples = append(samples, v)
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	if h.Count() != int64(len(samples)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(samples))
+	}
+	if h.Min() != samples[0] || h.Max() != samples[len(samples)-1] {
+		t.Fatalf("min/max = %d/%d, want %d/%d", h.Min(), h.Max(), samples[0], samples[len(samples)-1])
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(math.Ceil(q * float64(len(samples))))
+		exact := samples[rank-1]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Fatalf("q=%v: histogram quantile %d below exact %d", q, got, exact)
+		}
+		if float64(got-exact) > float64(exact)/subBuckets+1 {
+			t.Fatalf("q=%v: histogram quantile %d exceeds exact %d beyond bucket error", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramSmall(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must read as zero")
+	}
+	h.Record(5)
+	for _, q := range []float64{0.001, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 5 {
+			t.Fatalf("single sample: q=%v -> %d, want 5", q, got)
+		}
+	}
+	h.RecordN(100, 9)
+	if h.Count() != 10 || h.Sum() != 905 {
+		t.Fatalf("count/sum = %d/%d", h.Count(), h.Sum())
+	}
+	// Nearest rank over {5, 100 x9}: p10 = 5, p50/p99 land on 100's
+	// bucket, clamped to the exact max.
+	if got := h.Quantile(0.1); got != 5 {
+		t.Fatalf("p10 = %d, want 5", got)
+	}
+	if got := h.Quantile(0.99); got != 100 {
+		t.Fatalf("p99 = %d, want 100 (bucket bound clamped to max)", got)
+	}
+	h.RecordN(-3, 1) // clamps to 0
+	if h.Min() != 0 {
+		t.Fatalf("min after negative record = %d, want 0", h.Min())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, both Histogram
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Intn(1 << 20))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		both.Record(v)
+	}
+	a.Merge(&b)
+	if a != both {
+		t.Fatal("merge != recording everything into one histogram")
+	}
+	var empty Histogram
+	empty.Merge(&a)
+	if empty != a {
+		t.Fatal("merge into empty lost state")
+	}
+	a.Merge(&Histogram{}) // merging empty is a no-op
+	if a != both {
+		t.Fatal("merging an empty histogram changed state")
+	}
+}
+
+// TestRecordZeroAlloc pins the zero-allocation record path the engine
+// worker depends on.
+func TestRecordZeroAlloc(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Record(12345)
+		h.RecordN(77, 64)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocated %.1f times, want 0", allocs)
+	}
+}
+
+func TestExpositionWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Header("x_total", "counter", "a counter")
+	w.Int("x_total", []Label{{"shard", "0"}, {"algo", `TC "quoted"\path`}}, 42)
+	w.Header("y", "gauge", "")
+	w.Sample("y", nil, math.Inf(1))
+	var h Histogram
+	h.Record(3)
+	h.RecordN(100, 2)
+	w.Header("lat_ns", "histogram", "latency")
+	w.Histogram("lat_ns", []Label{{"shard", "1"}}, &h)
+	w.Quantiles("lat_q_ns", []Label{{"shard", "1"}}, &h, 0.5, 0.999)
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE x_total counter",
+		`x_total{shard="0",algo="TC \"quoted\"\\path"} 42`,
+		"y +Inf",
+		`lat_ns_bucket{shard="1",le="3"} 1`,
+		`lat_ns_bucket{shard="1",le="+Inf"} 3`,
+		`lat_ns_sum{shard="1"} 203`,
+		`lat_ns_count{shard="1"} 3`,
+		`lat_q_ns{shard="1",quantile="0.5"}`,
+		`lat_q_ns{shard="1",quantile="0.999"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts must be non-decreasing per series.
+	var last int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "lat_ns_bucket") {
+			continue
+		}
+		v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("cumulative bucket count decreased: %q after %d", line, last)
+		}
+		last = v
+	}
+}

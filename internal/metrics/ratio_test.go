@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/opt"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// TestRatioMonitorExact feeds a real TC serve loop through an
+// exact-DP monitor and cross-checks the final window's gauge against
+// an independently computed ratio on the same slice.
+func TestRatioMonitorExact(t *testing.T) {
+	tr := tree.CompleteKary(15, 2)
+	const alpha, capacity = 4, 5
+	tc := core.New(tr, core.Config{Alpha: alpha, Capacity: capacity})
+	m := NewRatioMonitor(RatioConfig{Tree: tr, Alpha: alpha, Capacity: capacity, Window: 200, Exact: true})
+
+	rng := rand.New(rand.NewSource(11))
+	input := trace.RandomMixed(rng, tr, 400)
+	feed := func(window trace.Trace) int64 {
+		var cost int64
+		for _, req := range window {
+			s, mv := tc.Serve(req)
+			cost += s + mv
+		}
+		m.Observe(window, cost)
+		return cost
+	}
+	feed(input[:200])
+	if w := m.Windows(); w != 1 {
+		t.Fatalf("windows = %d, want 1 after exactly one full window", w)
+	}
+	cost2 := feed(input[200:])
+	if w := m.Windows(); w != 2 {
+		t.Fatalf("windows = %d, want 2", w)
+	}
+	ratio, ok := m.Ratio()
+	if !ok {
+		t.Fatal("no ratio after two windows")
+	}
+	wantOpt := opt.Exact(tr, input[200:], capacity, alpha).Cost
+	if wantOpt <= 0 {
+		t.Fatalf("degenerate window: opt = %d", wantOpt)
+	}
+	want := float64(cost2) / float64(wantOpt)
+	if ratio != want {
+		t.Fatalf("ratio = %v, want %v", ratio, want)
+	}
+	if m.Worst() < ratio {
+		t.Fatalf("worst %v < latest %v", m.Worst(), ratio)
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("pending = %d after aligned windows", m.Pending())
+	}
+}
+
+// TestRatioMonitorStatic exercises the scalable best-static yardstick
+// on a tree far beyond the exact DP's reach, plus Flush on a partial
+// window.
+func TestRatioMonitorStatic(t *testing.T) {
+	tr := tree.CompleteKary(1023, 2)
+	const alpha, capacity = 8, 128
+	tc := core.New(tr, core.Config{Alpha: alpha, Capacity: capacity})
+	m := NewRatioMonitor(RatioConfig{Tree: tr, Alpha: alpha, Capacity: capacity, Window: 1024})
+
+	rng := rand.New(rand.NewSource(12))
+	input := trace.RandomMixed(rng, tr, 1500)
+	var cost int64
+	for _, req := range input {
+		s, mv := tc.Serve(req)
+		cost += s + mv
+	}
+	m.Observe(input, cost) // one oversized batch: evaluates immediately
+	if w := m.Windows(); w != 1 {
+		t.Fatalf("windows = %d, want 1 (batch overshoot evaluates)", w)
+	}
+	ratio, ok := m.Ratio()
+	if !ok || ratio <= 0 {
+		t.Fatalf("ratio = %v ok=%v", ratio, ok)
+	}
+
+	// Partial window: nothing until Flush.
+	m.Observe(input[:100], 40)
+	if w := m.Windows(); w != 1 {
+		t.Fatalf("partial window evaluated early (windows=%d)", w)
+	}
+	if m.Pending() != 100 {
+		t.Fatalf("pending = %d, want 100", m.Pending())
+	}
+	m.Flush()
+	if w := m.Windows(); w != 2 {
+		t.Fatalf("windows after Flush = %d, want 2", w)
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("pending after Flush = %d", m.Pending())
+	}
+}
+
+func TestRatioMonitorValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"nil tree":      func() { NewRatioMonitor(RatioConfig{}) },
+		"exact too big": func() { NewRatioMonitor(RatioConfig{Tree: tree.Path(64), Exact: true}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: invalid config accepted", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -78,9 +78,19 @@ func Summarize(xs []float64) Summary {
 	for _, x := range s {
 		sum += x
 	}
+	// Nearest-rank (ceil) quantile: the smallest element with at least
+	// a p fraction of the sample at or below it. The previous floor
+	// index biased small-sample quantiles low (N=10 P99 returned the
+	// 9th of 10 values instead of the maximum).
 	q := func(p float64) float64 {
-		i := int(p * float64(len(s)-1))
-		return s[i]
+		rank := int(math.Ceil(p * float64(len(s))))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(s) {
+			rank = len(s)
+		}
+		return s[rank-1]
 	}
 	return Summary{
 		N:    len(s),
@@ -148,10 +158,30 @@ func (t *Table) Render(w io.Writer) {
 	}
 }
 
-// CSV writes the table as comma-separated values.
+// CSV writes the table as RFC-4180 comma-separated values: cells
+// containing a comma, double quote, CR or LF are quoted, with embedded
+// quotes doubled (plain cell joins corrupted rows whenever an
+// algorithm name or bench label carried a comma).
 func (t *Table) CSV(w io.Writer) {
-	fmt.Fprintln(w, strings.Join(t.header, ","))
-	for _, r := range t.rows {
-		fmt.Fprintln(w, strings.Join(r, ","))
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				io.WriteString(w, ",")
+			}
+			io.WriteString(w, csvEscape(c))
+		}
+		io.WriteString(w, "\n")
 	}
+	writeRow(t.header)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+}
+
+// csvEscape quotes one CSV cell per RFC 4180 when needed.
+func csvEscape(c string) string {
+	if !strings.ContainsAny(c, ",\"\r\n") {
+		return c
+	}
+	return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
 }

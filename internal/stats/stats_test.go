@@ -2,6 +2,8 @@ package stats
 
 import (
 	"bytes"
+	"encoding/csv"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -84,6 +86,52 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// TestSummarizeNearestRank pins the quantile definition on small
+// samples with exact expected values: nearest rank (ceil), so the
+// p-quantile is the ceil(p*N)-th smallest element. The old floor index
+// biased every quantile low — on N=10, P99 returned the 9th of 10
+// values instead of the maximum.
+func TestSummarizeNearestRank(t *testing.T) {
+	seq := func(n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i + 1) // sorted 1..n: value = rank
+		}
+		return xs
+	}
+	cases := []struct {
+		name          string
+		xs            []float64
+		p50, p90, p99 float64
+	}{
+		// N=10: P99 must hit the maximum (rank ceil(9.9)=10).
+		{"n=10", seq(10), 5, 9, 10},
+		// N=1: every quantile is the single element.
+		{"n=1", []float64{7}, 7, 7, 7},
+		// N=2: P50 is the lower element (rank ceil(1)=1), the rest the max.
+		{"n=2", []float64{10, 20}, 10, 20, 20},
+		// N=4: P50 rank ceil(2)=2, P90 rank ceil(3.6)=4.
+		{"n=4", seq(4), 2, 4, 4},
+		// N=5 odd: P50 is the true median (rank ceil(2.5)=3).
+		{"n=5", seq(5), 3, 5, 5},
+		// N=100: P50=50th, P90=90th, P99=99th value.
+		{"n=100", seq(100), 50, 90, 99},
+		// N=200: P99 rank ceil(198)=198.
+		{"n=200", seq(200), 100, 180, 198},
+		// Unsorted input must not matter.
+		{"unsorted", []float64{3, 1, 2}, 2, 3, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := Summarize(c.xs)
+			if s.P50 != c.p50 || s.P90 != c.p90 || s.P99 != c.p99 {
+				t.Fatalf("quantiles (%v, %v, %v), want (%v, %v, %v)",
+					s.P50, s.P90, s.P99, c.p50, c.p90, c.p99)
+			}
+		})
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tb := NewTable("name", "value")
 	tb.AddRow("alpha", 1.5)
@@ -102,5 +150,41 @@ func TestTableRender(t *testing.T) {
 	tb.CSV(&csv)
 	if !strings.HasPrefix(csv.String(), "name,value\n") {
 		t.Fatalf("csv output:\n%s", csv.String())
+	}
+}
+
+// TestCSVEscaping pins RFC-4180 quoting: cells with commas, quotes or
+// newlines must round-trip through a standards-compliant reader
+// (encoding/csv) cell-for-cell. Unescaped joining corrupted any row
+// whose algorithm name or bench label contained a comma.
+func TestCSVEscaping(t *testing.T) {
+	tb := NewTable("algorithm", "label", "value")
+	rows := [][]interface{}{
+		{"TC", "plain", 1},
+		{"Eager-LRU,evict-on-update", "commas,everywhere", 2},
+		{`quoted "name"`, `mix, of "both"`, 3},
+		{"multi\nline", "trailing,", 4},
+	}
+	for _, r := range rows {
+		tb.AddRow(r...)
+	}
+	var buf bytes.Buffer
+	tb.CSV(&buf)
+
+	rd := csv.NewReader(&buf)
+	records, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v", err)
+	}
+	if len(records) != 1+len(rows) {
+		t.Fatalf("parsed %d records, want %d", len(records), 1+len(rows))
+	}
+	for i, r := range rows {
+		for j, cell := range r {
+			want := fmt.Sprintf("%v", cell)
+			if got := records[i+1][j]; got != want {
+				t.Fatalf("row %d col %d: round-tripped %q, want %q", i, j, got, want)
+			}
+		}
 	}
 }

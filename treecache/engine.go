@@ -2,9 +2,12 @@ package treecache
 
 import (
 	"context"
+	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/opt"
 	"repro/internal/trace"
 )
 
@@ -38,6 +41,20 @@ type EngineStats = engine.Stats
 // ShardStats is one shard's snapshot; see internal/engine.ShardStats.
 type ShardStats = engine.ShardStats
 
+// LatencyHistogram is a zero-allocation fixed-bucket (log-linear)
+// latency histogram; see internal/metrics.Histogram. Each shard
+// records its amortized per-request service latency into one,
+// published with every stats snapshot; query quantiles with
+// Quantile(0.5), Quantile(0.99), Quantile(0.999).
+type LatencyHistogram = metrics.Histogram
+
+// RatioMonitor is the online competitive-ratio monitor: it streams the
+// cost ledger against the offline optimum (internal/opt) on sliding
+// windows and exposes the live ratio — the paper's guarantee as an SLO
+// gauge. See internal/metrics.RatioMonitor for the windowed-estimate
+// caveat.
+type RatioMonitor = metrics.RatioMonitor
+
 // EngineOptions tunes the sharded serving engine beyond the per-shard
 // algorithm options.
 type EngineOptions struct {
@@ -56,6 +73,17 @@ type EngineOptions struct {
 	// supervision (a shard panic then propagates and crashes the
 	// process, the pre-supervision behaviour).
 	CheckpointEvery int
+	// RatioWindow, when > 0, attaches an online competitive-ratio
+	// monitor to every shard: each monitor accumulates the shard's
+	// request stream plus exact cost ledger deltas and, every
+	// RatioWindow requests, computes the offline optimum of the window
+	// (the exact DP for trees small enough for it, the best-static
+	// knapsack otherwise) and updates the live ratio gauge exported by
+	// MetricsHandler. Monitoring assumes a static topology: after
+	// ApplyTopology mutations the monitor's tree snapshot goes stale
+	// and its windows turn into approximations against the original
+	// tree.
+	RatioWindow int
 }
 
 // Engine error sentinels: ErrEngineClosed reports a Submit/Drain after
@@ -90,6 +118,19 @@ type Engine struct {
 // workers with proper happens-before edges (the token channel).
 func NewEngine(trees []*Tree, o Options, eo EngineOptions) *Engine {
 	caches := make([]*Cache, len(trees))
+	var monitors []*metrics.RatioMonitor
+	if eo.RatioWindow > 0 {
+		monitors = make([]*metrics.RatioMonitor, len(trees))
+		for i, t := range trees {
+			monitors[i] = metrics.NewRatioMonitor(metrics.RatioConfig{
+				Tree:     t,
+				Alpha:    o.Alpha,
+				Capacity: o.Capacity,
+				Window:   eo.RatioWindow,
+				Exact:    t.Len() <= opt.MaxExactNodes,
+			})
+		}
+	}
 	e := engine.New(engine.Config{
 		Shards: len(trees),
 		NewShard: func(i int) engine.Algorithm {
@@ -101,6 +142,7 @@ func NewEngine(trees []*Tree, o Options, eo EngineOptions) *Engine {
 		QueueLen:        eo.QueueLen,
 		Parallelism:     eo.Parallelism,
 		CheckpointEvery: eo.CheckpointEvery,
+		RatioMonitors:   monitors,
 	})
 	return &Engine{e: e, caches: caches}
 }
@@ -162,6 +204,25 @@ func (f *Engine) Drain() { f.e.Drain() }
 
 // Stats snapshots the fleet counters; exact after Drain.
 func (f *Engine) Stats() EngineStats { return f.e.Stats() }
+
+// Histogram returns a copy of shard i's request-latency histogram as
+// of its last completed batch (zero-valued before the first batch).
+func (f *Engine) Histogram(i int) LatencyHistogram { return f.e.Histogram(i) }
+
+// RatioMonitor returns shard i's competitive-ratio monitor, or nil
+// when EngineOptions.RatioWindow was 0.
+func (f *Engine) RatioMonitor(i int) *RatioMonitor { return f.e.RatioMonitor(i) }
+
+// MetricsHandler returns the Prometheus text-format /metrics endpoint:
+// per-shard latency histograms with p50/p99/p999 quantile series, cost
+// and throughput counters, queue-depth/topology/restart gauges, and
+// the live competitive-ratio gauges when monitors are attached. Safe
+// for concurrent use, including against Submit/ApplyTopology/Close.
+func (f *Engine) MetricsHandler() http.Handler { return f.e.MetricsHandler() }
+
+// MetricsMux returns a ServeMux serving /metrics and /healthz (200
+// while open, 503 after Close), ready for a serving daemon to mount.
+func (f *Engine) MetricsMux() *http.ServeMux { return f.e.MetricsMux() }
 
 // Close serves all queued batches and stops the workers. It must not
 // race with Submit or Drain.
