@@ -1,0 +1,34 @@
+GO  ?= go
+BIN ?= bin
+
+.PHONY: build test race e2e bench-smoke clean
+
+# build compiles every package and drops the binaries (treecached
+# daemon, treesim replayer/driver, experiments harness) into $(BIN).
+build:
+	$(GO) build ./...
+	mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/ ./cmd/treecached ./cmd/treesim ./cmd/experiments
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# e2e runs the binary-level SIGTERM-restart parity drill: boot
+# treecached with a state dir, replay half a workload over loopback
+# TCP, drain on SIGTERM, restart from the checkpoint, replay the rest,
+# and verify the cumulative served-cost ledger matches an
+# uninterrupted local run (see scripts/e2e_drill.sh).
+e2e: build
+	scripts/e2e_drill.sh $(BIN)
+
+# bench-smoke pins the benchmark grids at a fixed small iteration
+# count so the bench code cannot rot; real perf deltas come from
+# `experiments -bench-compare old.json new.json`.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkTC|BenchmarkEngineFleet|BenchmarkEngineBurst|BenchmarkDaemonLoopback' -benchtime 100x -benchmem .
+
+clean:
+	rm -rf $(BIN)

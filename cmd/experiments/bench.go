@@ -92,6 +92,21 @@ func runBurstBench(c experiments.BurstBenchCase) benchResult {
 	}
 }
 
+// runDaemonBench measures one cell of the treecached loopback grid
+// (body shared with the repo-root BenchmarkDaemonLoopback): ns/op is
+// per request driven by real wire clients through an in-process
+// daemon over loopback TCP, served and acknowledged.
+func runDaemonBench(c experiments.DaemonBenchCase) benchResult {
+	r := testing.Benchmark(func(b *testing.B) { experiments.DaemonLoopbackBench(b, c) })
+	return benchResult{
+		Name:        c.Name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
 func runBenchCase(c experiments.BenchCase) benchResult {
 	t := c.Build()
 	rng := rand.New(rand.NewSource(1))
@@ -136,7 +151,8 @@ func emitBenchJSON(path string, asBaseline bool) error {
 	burstCases := experiments.BurstBenchCases()
 	churnCases := append(experiments.ChurnBenchCases(), experiments.EngineChurnCases()...)
 	engineCases := append(experiments.EngineBenchCases(), experiments.EngineBurstCases()...)
-	results := make([]benchResult, 0, len(cases)+len(burstCases)+len(churnCases)+len(engineCases))
+	daemonCases := experiments.DaemonBenchCases()
+	results := make([]benchResult, 0, len(cases)+len(burstCases)+len(churnCases)+len(engineCases)+len(daemonCases))
 	for _, c := range cases {
 		fmt.Fprintf(os.Stderr, "bench %s...\n", c.Name)
 		results = append(results, runBenchCase(c))
@@ -152,6 +168,10 @@ func emitBenchJSON(path string, asBaseline bool) error {
 	for _, c := range engineCases {
 		fmt.Fprintf(os.Stderr, "bench %s...\n", c.Name)
 		results = append(results, runEngineBench(c))
+	}
+	for _, c := range daemonCases {
+		fmt.Fprintf(os.Stderr, "bench %s...\n", c.Name)
+		results = append(results, runDaemonBench(c))
 	}
 	file.GeneratedBy = "cmd/experiments -bench-json"
 	file.GoVersion = runtime.Version()

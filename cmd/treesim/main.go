@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/opt"
@@ -45,6 +46,12 @@ func main() {
 		snapOut  = flag.String("snapshot-out", "", "crash-restart drill: dump the TC state to this file mid-run and verify a restart from it matches the uninterrupted run")
 		snapAt   = flag.Int("snapshot-at", 0, "round at which -snapshot-out captures (default: half the workload)")
 		snapIn   = flag.String("snapshot-in", "", "resume from a snapshot file: skip the rounds it already served, serve the rest, compare against a fresh uninterrupted run (pass the same workload flags)")
+
+		remote       = flag.String("remote", "", "replay the workload against a treecached daemon at this address instead of locally, then verify its served ledger against a local sequential run (the daemon must be configured with the same tree/alpha/capacity)")
+		remoteFrom   = flag.Int("remote-from", 0, "with -remote: skip the first N rounds, assuming the daemon already served them before a restart; the parity check covers rounds [0, -remote-to)")
+		remoteTo     = flag.Int("remote-to", 0, "with -remote: stop after round N (default: whole workload) — run 1 of a kill/restart drill serves [0,N), run 2 passes -remote-from N")
+		remoteBatch  = flag.Int("remote-batch", 64, "with -remote: requests per wire batch")
+		remoteTenant = flag.Int("remote-tenant", 0, "with -remote: tenant id to replay as")
 	)
 	flag.Parse()
 
@@ -60,6 +67,14 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("tree: %v  alpha: %d  capacity: %d  requests: %d\n\n", t, *alpha, *capacity, len(input))
+
+	if *remote != "" {
+		if err := runRemote(t, input, *alpha, *capacity, *remote, *remoteFrom, *remoteTo, *remoteBatch, *remoteTenant); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *snapOut != "" || *snapIn != "" {
 		if err := runSnapshotDrill(t, input, *alpha, *capacity, *snapOut, *snapIn, *snapAt); err != nil {
@@ -112,6 +127,76 @@ func runTimed(a sim.Algorithm, input trace.Trace) (sim.Result, metrics.Histogram
 	res.Fetched = led.Fetched
 	res.Evicted = led.Evicted
 	return res, lat
+}
+
+// runRemote replays the workload slice input[from:to) against a
+// running treecached daemon over its wire protocol, then fetches the
+// daemon's cumulative served ledger and compares it cost-for-cost
+// against a local sequential replay of input[:to) — the daemon is
+// expected to have served [0, from) already (in a previous process
+// life) and nothing beyond to.
+//
+// Together the bounds form the SIGTERM-restart parity drill: run 1
+// passes -remote-to N and serves [0, N), the daemon is killed and
+// restarted from its checkpoint, run 2 passes -remote-from N for the
+// remainder, and each run's ledger must equal the uninterrupted local
+// run's prefix — proving the drain checkpoint lost nothing and the
+// restored sequence table deduplicated nothing it shouldn't have.
+func runRemote(t *tree.Tree, input trace.Trace, alpha int64, capacity int, addr string, from, to, batchSize, tenant int) error {
+	if to <= 0 || to > len(input) {
+		to = len(input)
+	}
+	if from < 0 || from > to {
+		return fmt.Errorf("treesim: -remote-from %d out of range [0,%d]", from, to)
+	}
+	input = input[:to]
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	cl := client.New(client.Config{Addr: addr})
+	defer cl.Close()
+	// Pick sequence numbering up where the previous process (if any)
+	// left off; a fresh daemon reports LastSeq 0.
+	if err := cl.Resume(tenant); err != nil {
+		return fmt.Errorf("treesim: resume: %w", err)
+	}
+	sent := 0
+	for lo := from; lo < len(input); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(input) {
+			hi = len(input)
+		}
+		if err := cl.Serve(tenant, input[lo:hi]); err != nil {
+			return fmt.Errorf("treesim: batch at round %d: %w", lo, err)
+		}
+		sent += hi - lo
+	}
+	// Checkpoint so a follow-up run (or a kill -9) starts from here.
+	// This fails only when the daemon has no -state-dir; the parity
+	// check below is still valid then.
+	if err := cl.Snapshot(); err != nil {
+		fmt.Fprintf(os.Stderr, "treesim: snapshot skipped: %v\n", err)
+	}
+	reply, err := cl.Stats(tenant)
+	if err != nil {
+		return fmt.Errorf("treesim: stats: %w", err)
+	}
+	fmt.Printf("remote: sent %d rounds to %s (from round %d); daemon ledger: rounds=%d total=%d serve=%d move=%d restarts=%d dropped=%d\n",
+		sent, addr, from, reply.Rounds, reply.Total(), reply.Serve, reply.Move, reply.Restarts, reply.Dropped)
+
+	oracle := core.NewMutable(t, core.MutableConfig{Config: core.Config{Alpha: alpha, Capacity: capacity}})
+	for _, r := range input {
+		oracle.Serve(r)
+	}
+	led := oracle.Ledger()
+	fmt.Printf("local:  uninterrupted ledger: rounds=%d total=%d serve=%d move=%d\n",
+		oracle.Round(), led.Total(), led.Serve, led.Move)
+	if reply.Rounds != oracle.Round() || reply.Serve != led.Serve || reply.Move != led.Move ||
+		reply.Fetched != led.Fetched || reply.Evicted != led.Evicted {
+		return fmt.Errorf("treesim: remote parity FAILED: daemon ledger diverged from the local sequential run")
+	}
+	fmt.Println("remote parity: daemon ledger matches the local sequential run")
+	return nil
 }
 
 // runSnapshotDrill exercises the crash-restart path on a snapshot-

@@ -1,0 +1,347 @@
+// Package client is the Go client for treecached's wire protocol
+// (internal/wire). It owns the retry discipline the server's
+// robustness model assumes:
+//
+//   - Idempotent re-submission: every serve batch and topology message
+//     carries a per-tenant gapless sequence number, assigned once and
+//     retransmitted verbatim on every retry. The sequence advances
+//     only on acknowledgement, so a retry after a lost ack — or across
+//     a daemon restart — is deduplicated server-side (Dup acks count
+//     as success).
+//   - Explicit backpressure: a TRetry reply (shard queue full, quota
+//     exhausted, daemon draining) sleeps for the server's retry-after
+//     hint or the client's own capped exponential backoff with jitter,
+//     whichever is longer, then retransmits.
+//   - Connection failures: a broken or killed connection is redialed
+//     under the same capped backoff; the in-flight request is
+//     retransmitted with its original sequence number.
+//
+// A Client is safe for use by one goroutine at a time (one request in
+// flight); run one Client per concurrent stream. BreakConn may be
+// called concurrently — it exists so tests can sever the connection
+// mid-run and watch recovery.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Config parameterises a Client.
+type Config struct {
+	// Addr is the daemon's wire address.
+	Addr string
+	// Timeout is the per-request budget: sent to the server as the
+	// frame deadline (bounding its submit wait) and used to bound each
+	// network read/write. Default 5s.
+	Timeout time.Duration
+	// MaxAttempts bounds how many times one request is tried before
+	// the client gives up (default 64; each backpressure shed,
+	// connection failure, or redial consumes one attempt).
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff shape the capped exponential backoff
+	// between attempts. Defaults 2ms and 250ms.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed fixes the jitter source for reproducible tests; 0 seeds
+	// from the clock.
+	Seed int64
+}
+
+// Client is one connection-at-a-time wire client. New never dials; the
+// first request does.
+type Client struct {
+	cfg Config
+	rng *rand.Rand
+
+	// seq holds each tenant's last acknowledged sequence number; the
+	// next message uses seq[tenant]+1 and the entry advances only on
+	// ack.
+	seq map[int]uint64
+
+	mu   sync.Mutex // guards conn against concurrent BreakConn
+	conn net.Conn
+
+	retries atomic.Int64
+}
+
+// Retries reports how many retryable failures (backpressure sheds,
+// connection errors, redials) this client has recovered from — tests
+// use it to prove a fault drill actually exercised the retry path.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// New builds a client; it does not connect until the first request.
+func New(cfg Config) *Client {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 64
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 2 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 250 * time.Millisecond
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Client{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(seed)),
+		seq: make(map[int]uint64),
+	}
+}
+
+// Close tears the connection down. The client is reusable afterwards
+// (the next request redials) — use BreakConn in tests to make that
+// explicit.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// BreakConn severs the current connection mid-flight, simulating a
+// network failure: the in-flight request errors and the retry loop
+// redials. Safe to call from another goroutine; a no-op when idle.
+func (c *Client) BreakConn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Serve submits one batch for the tenant and blocks until it is
+// acknowledged (possibly as a duplicate after retries) or the attempt
+// budget runs out.
+func (c *Client) Serve(tenant int, batch trace.Trace) error {
+	seq := c.seq[tenant] + 1
+	m := wire.Serve{Tenant: tenant, Seq: seq, DeadlineNs: int64(c.cfg.Timeout), Batch: batch}
+	if err := c.submit(wire.TServe, m.Encode(), seq); err != nil {
+		return err
+	}
+	c.seq[tenant] = seq
+	return nil
+}
+
+// ApplyTopology submits topology mutations for the tenant through the
+// same sequenced, idempotent path as serve batches.
+func (c *Client) ApplyTopology(tenant int, muts []trace.Mutation) error {
+	seq := c.seq[tenant] + 1
+	m := wire.Topo{Tenant: tenant, Seq: seq, DeadlineNs: int64(c.cfg.Timeout), Muts: muts}
+	if err := c.submit(wire.TTopo, m.Encode(), seq); err != nil {
+		return err
+	}
+	c.seq[tenant] = seq
+	return nil
+}
+
+// Resume aligns the client's sequence counter for the tenant with the
+// server's persisted one. A fresh client process taking over a
+// tenant's stream (e.g. after its predecessor died or the daemon was
+// restarted from a checkpoint) must call this before its first
+// sequenced request, or its batch numbering would collide with the
+// predecessor's and be deduplicated away.
+func (c *Client) Resume(tenant int) error {
+	reply, err := c.Stats(tenant)
+	if err != nil {
+		return err
+	}
+	c.seq[tenant] = reply.LastSeq
+	return nil
+}
+
+// Stats fetches the tenant's cumulative served-cost ledger. Reads are
+// not sequenced (they mutate nothing), but they ride the same retry
+// loop, so a stats poll survives a daemon restart.
+func (c *Client) Stats(tenant int) (wire.StatsReply, error) {
+	var reply wire.StatsReply
+	err := c.retry(func() (bool, error) {
+		f, err := c.roundTrip(wire.TStats, wire.StatsReq{Tenant: tenant}.Encode())
+		if err != nil {
+			return true, err // io: redial and retry
+		}
+		switch f.Type {
+		case wire.TStatsReply:
+			reply, err = wire.DecodeStatsReply(f.Payload)
+			return false, err
+		case wire.TRetry:
+			return true, errBackpressure(f)
+		default:
+			return false, replyError(f)
+		}
+	})
+	return reply, err
+}
+
+// Snapshot asks the daemon to checkpoint all shards to its state
+// directory now.
+func (c *Client) Snapshot() error {
+	return c.retry(func() (bool, error) {
+		f, err := c.roundTrip(wire.TSnapshot, nil)
+		if err != nil {
+			return true, err
+		}
+		switch f.Type {
+		case wire.TAck:
+			return false, nil
+		case wire.TRetry:
+			return true, errBackpressure(f)
+		default:
+			return false, replyError(f)
+		}
+	})
+}
+
+// submit drives one sequenced message to acknowledgement: the same
+// encoded payload (same sequence number) is retransmitted on every
+// retry, and a Dup ack is success.
+func (c *Client) submit(t wire.Type, payload []byte, seq uint64) error {
+	return c.retry(func() (bool, error) {
+		f, err := c.roundTrip(t, payload)
+		if err != nil {
+			return true, err
+		}
+		switch f.Type {
+		case wire.TAck:
+			ack, err := wire.DecodeAck(f.Payload)
+			if err != nil {
+				return false, err
+			}
+			if !ack.Dup && ack.Seq != seq {
+				return false, fmt.Errorf("client: ack for seq %d, sent %d", ack.Seq, seq)
+			}
+			return false, nil
+		case wire.TRetry:
+			return true, errBackpressure(f)
+		default:
+			return false, replyError(f)
+		}
+	})
+}
+
+// retryAfterError carries the server's backoff hint through the retry
+// loop.
+type retryAfterError struct{ after time.Duration }
+
+func (e retryAfterError) Error() string {
+	return fmt.Sprintf("client: server busy, retry after %v", e.after)
+}
+
+func errBackpressure(f wire.Frame) error {
+	r, err := wire.DecodeRetry(f.Payload)
+	if err != nil {
+		return err
+	}
+	return retryAfterError{after: time.Duration(r.AfterNs)}
+}
+
+// replyError turns a terminal reply frame into an error.
+func replyError(f wire.Frame) error {
+	if f.Type == wire.TError {
+		if em, err := wire.DecodeErrMsg(f.Payload); err == nil {
+			return errors.New(em.Msg)
+		}
+	}
+	return fmt.Errorf("client: unexpected reply frame type %d", f.Type)
+}
+
+// retry runs op until it succeeds, fails terminally, or the attempt
+// budget runs out. op returns (retryable, err); retryable errors close
+// the connection when they came from I/O and sleep the backoff (or the
+// server's hint, if longer) before the next attempt.
+func (c *Client) retry(op func() (bool, error)) error {
+	backoff := c.cfg.BaseBackoff
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		retryable, err := op()
+		if err == nil {
+			return nil
+		}
+		if !retryable {
+			return err
+		}
+		lastErr = err
+		c.retries.Add(1)
+		// Jittered sleep: half the current backoff plus a random half,
+		// so synchronized clients desynchronize; a server hint sets the
+		// floor.
+		sleep := backoff/2 + time.Duration(c.rng.Int63n(int64(backoff/2)+1))
+		var ra retryAfterError
+		if errors.As(err, &ra) && ra.after > sleep {
+			sleep = ra.after
+		}
+		time.Sleep(sleep)
+		if backoff *= 2; backoff > c.cfg.MaxBackoff {
+			backoff = c.cfg.MaxBackoff
+		}
+	}
+	return fmt.Errorf("client: gave up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// roundTrip sends one frame and reads one reply over the current
+// connection, dialing first if needed. Any I/O failure closes the
+// connection so the next attempt redials.
+func (c *Client) roundTrip(t wire.Type, payload []byte) (wire.Frame, error) {
+	conn, err := c.dial()
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	deadline := time.Now().Add(c.cfg.Timeout)
+	conn.SetWriteDeadline(deadline)
+	if err := wire.WriteFrame(conn, t, payload); err != nil {
+		c.dropConn(conn)
+		return wire.Frame{}, err
+	}
+	conn.SetReadDeadline(deadline)
+	f, err := wire.ReadFrame(conn, wire.DefaultMaxPayload)
+	if err != nil {
+		c.dropConn(conn)
+		return wire.Frame{}, err
+	}
+	return f, nil
+}
+
+// dial returns the live connection, establishing one if needed.
+func (c *Client) dial() (net.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		return c.conn, nil
+	}
+	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	c.conn = conn
+	return conn, nil
+}
+
+// dropConn closes conn and forgets it if it is still current (a
+// concurrent BreakConn may already have replaced it with nil).
+func (c *Client) dropConn(conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	conn.Close()
+	if c.conn == conn {
+		c.conn = nil
+	}
+}

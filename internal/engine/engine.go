@@ -292,6 +292,11 @@ type Engine struct {
 	// shard channels, so a send can never hit a closed channel.
 	mu     sync.RWMutex
 	closed bool
+	// notReady inverts the readiness gate so the zero value is ready:
+	// an in-process engine is serving as soon as New returns. A daemon
+	// wrapping the engine flips it while restoring state at startup and
+	// again when graceful drain begins, which is what /readyz reports.
+	notReady atomic.Bool
 }
 
 // ErrClosed is returned by submissions after (or racing) Close.
@@ -361,6 +366,24 @@ func New(cfg Config) *Engine {
 
 // Shards returns the number of shards.
 func (e *Engine) Shards() int { return len(e.shards) }
+
+// SetReady flips the readiness gate reported by Ready and the /readyz
+// endpoint. Engines start ready; a wrapping daemon marks itself not
+// ready while restoring persisted state and when graceful drain
+// begins, so load balancers stop routing before the listener goes
+// away. Readiness is advisory: it never blocks submissions.
+func (e *Engine) SetReady(ready bool) { e.notReady.Store(!ready) }
+
+// Ready reports whether the engine is accepting traffic: readiness has
+// not been withdrawn via SetReady and Close has not begun.
+func (e *Engine) Ready() bool {
+	if e.notReady.Load() {
+		return false
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return !e.closed
+}
 
 // Supervised reports whether shard i runs under panic supervision.
 func (e *Engine) Supervised(i int) bool { return e.shards[i].sup != nil }

@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
+	"sync"
 	"testing"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/tree"
 )
@@ -354,4 +358,106 @@ func EngineFleetBench(b *testing.B, c EngineBenchCase) {
 		}
 	}
 	e.Drain()
+}
+
+// DaemonBenchCase is one cell of the treecached loopback grid: the
+// full client→daemon round trip (frame encode, TCP, decode, sequenced
+// admission, engine dispatch, serve, ack) over 127.0.0.1, with one
+// tenant shard per concurrent client.
+type DaemonBenchCase struct {
+	Name    string
+	Clients int
+	Batch   int
+}
+
+// DaemonBenchCases returns the canonical daemon grid, shared by the
+// repo-root BenchmarkDaemonLoopback and the cmd/experiments
+// -bench-json recorder. Comparing clients=4 against clients=1 shows
+// how much of the fleet's shard parallelism survives the wire.
+func DaemonBenchCases() []DaemonBenchCase {
+	return []DaemonBenchCase{
+		{"DaemonLoopback/clients=1", 1, 1024},
+		{"DaemonLoopback/clients=4", 4, 1024},
+	}
+}
+
+// DaemonLoopbackBench boots an in-process server on an ephemeral
+// loopback port (no persistence, no quota, supervision checkpoints
+// off so the cell isolates the wire+dispatch path) and drives b.N
+// total requests through real wire clients, one goroutine per tenant,
+// in pre-chunked batches. The engine is drained before the timer
+// stops, so ns/op is per request served end to end over TCP.
+func DaemonLoopbackBench(b *testing.B, c DaemonBenchCase) {
+	t := EngineBenchTree()
+	trees := make([]*tree.Tree, c.Clients)
+	inputs := make([][]trace.Trace, c.Clients)
+	for s := 0; s < c.Clients; s++ {
+		trees[s] = t
+		rng := rand.New(rand.NewSource(int64(1 + s)))
+		full := trace.RandomMixed(rng, t, 1<<16)
+		for lo := 0; lo < len(full); lo += c.Batch {
+			hi := lo + c.Batch
+			if hi > len(full) {
+				hi = len(full)
+			}
+			inputs[s] = append(inputs[s], full[lo:hi])
+		}
+	}
+	srv, err := server.New(server.Config{
+		Addr:            "127.0.0.1:0",
+		Trees:           trees,
+		Alpha:           8,
+		Capacity:        EngineBenchCapacity,
+		QueueLen:        64,
+		CheckpointEvery: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	clients := make([]*client.Client, c.Clients)
+	for s := range clients {
+		clients[s] = client.New(client.Config{Addr: srv.Addr(), Seed: int64(1 + s)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	errc := make(chan error, c.Clients)
+	for s := 0; s < c.Clients; s++ {
+		share := b.N / c.Clients
+		if s < b.N%c.Clients {
+			share++
+		}
+		wg.Add(1)
+		go func(s, share int) {
+			defer wg.Done()
+			cl := clients[s]
+			for i := 0; share > 0; i++ {
+				chunk := inputs[s][i%len(inputs[s])]
+				if len(chunk) > share {
+					chunk = chunk[:share]
+				}
+				if err := cl.Serve(s, chunk); err != nil {
+					errc <- err
+					return
+				}
+				share -= len(chunk)
+			}
+		}(s, share)
+	}
+	wg.Wait()
+	close(errc)
+	srv.Engine().Drain()
+	b.StopTimer()
+	for _, cl := range clients {
+		cl.Close()
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	for err := range errc {
+		b.Fatal(err)
+	}
 }

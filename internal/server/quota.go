@@ -1,0 +1,117 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// QuotaConfig is the per-tenant admission quota: a token bucket of
+// Burst requests refilled at Rate requests per second. Every tenant
+// gets an identical, independent bucket; a tenant that exhausts its
+// bucket is shed with an explicit RETRY-AFTER before its batch reaches
+// the dispatcher, so one hot tenant cannot queue the fleet solid. A
+// zero Rate disables quotas entirely.
+type QuotaConfig struct {
+	// Rate is the sustained per-tenant request rate, requests/second.
+	// 0 disables admission quotas.
+	Rate float64
+	// Burst is the bucket capacity in requests (how far a tenant may
+	// exceed Rate transiently). Defaults to max(Rate, 1).
+	Burst int
+}
+
+// quotas holds one token bucket per tenant. The clock is injectable so
+// tests drive refill deterministically.
+type quotas struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	tokens  []float64
+	refilled []time.Time
+}
+
+// newQuotas builds the per-tenant buckets, all starting full.
+func newQuotas(cfg QuotaConfig, tenants int) *quotas {
+	if cfg.Rate <= 0 {
+		return nil
+	}
+	burst := float64(cfg.Burst)
+	if burst < 1 {
+		burst = cfg.Rate
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	q := &quotas{
+		rate:     cfg.Rate,
+		burst:    burst,
+		now:      time.Now,
+		tokens:   make([]float64, tenants),
+		refilled: make([]time.Time, tenants),
+	}
+	start := q.now()
+	for i := range q.tokens {
+		q.tokens[i] = burst
+		q.refilled[i] = start
+	}
+	return q
+}
+
+// take attempts to admit n requests for the tenant. On admission the
+// tokens are consumed (a batch larger than the whole bucket is
+// admitted at a full bucket and pushes the balance negative — paying
+// the debt off at Rate — so oversized batches are delayed, never
+// starved). On refusal it returns how long until enough tokens will
+// have accumulated: the RETRY-AFTER hint.
+func (q *quotas) take(tenant, n int) (ok bool, retryAfter time.Duration) {
+	if q == nil {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.refill(tenant)
+	need := float64(n)
+	if need > q.burst {
+		need = q.burst
+	}
+	if q.tokens[tenant] >= need {
+		q.tokens[tenant] -= float64(n)
+		return true, 0
+	}
+	wait := time.Duration((need - q.tokens[tenant]) / q.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// refund returns n tokens to the tenant's bucket (capped at burst):
+// the undo for a batch that was admitted by quota but then shed by
+// backpressure before reaching the dispatcher, so shed load does not
+// also burn quota.
+func (q *quotas) refund(tenant, n int) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.tokens[tenant] += float64(n)
+	if q.tokens[tenant] > q.burst {
+		q.tokens[tenant] = q.burst
+	}
+}
+
+// refill accrues tokens for elapsed wall time; call with mu held.
+func (q *quotas) refill(tenant int) {
+	now := q.now()
+	dt := now.Sub(q.refilled[tenant]).Seconds()
+	if dt > 0 {
+		q.tokens[tenant] += dt * q.rate
+		if q.tokens[tenant] > q.burst {
+			q.tokens[tenant] = q.burst
+		}
+	}
+	q.refilled[tenant] = now
+}

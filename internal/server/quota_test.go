@@ -1,0 +1,116 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives quota refill deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestQuotas(cfg QuotaConfig, tenants int) (*quotas, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	q := newQuotas(cfg, tenants)
+	if q != nil {
+		q.now = clk.now
+		for i := range q.refilled {
+			q.refilled[i] = clk.t
+		}
+	}
+	return q, clk
+}
+
+func TestQuotaDisabled(t *testing.T) {
+	q, _ := newTestQuotas(QuotaConfig{}, 2)
+	if q != nil {
+		t.Fatalf("zero rate should disable quotas, got %+v", q)
+	}
+	// Nil receiver must be a no-op admit-all.
+	if ok, _ := q.take(0, 1_000_000); !ok {
+		t.Fatal("nil quotas rejected a batch")
+	}
+	q.refund(0, 5) // must not panic
+}
+
+func TestQuotaBurstThenShed(t *testing.T) {
+	q, _ := newTestQuotas(QuotaConfig{Rate: 10, Burst: 5}, 2)
+	if ok, _ := q.take(0, 5); !ok {
+		t.Fatal("full bucket rejected a burst-sized batch")
+	}
+	ok, wait := q.take(0, 1)
+	if ok {
+		t.Fatal("empty bucket admitted a request")
+	}
+	// One token at 10/s is 100ms away.
+	if wait < 50*time.Millisecond || wait > 200*time.Millisecond {
+		t.Fatalf("retry-after hint %v, want ~100ms", wait)
+	}
+	// Tenant isolation: tenant 1's bucket is untouched.
+	if ok, _ := q.take(1, 5); !ok {
+		t.Fatal("tenant 1's bucket was drained by tenant 0")
+	}
+}
+
+func TestQuotaRefill(t *testing.T) {
+	q, clk := newTestQuotas(QuotaConfig{Rate: 10, Burst: 5}, 1)
+	if ok, _ := q.take(0, 5); !ok {
+		t.Fatal("full bucket rejected burst")
+	}
+	clk.advance(300 * time.Millisecond) // +3 tokens
+	if ok, _ := q.take(0, 3); !ok {
+		t.Fatal("refilled tokens not admitted")
+	}
+	if ok, _ := q.take(0, 1); ok {
+		t.Fatal("admitted beyond refill")
+	}
+	// Refill caps at burst no matter how long the tenant idles.
+	clk.advance(time.Hour)
+	if ok, _ := q.take(0, 5); !ok {
+		t.Fatal("long-idle bucket should be full")
+	}
+	if ok, _ := q.take(0, 1); ok {
+		t.Fatal("bucket exceeded burst after long idle")
+	}
+}
+
+// Oversized batches (larger than the whole bucket) are admitted at a
+// full bucket and push the balance into debt, so they are delayed by
+// at most one bucket-fill, never starved forever.
+func TestQuotaOversizedBatchDebt(t *testing.T) {
+	q, clk := newTestQuotas(QuotaConfig{Rate: 10, Burst: 5}, 1)
+	if ok, _ := q.take(0, 12); !ok {
+		t.Fatal("oversized batch starved at a full bucket")
+	}
+	// Balance is now -7: the debt pays off at Rate before anything
+	// else is admitted.
+	if ok, _ := q.take(0, 1); ok {
+		t.Fatal("admitted while in debt")
+	}
+	clk.advance(800 * time.Millisecond) // -7 + 8 = 1 token
+	if ok, _ := q.take(0, 1); !ok {
+		t.Fatal("debt not paid off at rate")
+	}
+}
+
+func TestQuotaRefund(t *testing.T) {
+	q, _ := newTestQuotas(QuotaConfig{Rate: 10, Burst: 5}, 1)
+	if ok, _ := q.take(0, 5); !ok {
+		t.Fatal("full bucket rejected burst")
+	}
+	// The batch was shed by backpressure: its tokens flow back.
+	q.refund(0, 5)
+	if ok, _ := q.take(0, 5); !ok {
+		t.Fatal("refunded tokens not admitted")
+	}
+	// Refund never overfills past burst.
+	q.refund(0, 100)
+	if ok, _ := q.take(0, 5); !ok {
+		t.Fatal("refund lost tokens")
+	}
+	if ok, _ := q.take(0, 1); ok {
+		t.Fatal("refund overfilled past burst")
+	}
+}

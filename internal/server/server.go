@@ -1,0 +1,578 @@
+// Package server implements treecached, the crash-tolerant serving
+// daemon around internal/engine: the paper's online tree-caching
+// algorithm behind a compact length-prefixed binary protocol
+// (internal/wire) over TCP, plus an HTTP admin plane (/metrics,
+// /healthz, /readyz).
+//
+// Robustness model, end to end:
+//
+//   - Wire-level backpressure: a full shard queue never blocks a
+//     client silently or drops its connection. With a request deadline
+//     the submit waits at most that budget (SubmitCtx); without one it
+//     is non-blocking (TrySubmit). Either way the shed request is
+//     answered with an explicit TRetry carrying a retry-after hint.
+//   - Per-tenant quotas: a token bucket per tenant (QuotaConfig) sheds
+//     load before it reaches the dispatcher, so one hot tenant's
+//     overrun turns into its own TRetry stream instead of fleet-wide
+//     queueing. Quota consumed by a batch that backpressure then shed
+//     is refunded.
+//   - Deadlines propagate: clients send their remaining budget in the
+//     frame (relative nanoseconds, no clock sync), the daemon turns it
+//     into a context for SubmitCtx.
+//   - Idempotent retries: each tenant's batches carry a gapless
+//     sequence number; the daemon acknowledges duplicates of already-
+//     applied batches without re-serving them, which makes client
+//     retransmission after a lost ack — or a daemon restart — safe.
+//   - Malformed or stalled clients cannot wedge a handler: every
+//     connection read and write carries a deadline, and frames beyond
+//     the payload limit are rejected before allocation.
+//   - Graceful drain: Shutdown stops accepting, closes client
+//     connections, drains every shard, checkpoints all shards plus the
+//     sequence table to the state directory at one consistency point,
+//     then closes the engine. New restores from that directory, so a
+//     SIGTERM-restart cycle loses nothing.
+//
+// Tenants map 1:1 onto engine shards (tenant i is served by shard i's
+// instance), the same convention as engine.SubmitMulti.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/snapshot"
+	"repro/internal/tree"
+	"repro/internal/wire"
+)
+
+// Algo is the algorithm surface a shard of the daemon runs: the
+// engine's core interface plus batched serving, topology mutation and
+// checkpointing. snapshot.Checkpointed over a core.MutableTC satisfies
+// it, as does faultinject.Algo wrapping one (the chaos e2e suite).
+type Algo interface {
+	engine.Algorithm
+	engine.BatchServer
+	engine.TopologyServer
+	engine.Checkpointer
+}
+
+// Config parameterises a Server.
+type Config struct {
+	// Addr is the TCP listen address for the wire protocol, e.g.
+	// "127.0.0.1:7600" (":0" picks a free port; see Addr()).
+	Addr string
+	// AdminAddr is the HTTP admin plane address serving /metrics,
+	// /healthz and /readyz; empty disables the admin plane.
+	AdminAddr string
+	// StateDir is the checkpoint directory. When set, Shutdown (and
+	// the TSnapshot frame) persist every shard snapshot plus the
+	// sequence table there, and New restores from it. Empty disables
+	// persistence.
+	StateDir string
+	// Trees are the per-tenant rule trees; tenant i is served by a
+	// fresh (or restored) dynamic TC instance over Trees[i].
+	Trees []*tree.Tree
+	// Alpha and Capacity configure every shard's algorithm.
+	Alpha    int64
+	Capacity int
+	// QueueLen, Parallelism and CheckpointEvery tune the wrapped
+	// engine; see engine.Config.
+	QueueLen        int
+	Parallelism     int
+	CheckpointEvery int
+	// Quota is the per-tenant admission quota; zero Rate disables.
+	Quota QuotaConfig
+	// ReadTimeout bounds how long a connection may sit between frames
+	// (and mid-frame) before the daemon hangs up: a stalled or
+	// byte-dribbling client costs one connection, not a worker.
+	// Default 30s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each reply write. Default 10s.
+	WriteTimeout time.Duration
+	// MaxFrame caps a frame's payload size in bytes (default
+	// wire.DefaultMaxPayload); larger length prefixes are rejected
+	// before any allocation and the connection is closed.
+	MaxFrame int
+	// Wrap, when non-nil, wraps each shard's algorithm before the
+	// engine sees it — the fault-injection hook the chaos e2e suite
+	// uses. The wrapper must preserve Algo semantics.
+	Wrap func(shard int, algo Algo) Algo
+}
+
+// tenantState serializes one tenant's admission path: the sequence
+// check, quota, and submit happen under mu, so a tenant's batches
+// enter the shard queue in sequence order even when several
+// connections carry the same tenant.
+type tenantState struct {
+	mu      sync.Mutex
+	lastSeq uint64
+}
+
+// Server is the treecached daemon. Build with New, start with Start,
+// stop with Shutdown.
+type Server struct {
+	cfg   Config
+	eng   *engine.Engine
+	algos []Algo
+	// base is each shard's ledger and round count restored from the
+	// state directory at startup (zero on fresh shards): the engine's
+	// published per-batch stats only cover work since boot, so stats
+	// replies merge the two into restart-spanning cumulative totals.
+	base       []cache.Ledger
+	baseRounds []int64
+	tenants    []*tenantState
+	quo        *quotas
+
+	ln      net.Listener
+	admin   *http.Server
+	adminLn net.Listener
+
+	// snapMu quiesces the engine for checkpoints: every submission
+	// path holds the read side, a checkpoint takes the write side and
+	// then drains, so shard instances are safe to Snapshot.
+	snapMu sync.RWMutex
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	draining atomic.Bool
+	wg       sync.WaitGroup
+	shutOnce sync.Once
+	shutErr  error
+}
+
+// Retry hints, nanoseconds: how long a client should back off when
+// shed for a reason other than quota (which computes the exact token
+// wait).
+const (
+	overloadRetryNs = int64(5 * time.Millisecond)
+	drainRetryNs    = int64(50 * time.Millisecond)
+)
+
+// New builds the daemon: it constructs (or restores, when StateDir
+// holds a previous checkpoint) one dynamic TC instance per tree and
+// wraps them in a supervised engine. The server is not listening yet —
+// call Start.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Trees) == 0 {
+		return nil, errors.New("server: no trees configured")
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 30 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = wire.DefaultMaxPayload
+	}
+
+	s := &Server{
+		cfg:        cfg,
+		algos:      make([]Algo, len(cfg.Trees)),
+		base:       make([]cache.Ledger, len(cfg.Trees)),
+		baseRounds: make([]int64, len(cfg.Trees)),
+		tenants:    make([]*tenantState, len(cfg.Trees)),
+		quo:        newQuotas(cfg.Quota, len(cfg.Trees)),
+		conns:      make(map[net.Conn]struct{}),
+	}
+
+	seqs := make([]uint64, len(cfg.Trees))
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: state dir: %w", err)
+		}
+		var err error
+		if seqs, err = loadSeqs(cfg.StateDir, len(cfg.Trees)); err != nil {
+			return nil, fmt.Errorf("server: state dir: %w", err)
+		}
+	}
+	for i, t := range cfg.Trees {
+		mtc, restored, err := s.buildShard(i, t)
+		if err != nil {
+			return nil, err
+		}
+		if restored {
+			s.base[i] = mtc.Ledger()
+			s.baseRounds[i] = mtc.Round()
+		}
+		var algo Algo = snapshot.Checkpointed{MutableTC: mtc}
+		if cfg.Wrap != nil {
+			algo = cfg.Wrap(i, algo)
+		}
+		s.algos[i] = algo
+		s.tenants[i] = &tenantState{lastSeq: seqs[i]}
+	}
+
+	s.eng = engine.New(engine.Config{
+		Shards:          len(cfg.Trees),
+		NewShard:        func(i int) engine.Algorithm { return s.algos[i] },
+		QueueLen:        cfg.QueueLen,
+		Parallelism:     cfg.Parallelism,
+		CheckpointEvery: cfg.CheckpointEvery,
+	})
+	// Not ready until Start has the listeners up; /readyz stays 503.
+	s.eng.SetReady(false)
+	return s, nil
+}
+
+// buildShard restores shard i from the state directory when a
+// checkpoint exists there, otherwise builds a fresh instance over the
+// configured tree.
+func (s *Server) buildShard(i int, t *tree.Tree) (*core.MutableTC, bool, error) {
+	if s.cfg.StateDir != "" {
+		blob, err := os.ReadFile(shardSnapPath(s.cfg.StateDir, i))
+		switch {
+		case err == nil:
+			mtc, err := snapshot.Restore(blob)
+			if err != nil {
+				return nil, false, fmt.Errorf("server: shard %d: restore: %w", i, err)
+			}
+			return mtc, true, nil
+		case !errors.Is(err, os.ErrNotExist):
+			return nil, false, fmt.Errorf("server: shard %d: %w", i, err)
+		}
+	}
+	mtc := core.NewMutable(t, core.MutableConfig{
+		Config: core.Config{Alpha: s.cfg.Alpha, Capacity: s.cfg.Capacity},
+	})
+	return mtc, false, nil
+}
+
+// Start opens the wire and admin listeners and begins accepting
+// connections; readiness flips to 200 once both are up.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	if s.cfg.AdminAddr != "" {
+		adminLn, err := net.Listen("tcp", s.cfg.AdminAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		s.adminLn = adminLn
+		s.admin = &http.Server{Handler: s.eng.MetricsMux()}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			// ErrServerClosed is the normal Shutdown path.
+			_ = s.admin.Serve(adminLn)
+		}()
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	s.eng.SetReady(true)
+	return nil
+}
+
+// Addr returns the wire listener's address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// AdminAddr returns the admin listener's address, or "" when disabled.
+func (s *Server) AdminAddr() string {
+	if s.adminLn == nil {
+		return ""
+	}
+	return s.adminLn.Addr().String()
+}
+
+// Engine exposes the wrapped engine (metrics handlers, stats).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Algorithm returns shard i's instance for inspection. Only touch it
+// while the daemon is quiescent (after Shutdown).
+func (s *Server) Algorithm(i int) Algo { return s.algos[i] }
+
+// Shutdown is the graceful drain: withdraw readiness, stop accepting,
+// close client connections, drain every shard, checkpoint all state,
+// close the engine. Idempotent; later calls return the first result.
+// The context bounds only the admin server's shutdown — drain itself
+// must finish, or restart would lose acknowledged work.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutOnce.Do(func() {
+		s.draining.Store(true)
+		s.eng.SetReady(false)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		// Closing the connections interrupts blocked reads; handlers
+		// mid-submit finish their bounded waits first (wg below).
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		if s.admin != nil {
+			s.shutErr = s.admin.Shutdown(ctx)
+		}
+		s.wg.Wait()
+		if err := s.checkpoint(); err != nil && s.shutErr == nil {
+			s.shutErr = err
+		}
+		s.eng.Close()
+	})
+	return s.shutErr
+}
+
+// checkpoint drains the engine at a submission-quiescent point and
+// persists every shard snapshot plus the sequence table. No-op
+// without a state directory.
+func (s *Server) checkpoint() error {
+	if s.cfg.StateDir == "" {
+		return nil
+	}
+	// The write lock excludes every submission path, so after Drain
+	// the shard queues are empty and stay empty: the instances are
+	// quiescent and safe to touch from this goroutine.
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	s.eng.Drain()
+	for i, algo := range s.algos {
+		blob, err := algo.Snapshot()
+		if err != nil {
+			return fmt.Errorf("server: shard %d: snapshot: %w", i, err)
+		}
+		if err := writeFileAtomic(shardSnapPath(s.cfg.StateDir, i), blob); err != nil {
+			return fmt.Errorf("server: shard %d: %w", i, err)
+		}
+	}
+	seqs := make([]uint64, len(s.tenants))
+	for i, t := range s.tenants {
+		t.mu.Lock()
+		seqs[i] = t.lastSeq
+		t.mu.Unlock()
+	}
+	if err := writeFileAtomic(
+		filepath.Join(s.cfg.StateDir, seqsFile), encodeSeqs(seqs)); err != nil {
+		return fmt.Errorf("server: sequence table: %w", err)
+	}
+	return nil
+}
+
+// acceptLoop accepts wire connections until the listener closes.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (Shutdown) or fatal
+		}
+		s.connMu.Lock()
+		if s.draining.Load() {
+			s.connMu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// handleConn serves one client connection: a loop of read frame →
+// dispatch → write reply, every step under a deadline.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		conn.Close()
+	}()
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		f, err := wire.ReadFrame(conn, s.cfg.MaxFrame)
+		if err != nil {
+			if err != io.EOF {
+				// Framing is broken (garbage, oversize, timeout): tell
+				// the client best-effort, then hang up — the stream
+				// cannot be re-synchronized.
+				s.writeReply(conn, wire.TError, wire.ErrMsg{Msg: err.Error()}.Encode())
+			}
+			return
+		}
+		typ, payload := s.dispatch(f)
+		if !s.writeReply(conn, typ, payload) {
+			return
+		}
+	}
+}
+
+// writeReply writes one reply frame under the write deadline.
+func (s *Server) writeReply(conn net.Conn, t wire.Type, payload []byte) bool {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	return wire.WriteFrame(conn, t, payload) == nil
+}
+
+// dispatch routes one decoded frame to its handler and returns the
+// reply. Payload decode errors are per-request failures (the framing
+// is still aligned), so the connection survives them.
+func (s *Server) dispatch(f wire.Frame) (wire.Type, []byte) {
+	switch f.Type {
+	case wire.TServe:
+		m, err := wire.DecodeServe(f.Payload)
+		if err != nil {
+			return wire.TError, wire.ErrMsg{Msg: err.Error()}.Encode()
+		}
+		return s.handleServe(m)
+	case wire.TTopo:
+		m, err := wire.DecodeTopo(f.Payload)
+		if err != nil {
+			return wire.TError, wire.ErrMsg{Msg: err.Error()}.Encode()
+		}
+		return s.handleTopo(m)
+	case wire.TStats:
+		m, err := wire.DecodeStatsReq(f.Payload)
+		if err != nil {
+			return wire.TError, wire.ErrMsg{Msg: err.Error()}.Encode()
+		}
+		return s.handleStats(m)
+	case wire.TSnapshot:
+		if err := s.handleSnapshot(); err != nil {
+			return wire.TError, wire.ErrMsg{Msg: err.Error()}.Encode()
+		}
+		return wire.TAck, wire.Ack{}.Encode()
+	default:
+		return wire.TError, wire.ErrMsg{Msg: fmt.Sprintf("server: unexpected frame type %d", f.Type)}.Encode()
+	}
+}
+
+// admit runs the shared per-tenant admission path: sequence
+// deduplication, quota, then enqueue via submit (which must return
+// nil, an overload signal, or a terminal error). n is the request
+// count charged against the quota.
+func (s *Server) admit(tenant int, seq uint64, n int, submit func() error) (wire.Type, []byte) {
+	if tenant < 0 || tenant >= len(s.tenants) {
+		return wire.TError, wire.ErrMsg{Msg: fmt.Sprintf("server: tenant %d out of range [0,%d)", tenant, len(s.tenants))}.Encode()
+	}
+	if seq == 0 {
+		return wire.TError, wire.ErrMsg{Msg: "server: batch sequence numbers start at 1"}.Encode()
+	}
+	t := s.tenants[tenant]
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if seq <= t.lastSeq {
+		// Idempotent retransmission of an applied batch: acknowledge
+		// without re-serving.
+		return wire.TAck, wire.Ack{Seq: seq, Dup: true}.Encode()
+	}
+	if seq != t.lastSeq+1 {
+		return wire.TError, wire.ErrMsg{Msg: fmt.Sprintf("server: tenant %d sequence gap: got %d, expected %d", tenant, seq, t.lastSeq+1)}.Encode()
+	}
+	if s.draining.Load() {
+		return wire.TRetry, wire.Retry{AfterNs: drainRetryNs}.Encode()
+	}
+	if ok, wait := s.quo.take(tenant, n); !ok {
+		return wire.TRetry, wire.Retry{AfterNs: int64(wait)}.Encode()
+	}
+	s.snapMu.RLock()
+	err := submit()
+	s.snapMu.RUnlock()
+	switch {
+	case err == nil:
+		t.lastSeq = seq
+		return wire.TAck, wire.Ack{Seq: seq}.Encode()
+	case errors.Is(err, engine.ErrOverloaded),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		// Backpressure shed the batch: explicit retry-after instead of
+		// a silent drop, and the quota it consumed flows back.
+		s.quo.refund(tenant, n)
+		return wire.TRetry, wire.Retry{AfterNs: overloadRetryNs}.Encode()
+	case errors.Is(err, engine.ErrClosed):
+		s.quo.refund(tenant, n)
+		return wire.TRetry, wire.Retry{AfterNs: drainRetryNs}.Encode()
+	default:
+		s.quo.refund(tenant, n)
+		return wire.TError, wire.ErrMsg{Msg: err.Error()}.Encode()
+	}
+}
+
+// handleServe admits one batch: the wire deadline becomes the
+// SubmitCtx budget; without one the submit is non-blocking.
+func (s *Server) handleServe(m wire.Serve) (wire.Type, []byte) {
+	return s.admit(m.Tenant, m.Seq, len(m.Batch), func() error {
+		if m.DeadlineNs > 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(m.DeadlineNs))
+			defer cancel()
+			return s.eng.SubmitCtx(ctx, m.Tenant, m.Batch)
+		}
+		return s.eng.TrySubmit(m.Tenant, m.Batch)
+	})
+}
+
+// handleTopo admits one topology-mutation control message through the
+// same sequence/quota path as serve batches (mutations are ordered
+// events in the tenant's stream).
+func (s *Server) handleTopo(m wire.Topo) (wire.Type, []byte) {
+	return s.admit(m.Tenant, m.Seq, len(m.Muts), func() error {
+		return s.eng.ApplyTopology(m.Tenant, m.Muts)
+	})
+}
+
+// handleStats answers with the tenant's cumulative ledger: the
+// restored base (work before the last restart) merged with the
+// engine's published counters (work since boot). The merge is a
+// componentwise max for the ledger — both cover the restored prefix,
+// published values are cumulative and monotone — and a sum for the
+// round count, which the engine counts from zero each boot.
+func (s *Server) handleStats(m wire.StatsReq) (wire.Type, []byte) {
+	if m.Tenant < 0 || m.Tenant >= len(s.tenants) {
+		return wire.TError, wire.ErrMsg{Msg: fmt.Sprintf("server: tenant %d out of range [0,%d)", m.Tenant, len(s.tenants))}.Encode()
+	}
+	ts := s.tenants[m.Tenant]
+	ts.mu.Lock()
+	lastSeq := ts.lastSeq
+	ts.mu.Unlock()
+	ss := s.eng.Stats().Shards[m.Tenant]
+	led := s.base[m.Tenant]
+	reply := wire.StatsReply{
+		Tenant:   m.Tenant,
+		Rounds:   s.baseRounds[m.Tenant] + ss.Rounds,
+		Serve:    max64(led.Serve, ss.Serve),
+		Move:     max64(led.Move, ss.Move),
+		Fetched:  max64(led.Fetched, ss.Fetched),
+		Evicted:  max64(led.Evicted, ss.Evicted),
+		Restarts: ss.Restarts,
+		Dropped:  ss.Dropped,
+		LastSeq:  lastSeq,
+	}
+	return wire.TStatsReply, reply.Encode()
+}
+
+// handleSnapshot checkpoints all shards on demand — the same
+// consistency point Shutdown takes, without stopping the daemon.
+func (s *Server) handleSnapshot() error {
+	if s.cfg.StateDir == "" {
+		return errors.New("server: no state directory configured")
+	}
+	return s.checkpoint()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

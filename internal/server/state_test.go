@@ -1,0 +1,91 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestSeqsRoundTrip(t *testing.T) {
+	for _, seqs := range [][]uint64{
+		{},
+		{0},
+		{1, 0, 7, 1 << 40},
+		make([]uint64, 100),
+	} {
+		got, err := decodeSeqs(encodeSeqs(seqs))
+		if err != nil {
+			t.Fatalf("decode(encode(%v)): %v", seqs, err)
+		}
+		if len(got) != len(seqs) {
+			t.Fatalf("round-trip length %d, want %d", len(got), len(seqs))
+		}
+		if len(seqs) > 0 && !reflect.DeepEqual(got, seqs) {
+			t.Fatalf("round-trip %v, want %v", got, seqs)
+		}
+	}
+}
+
+func TestSeqsRejections(t *testing.T) {
+	good := encodeSeqs([]uint64{3, 9})
+	cases := map[string][]byte{
+		"empty":      {},
+		"short":      good[:11],
+		"bad magic":  append([]byte("XXSEQS"), good[6:]...),
+		"bad version": func() []byte {
+			b := append([]byte(nil), good...)
+			b[6] = 99
+			return b
+		}(),
+		"flipped payload bit": func() []byte {
+			b := append([]byte(nil), good...)
+			b[len(b)-1] ^= 0x01
+			return b
+		}(),
+		"truncated payload": good[:len(good)-1],
+		"huge count": func() []byte {
+			// A count claiming more tenants than bytes must fail fast,
+			// not allocate.
+			b := append([]byte(nil), good[:12]...)
+			return append(b, 0xff, 0xff, 0xff, 0xff, 0x7f)
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := decodeSeqs(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt table", name)
+		}
+	}
+}
+
+func TestLoadSeqs(t *testing.T) {
+	dir := t.TempDir()
+	// Missing file: fresh zeros.
+	seqs, err := loadSeqs(dir, 3)
+	if err != nil {
+		t.Fatalf("missing file: %v", err)
+	}
+	if !reflect.DeepEqual(seqs, []uint64{0, 0, 0}) {
+		t.Fatalf("fresh table %v, want zeros", seqs)
+	}
+	// Round trip through the atomic writer.
+	if err := writeFileAtomic(filepath.Join(dir, seqsFile), encodeSeqs([]uint64{5, 7})); err != nil {
+		t.Fatal(err)
+	}
+	// Loading with more tenants than saved pads with zeros (a restart
+	// with extra tenants configured must not fail).
+	seqs, err = loadSeqs(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqs, []uint64{5, 7, 0}) {
+		t.Fatalf("loaded %v, want [5 7 0]", seqs)
+	}
+	// Corruption is loud, not silent.
+	if err := os.WriteFile(filepath.Join(dir, seqsFile), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSeqs(dir, 3); err == nil {
+		t.Fatal("corrupt sequence table loaded silently")
+	}
+}
