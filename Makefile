@@ -1,7 +1,7 @@
 GO  ?= go
 BIN ?= bin
 
-.PHONY: build test race e2e bench-smoke clean
+.PHONY: build test race e2e crash-drill bench-smoke clean
 
 # build compiles every package and drops the binaries (treecached
 # daemon, treesim replayer/driver, experiments harness) into $(BIN).
@@ -23,6 +23,14 @@ race:
 # uninterrupted local run (see scripts/e2e_drill.sh).
 e2e: build
 	scripts/e2e_drill.sh $(BIN)
+
+# crash-drill runs the binary-level kill -9 drill: boot treecached
+# with the write-ahead log on, SIGKILL it at three random points while
+# treesim streams a workload, and verify every acknowledged batch
+# survives recovery with the ledger matching an uninterrupted run cost
+# for cost (see scripts/crash_drill.sh).
+crash-drill: build
+	scripts/crash_drill.sh $(BIN)
 
 # bench-smoke pins the benchmark grids at a fixed small iteration
 # count so the bench code cannot rot; real perf deltas come from

@@ -11,6 +11,14 @@
 // client sequence table to -state-dir, and exits 0. A restart with the
 // same -state-dir restores that checkpoint, so acknowledged batches
 // are never lost or re-served (clients resume via the wire LastSeq).
+//
+// With -wal the durability promise hardens from SIGTERM to SIGKILL:
+// every admitted frame is appended to a per-shard write-ahead log and
+// its ack withheld until a group-commit fsync (window: -fsync-interval)
+// covers it, so even a hard crash loses no acknowledged batch —
+// startup replays the WAL tail on top of the checkpoint, /readyz
+// staying 503 until the replay completes. -checkpoint-interval bounds
+// the replay by periodically checkpointing and truncating the logs.
 package main
 
 import (
@@ -32,6 +40,9 @@ func main() {
 		addr      = flag.String("addr", "127.0.0.1:7600", "wire protocol listen address")
 		admin     = flag.String("admin", "127.0.0.1:7601", "HTTP admin plane address (/metrics, /healthz, /readyz); empty disables")
 		stateDir  = flag.String("state-dir", "", "checkpoint directory: drain snapshots land here and startup restores from it; empty disables persistence")
+		walOn     = flag.Bool("wal", false, "durable write-ahead log in -state-dir: acks are withheld until fsync, kill -9 loses no acknowledged batch")
+		fsyncIvl  = flag.Duration("fsync-interval", 2*time.Millisecond, "WAL group-commit window: one fsync covers all frames admitted within it (0 syncs immediately)")
+		ckptIvl   = flag.Duration("checkpoint-interval", 0, "periodic background checkpoint cadence, truncating the WAL each time (0 disables; drain still checkpoints)")
 		shape     = flag.String("tree", "binary", "tree shape per tenant: path|star|binary|ternary|caterpillar|random")
 		nodes     = flag.Int("nodes", 1023, "tree nodes per tenant")
 		tenants   = flag.Int("tenants", 4, "number of tenants (= engine shards)")
@@ -59,18 +70,29 @@ func main() {
 		trees[i] = t
 	}
 
+	walDir := ""
+	if *walOn {
+		if *stateDir == "" {
+			fmt.Fprintln(os.Stderr, "treecached: -wal requires -state-dir")
+			os.Exit(1)
+		}
+		walDir = *stateDir
+	}
 	srv, err := server.New(server.Config{
-		Addr:            *addr,
-		AdminAddr:       *admin,
-		StateDir:        *stateDir,
-		Trees:           trees,
-		Alpha:           *alpha,
-		Capacity:        *capacity,
-		QueueLen:        *queueLen,
-		CheckpointEvery: *ckptEvery,
-		Quota:           server.QuotaConfig{Rate: *quotaRate, Burst: *quotaBur},
-		ReadTimeout:     *rdTimeout,
-		WriteTimeout:    *wrTimeout,
+		Addr:               *addr,
+		AdminAddr:          *admin,
+		StateDir:           *stateDir,
+		WALDir:             walDir,
+		FsyncInterval:      *fsyncIvl,
+		CheckpointInterval: *ckptIvl,
+		Trees:              trees,
+		Alpha:              *alpha,
+		Capacity:           *capacity,
+		QueueLen:           *queueLen,
+		CheckpointEvery:    *ckptEvery,
+		Quota:              server.QuotaConfig{Rate: *quotaRate, Burst: *quotaBur},
+		ReadTimeout:        *rdTimeout,
+		WriteTimeout:       *wrTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -52,6 +52,7 @@ func main() {
 		remoteTo     = flag.Int("remote-to", 0, "with -remote: stop after round N (default: whole workload) — run 1 of a kill/restart drill serves [0,N), run 2 passes -remote-from N")
 		remoteBatch  = flag.Int("remote-batch", 64, "with -remote: requests per wire batch")
 		remoteTenant = flag.Int("remote-tenant", 0, "with -remote: tenant id to replay as")
+		remoteHard   = flag.Bool("remote-hardkill", false, "with -remote: hard-kill parity mode — skip the end-of-run checkpoint (the daemon gets SIGKILL, not SIGTERM, and must recover from its WAL) and, with -remote-from, assert the daemon's recovered LastSeq matches the batches a previous life acknowledged")
 	)
 	flag.Parse()
 
@@ -69,7 +70,7 @@ func main() {
 	fmt.Printf("tree: %v  alpha: %d  capacity: %d  requests: %d\n\n", t, *alpha, *capacity, len(input))
 
 	if *remote != "" {
-		if err := runRemote(t, input, *alpha, *capacity, *remote, *remoteFrom, *remoteTo, *remoteBatch, *remoteTenant); err != nil {
+		if err := runRemote(t, input, *alpha, *capacity, *remote, *remoteFrom, *remoteTo, *remoteBatch, *remoteTenant, *remoteHard); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -142,7 +143,15 @@ func runTimed(a sim.Algorithm, input trace.Trace) (sim.Result, metrics.Histogram
 // remainder, and each run's ledger must equal the uninterrupted local
 // run's prefix — proving the drain checkpoint lost nothing and the
 // restored sequence table deduplicated nothing it shouldn't have.
-func runRemote(t *tree.Tree, input trace.Trace, alpha int64, capacity int, addr string, from, to, batchSize, tenant int) error {
+//
+// hardkill switches to the SIGKILL variant of the drill: no end-of-run
+// checkpoint is requested (the daemon dies without warning and must
+// recover from its write-ahead log), the client's retry/backoff budget
+// rides through the kill-restart windows, and a run with from > 0
+// additionally asserts that the recovered daemon's LastSeq equals the
+// number of batches a previous life acknowledged — the zero-
+// acknowledged-loss check, not just cost parity.
+func runRemote(t *tree.Tree, input trace.Trace, alpha int64, capacity int, addr string, from, to, batchSize, tenant int, hardkill bool) error {
 	if to <= 0 || to > len(input) {
 		to = len(input)
 	}
@@ -160,6 +169,21 @@ func runRemote(t *tree.Tree, input trace.Trace, alpha int64, capacity int, addr 
 	if err := cl.Resume(tenant); err != nil {
 		return fmt.Errorf("treesim: resume: %w", err)
 	}
+	if hardkill && from > 0 {
+		// Zero acknowledged loss: every batch a previous process life
+		// acked must have survived the kill into the recovered daemon's
+		// sequence table. [0, from) was sent in ceil(from/batchSize)
+		// batches, every one acknowledged before that run exited 0.
+		pre, err := cl.Stats(tenant)
+		if err != nil {
+			return fmt.Errorf("treesim: stats: %w", err)
+		}
+		want := uint64((from + batchSize - 1) / batchSize)
+		if pre.LastSeq != want {
+			return fmt.Errorf("treesim: hard-kill drill FAILED: recovered LastSeq %d, want %d — an acknowledged batch was lost (or replayed twice)", pre.LastSeq, want)
+		}
+		fmt.Printf("remote: recovered LastSeq %d matches the %d acknowledged batches\n", pre.LastSeq, want)
+	}
 	sent := 0
 	for lo := from; lo < len(input); lo += batchSize {
 		hi := lo + batchSize
@@ -171,11 +195,15 @@ func runRemote(t *tree.Tree, input trace.Trace, alpha int64, capacity int, addr 
 		}
 		sent += hi - lo
 	}
-	// Checkpoint so a follow-up run (or a kill -9) starts from here.
-	// This fails only when the daemon has no -state-dir; the parity
-	// check below is still valid then.
-	if err := cl.Snapshot(); err != nil {
-		fmt.Fprintf(os.Stderr, "treesim: snapshot skipped: %v\n", err)
+	// Checkpoint so a follow-up run starts from here — except in
+	// hard-kill mode, where the point is that the daemon dies without
+	// one and recovers from its WAL. (Snapshot failure outside that
+	// mode only means no -state-dir; the parity check below is still
+	// valid then.)
+	if !hardkill {
+		if err := cl.Snapshot(); err != nil {
+			fmt.Fprintf(os.Stderr, "treesim: snapshot skipped: %v\n", err)
+		}
 	}
 	reply, err := cl.Stats(tenant)
 	if err != nil {

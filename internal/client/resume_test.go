@@ -1,0 +1,124 @@
+package client_test
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// TestResumeAcrossHardRestart: a fresh client that calls Resume after
+// the daemon died by kill -9 picks up the WAL-recovered sequence
+// frontier from StatsReply.LastSeq and continues the stream without a
+// gap, a duplicate, or a lost batch.
+func TestResumeAcrossHardRestart(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	dir := t.TempDir()
+
+	tr := tree.CompleteKary(31, 2)
+	rng := rand.New(rand.NewSource(5))
+	input := trace.ZipfNodes(rng, tr, 20*8, 1.1)
+	batches := make([]trace.Trace, 20)
+	for i := range batches {
+		batches[i] = input[i*8 : (i+1)*8]
+	}
+	mk := func() *server.Server {
+		srv, err := server.New(server.Config{
+			Addr:          addr,
+			StateDir:      dir,
+			WALDir:        dir,
+			FsyncInterval: time.Millisecond,
+			Trees:         []*tree.Tree{tree.CompleteKary(31, 2)},
+			Alpha:         4,
+			Capacity:      8,
+			QueueLen:      8,
+		})
+		if err != nil {
+			t.Fatalf("server.New: %v", err)
+		}
+		if err := srv.Start(); err != nil {
+			t.Fatalf("server.Start: %v", err)
+		}
+		return srv
+	}
+
+	srv := mk()
+	cl := client.New(client.Config{Addr: addr, Seed: 1})
+	for i, b := range batches[:12] {
+		if err := cl.Serve(0, b); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	cl.Close()
+	srv.Kill() // hard crash: no drain, no checkpoint
+
+	srv = mk()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	}()
+
+	// A brand-new client knows nothing; Resume must seed its stream
+	// from the recovered frontier. Without it, the client's seq 1
+	// collides with the predecessor's and is dup-acked — "success"
+	// whose batch silently never ran. That hazard is why Resume exists.
+	cl2 := client.New(client.Config{Addr: addr, Seed: 2})
+	defer cl2.Close()
+	pre, err := cl2.Stats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.LastSeq != 12 {
+		t.Fatalf("recovered LastSeq %d, want 12", pre.LastSeq)
+	}
+	if err := cl2.Serve(0, batches[12]); err != nil {
+		t.Fatalf("stale-seq serve should dup-ack, got %v", err)
+	}
+	mid, err := cl2.Stats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Rounds != pre.Rounds {
+		t.Fatalf("stale seq was applied: rounds %d -> %d", pre.Rounds, mid.Rounds)
+	}
+	if err := cl2.Resume(0); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	for i, b := range batches[12:] {
+		if err := cl2.Serve(0, b); err != nil {
+			t.Fatalf("post-resume batch %d: %v", 12+i, err)
+		}
+	}
+	reply, err := cl2.Stats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.LastSeq != uint64(len(batches)) {
+		t.Fatalf("final LastSeq %d, want %d", reply.LastSeq, len(batches))
+	}
+	ref := core.NewMutable(tr, core.MutableConfig{Config: core.Config{Alpha: 4, Capacity: 8}})
+	for _, b := range batches {
+		for _, r := range b {
+			ref.Serve(r)
+		}
+	}
+	led := ref.Ledger()
+	if reply.Rounds != ref.Round() || reply.Serve != led.Serve || reply.Move != led.Move {
+		t.Fatalf("ledger after resume %+v != sequential %+v", reply, led)
+	}
+}

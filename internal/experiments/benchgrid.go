@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/core"
@@ -368,16 +369,25 @@ type DaemonBenchCase struct {
 	Name    string
 	Clients int
 	Batch   int
+	// WAL turns on the durable write-ahead log (group-commit fsync at
+	// the daemon's default 2ms window, acks withheld until the covering
+	// fsync), so the wal=1 rows price the durability tax of "ack means
+	// on disk" against the in-memory rows.
+	WAL bool
 }
 
 // DaemonBenchCases returns the canonical daemon grid, shared by the
 // repo-root BenchmarkDaemonLoopback and the cmd/experiments
 // -bench-json recorder. Comparing clients=4 against clients=1 shows
-// how much of the fleet's shard parallelism survives the wire.
+// how much of the fleet's shard parallelism survives the wire;
+// comparing wal=1 against its in-memory twin in the same process run
+// quotes the durability tax.
 func DaemonBenchCases() []DaemonBenchCase {
 	return []DaemonBenchCase{
-		{"DaemonLoopback/clients=1", 1, 1024},
-		{"DaemonLoopback/clients=4", 4, 1024},
+		{"DaemonLoopback/clients=1", 1, 1024, false},
+		{"DaemonLoopback/clients=4", 4, 1024, false},
+		{"DaemonLoopback/clients=1/wal=1", 1, 1024, true},
+		{"DaemonLoopback/clients=4/wal=1", 4, 1024, true},
 	}
 }
 
@@ -403,14 +413,21 @@ func DaemonLoopbackBench(b *testing.B, c DaemonBenchCase) {
 			inputs[s] = append(inputs[s], full[lo:hi])
 		}
 	}
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Addr:            "127.0.0.1:0",
 		Trees:           trees,
 		Alpha:           8,
 		Capacity:        EngineBenchCapacity,
 		QueueLen:        64,
 		CheckpointEvery: -1,
-	})
+	}
+	if c.WAL {
+		dir := b.TempDir()
+		cfg.StateDir = dir
+		cfg.WALDir = dir
+		cfg.FsyncInterval = 2 * time.Millisecond
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,198 @@
+package server_test
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+	"repro/internal/tree"
+)
+
+// The crash drill runs the daemon in a real child process and SIGKILLs
+// it, so the recovery path is exercised across an actual process
+// boundary: no destructors, no final fsync, no drain. TestMain re-execs
+// the test binary as that child when the env var is set.
+const crashChildEnv = "TREECACHED_CRASH_CHILD"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(crashChildEnv) == "1" {
+		runCrashChild()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runCrashChild boots the daemon with the drill's fixed geometry and
+// blocks until SIGKILL. Configuration arrives via environment: listen
+// address, admin address, state dir.
+func runCrashChild() {
+	cfg := server.Config{
+		Addr:               os.Getenv("CRASH_ADDR"),
+		AdminAddr:          os.Getenv("CRASH_ADMIN"),
+		StateDir:           os.Getenv("CRASH_STATE"),
+		WALDir:             os.Getenv("CRASH_STATE"),
+		FsyncInterval:      2 * time.Millisecond,
+		CheckpointInterval: 25 * time.Millisecond,
+		Trees:              []*tree.Tree{walTestTree()},
+		Alpha:              4,
+		Capacity:           16,
+		QueueLen:           16,
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crash child:", err)
+		os.Exit(1)
+	}
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "crash child:", err)
+		os.Exit(1)
+	}
+	select {} // die by SIGKILL only
+}
+
+// spawnCrashChild re-execs the test binary as a daemon and waits until
+// /readyz reports 200 — i.e. checkpoint restored and WAL replayed.
+func spawnCrashChild(t *testing.T, addr, admin, dir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		crashChildEnv+"=1",
+		"CRASH_ADDR="+addr,
+		"CRASH_ADMIN="+admin,
+		"CRASH_STATE="+dir,
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawn child: %v", err)
+	}
+	t.Cleanup(func() { _ = cmd.Process.Kill() })
+	deadline := time.Now().Add(30 * time.Second)
+	url := "http://" + admin + "/readyz"
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusOK {
+				return cmd
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_ = cmd.Process.Kill()
+	t.Fatalf("child never became ready at %s", url)
+	return nil
+}
+
+// TestCrashDrillSIGKILL is the acceptance drill: a driver pushes
+// batches at a child daemon while the parent SIGKILLs it at three
+// traffic-triggered points (randomly jittered, so kills land mid
+// batch, inside the group-commit fsync window, and across the 25ms
+// background checkpoint cadence). After every restart the recovered
+// sequence frontier must cover every batch acknowledged before the
+// kill — zero acknowledged loss — and the final ledger must match a
+// sequential replay cost for cost, each batch applied exactly once.
+func TestCrashDrillSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec drill skipped in -short")
+	}
+	addr := reserveAddr(t)
+	admin := reserveAddr(t)
+	dir := t.TempDir()
+
+	const nBatches, batchLen = 240, 16
+	batches := walTestBatches(nBatches, batchLen)
+	cmd := spawnCrashChild(t, addr, admin, dir)
+
+	// The driver retries hard enough to ride out every kill+restart
+	// window; acked counts batches whose durability ack arrived.
+	var acked atomic.Int64
+	driverErr := make(chan error, 1)
+	go func() {
+		cl := client.New(client.Config{
+			Addr:        addr,
+			Timeout:     500 * time.Millisecond,
+			MaxAttempts: 4000,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  25 * time.Millisecond,
+			Seed:        71,
+		})
+		defer cl.Close()
+		for i, b := range batches {
+			if err := cl.Serve(0, b); err != nil {
+				driverErr <- fmt.Errorf("batch %d: %w", i, err)
+				return
+			}
+			acked.Add(1)
+		}
+		driverErr <- nil
+	}()
+
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for round, frac := range []int64{1, 2, 3} {
+		threshold := frac * nBatches / 4
+		for acked.Load() < threshold {
+			select {
+			case err := <-driverErr:
+				t.Fatalf("driver finished before kill %d (acked %d): %v", round, acked.Load(), err)
+			case <-time.After(time.Millisecond):
+			}
+		}
+		// Jitter so the three kills land at different phases of the
+		// batch/fsync/checkpoint cycle.
+		time.Sleep(time.Duration(rng.Intn(20)) * time.Millisecond)
+		ackedAtKill := acked.Load()
+		if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+			t.Fatalf("kill %d: %v", round, err)
+		}
+		_ = cmd.Wait()
+		cmd = spawnCrashChild(t, addr, admin, dir)
+
+		probe := client.New(client.Config{Addr: addr, Seed: int64(80 + round), MaxAttempts: 200})
+		reply, err := probe.Stats(0)
+		probe.Close()
+		if err != nil {
+			t.Fatalf("stats after restart %d: %v", round, err)
+		}
+		if int64(reply.LastSeq) < ackedAtKill {
+			t.Fatalf("restart %d lost acknowledged batches: LastSeq %d < %d acked at kill",
+				round, reply.LastSeq, ackedAtKill)
+		}
+		t.Logf("kill %d: acked %d, recovered LastSeq %d", round+1, ackedAtKill, reply.LastSeq)
+	}
+
+	if err := <-driverErr; err != nil {
+		t.Fatalf("driver: %v", err)
+	}
+	// One last hard kill with everything acknowledged, then the
+	// cost-for-cost verdict against a sequential oracle.
+	_ = cmd.Process.Signal(syscall.SIGKILL)
+	_ = cmd.Wait()
+	cmd = spawnCrashChild(t, addr, admin, dir)
+	defer func() { _ = cmd.Process.Signal(syscall.SIGKILL); _ = cmd.Wait() }()
+
+	cl := client.New(client.Config{Addr: addr, Seed: 99, MaxAttempts: 200})
+	defer cl.Close()
+	reply, err := cl.Stats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.LastSeq != nBatches {
+		t.Fatalf("final LastSeq %d, want %d", reply.LastSeq, nBatches)
+	}
+	ref := walOracle(batches, nBatches)
+	led := ref.Ledger()
+	if reply.Rounds != ref.Round() || reply.Serve != led.Serve || reply.Move != led.Move ||
+		reply.Fetched != led.Fetched || reply.Evicted != led.Evicted {
+		t.Fatalf("recovered ledger %+v != sequential oracle %+v (rounds %d vs %d)",
+			reply, led, reply.Rounds, ref.Round())
+	}
+}

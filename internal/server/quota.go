@@ -27,8 +27,8 @@ type quotas struct {
 	burst float64
 	now   func() time.Time
 
-	mu      sync.Mutex
-	tokens  []float64
+	mu       sync.Mutex
+	tokens   []float64
 	refilled []time.Time
 }
 

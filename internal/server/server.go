@@ -23,6 +23,16 @@
 //     sequence number; the daemon acknowledges duplicates of already-
 //     applied batches without re-serving them, which makes client
 //     retransmission after a lost ack — or a daemon restart — safe.
+//   - Durable acks (WALDir set): every admitted frame is appended to
+//     the tenant's write-ahead log and the Ack is withheld until a
+//     group-commit fsync covers the record, so an acknowledged batch
+//     survives kill -9, OOM-kill or power loss. Recovery restores the
+//     last checkpoint and replays the WAL tail through the sequence
+//     table: duplicates are dropped, costs are committed exactly once,
+//     and a torn tail record truncates the log instead of failing
+//     startup. Checkpoints supersede the log prefix and truncate it,
+//     bounding recovery time. Without WALDir the ack remains an
+//     in-memory promise and only checkpoints survive a hard crash.
 //   - Malformed or stalled clients cannot wedge a handler: every
 //     connection read and write carries a deadline, and frames beyond
 //     the payload limit are rejected before allocation.
@@ -54,6 +64,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/snapshot"
 	"repro/internal/tree"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -74,13 +85,30 @@ type Config struct {
 	// "127.0.0.1:7600" (":0" picks a free port; see Addr()).
 	Addr string
 	// AdminAddr is the HTTP admin plane address serving /metrics,
-	// /healthz and /readyz; empty disables the admin plane.
+	// /healthz and /readyz; empty disables the admin plane. The admin
+	// plane comes up before recovery starts, answering /readyz with
+	// 503 until checkpoint restore and WAL replay complete.
 	AdminAddr string
 	// StateDir is the checkpoint directory. When set, Shutdown (and
 	// the TSnapshot frame) persist every shard snapshot plus the
-	// sequence table there, and New restores from it. Empty disables
-	// persistence.
+	// sequence table there as one atomic file, and Start restores from
+	// it. Empty disables checkpointing.
 	StateDir string
+	// WALDir enables the durable write-ahead log: one log per shard,
+	// every admitted frame appended and fsynced (group commit) before
+	// its ack. Usually the same directory as StateDir. Empty disables
+	// the WAL — acks then promise only in-memory application.
+	WALDir string
+	// FsyncInterval is the WAL group-commit window: the first frame
+	// after an idle period waits this long so one fsync covers every
+	// frame admitted in the window. Zero syncs immediately (still
+	// coalescing frames that race one fsync's duration). Larger
+	// windows trade ack latency for fewer fsyncs.
+	FsyncInterval time.Duration
+	// CheckpointInterval, when positive with a StateDir, checkpoints
+	// periodically in the background, truncating the WALs and bounding
+	// both log growth and recovery replay time.
+	CheckpointInterval time.Duration
 	// Trees are the per-tenant rule trees; tenant i is served by a
 	// fresh (or restored) dynamic TC instance over Trees[i].
 	Trees []*tree.Tree
@@ -112,45 +140,68 @@ type Config struct {
 }
 
 // tenantState serializes one tenant's admission path: the sequence
-// check, quota, and submit happen under mu, so a tenant's batches
-// enter the shard queue in sequence order even when several
-// connections carry the same tenant.
+// check, quota, WAL append and submit happen under mu, so a tenant's
+// batches enter the shard queue — and its WAL — in sequence order even
+// when several connections carry the same tenant.
 type tenantState struct {
 	mu      sync.Mutex
 	lastSeq uint64
 }
 
-// Server is the treecached daemon. Build with New, start with Start,
-// stop with Shutdown.
+// WAL record kinds: the first byte of every record, ahead of the raw
+// wire frame payload, so replay reuses the wire codecs.
+const (
+	walRecServe = 1
+	walRecTopo  = 2
+)
+
+// Server is the treecached daemon. Build with New, start with Start
+// (which performs recovery), stop with Shutdown.
 type Server struct {
 	cfg   Config
-	eng   *engine.Engine
+	eng   atomic.Pointer[engine.Engine]
 	algos []Algo
-	// base is each shard's ledger and round count restored from the
-	// state directory at startup (zero on fresh shards): the engine's
-	// published per-batch stats only cover work since boot, so stats
-	// replies merge the two into restart-spanning cumulative totals.
+	// base is each shard's ledger and round count as of the end of
+	// recovery (checkpoint restore plus WAL replay; zero on fresh
+	// shards): the engine's published per-batch stats only cover work
+	// since boot, so stats replies merge the two into restart-spanning
+	// cumulative totals.
 	base       []cache.Ledger
 	baseRounds []int64
 	tenants    []*tenantState
 	quo        *quotas
 
+	// wals is nil without a WALDir; otherwise one log per shard.
+	// replayed counts the records recovery applied per shard.
+	wals     []*wal.Log
+	replayed []int64
+	// ckpts counts durably committed checkpoints (atomic).
+	ckpts atomic.Int64
+
 	ln      net.Listener
 	admin   *http.Server
 	adminLn net.Listener
 
-	// snapMu quiesces the engine for checkpoints: every submission
-	// path holds the read side, a checkpoint takes the write side and
-	// then drains, so shard instances are safe to Snapshot.
+	// snapMu orders the world for checkpoints: every admission holds
+	// the read side end to end (sequence check, WAL append, submit,
+	// fsync wait), a checkpoint takes the write side and then drains,
+	// so shard instances are quiescent and the WAL has no in-flight
+	// appends when it is truncated. Lock order: snapMu before
+	// tenantState.mu, always.
 	snapMu sync.RWMutex
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
+	ready    atomic.Bool
 	draining atomic.Bool
+	closed   atomic.Bool
 	wg       sync.WaitGroup
+	ckptStop chan struct{}
+	ckptDone chan struct{}
 	shutOnce sync.Once
 	shutErr  error
+	killOnce sync.Once
 }
 
 // Retry hints, nanoseconds: how long a client should back off when
@@ -161,10 +212,10 @@ const (
 	drainRetryNs    = int64(50 * time.Millisecond)
 )
 
-// New builds the daemon: it constructs (or restores, when StateDir
-// holds a previous checkpoint) one dynamic TC instance per tree and
-// wraps them in a supervised engine. The server is not listening yet —
-// call Start.
+// New validates the configuration and builds the daemon shell. All
+// recovery work (checkpoint restore, WAL replay, engine construction)
+// happens in Start, so a crashed daemon's operator sees recovery time
+// attributed to startup, with the admin plane already answering.
 func New(cfg Config) (*Server, error) {
 	if len(cfg.Trees) == 0 {
 		return nil, errors.New("server: no trees configured")
@@ -178,95 +229,33 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxFrame <= 0 {
 		cfg.MaxFrame = wire.DefaultMaxPayload
 	}
-
-	s := &Server{
+	return &Server{
 		cfg:        cfg,
 		algos:      make([]Algo, len(cfg.Trees)),
 		base:       make([]cache.Ledger, len(cfg.Trees)),
 		baseRounds: make([]int64, len(cfg.Trees)),
 		tenants:    make([]*tenantState, len(cfg.Trees)),
+		replayed:   make([]int64, len(cfg.Trees)),
 		quo:        newQuotas(cfg.Quota, len(cfg.Trees)),
 		conns:      make(map[net.Conn]struct{}),
-	}
-
-	seqs := make([]uint64, len(cfg.Trees))
-	if cfg.StateDir != "" {
-		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
-			return nil, fmt.Errorf("server: state dir: %w", err)
-		}
-		var err error
-		if seqs, err = loadSeqs(cfg.StateDir, len(cfg.Trees)); err != nil {
-			return nil, fmt.Errorf("server: state dir: %w", err)
-		}
-	}
-	for i, t := range cfg.Trees {
-		mtc, restored, err := s.buildShard(i, t)
-		if err != nil {
-			return nil, err
-		}
-		if restored {
-			s.base[i] = mtc.Ledger()
-			s.baseRounds[i] = mtc.Round()
-		}
-		var algo Algo = snapshot.Checkpointed{MutableTC: mtc}
-		if cfg.Wrap != nil {
-			algo = cfg.Wrap(i, algo)
-		}
-		s.algos[i] = algo
-		s.tenants[i] = &tenantState{lastSeq: seqs[i]}
-	}
-
-	s.eng = engine.New(engine.Config{
-		Shards:          len(cfg.Trees),
-		NewShard:        func(i int) engine.Algorithm { return s.algos[i] },
-		QueueLen:        cfg.QueueLen,
-		Parallelism:     cfg.Parallelism,
-		CheckpointEvery: cfg.CheckpointEvery,
-	})
-	// Not ready until Start has the listeners up; /readyz stays 503.
-	s.eng.SetReady(false)
-	return s, nil
+	}, nil
 }
 
-// buildShard restores shard i from the state directory when a
-// checkpoint exists there, otherwise builds a fresh instance over the
-// configured tree.
-func (s *Server) buildShard(i int, t *tree.Tree) (*core.MutableTC, bool, error) {
-	if s.cfg.StateDir != "" {
-		blob, err := os.ReadFile(shardSnapPath(s.cfg.StateDir, i))
-		switch {
-		case err == nil:
-			mtc, err := snapshot.Restore(blob)
-			if err != nil {
-				return nil, false, fmt.Errorf("server: shard %d: restore: %w", i, err)
-			}
-			return mtc, true, nil
-		case !errors.Is(err, os.ErrNotExist):
-			return nil, false, fmt.Errorf("server: shard %d: %w", i, err)
-		}
-	}
-	mtc := core.NewMutable(t, core.MutableConfig{
-		Config: core.Config{Alpha: s.cfg.Alpha, Capacity: s.cfg.Capacity},
-	})
-	return mtc, false, nil
-}
+// engine returns the wrapped engine, or nil before recovery completes.
+func (s *Server) engine() *engine.Engine { return s.eng.Load() }
 
-// Start opens the wire and admin listeners and begins accepting
-// connections; readiness flips to 200 once both are up.
+// Start brings the daemon up: admin plane first (so /readyz reports
+// 503 while recovering), then checkpoint restore and WAL replay, then
+// the wire listener; readiness flips to 200 only once recovery is
+// complete and the daemon is accepting.
 func (s *Server) Start() error {
-	ln, err := net.Listen("tcp", s.cfg.Addr)
-	if err != nil {
-		return err
-	}
-	s.ln = ln
 	if s.cfg.AdminAddr != "" {
 		adminLn, err := net.Listen("tcp", s.cfg.AdminAddr)
 		if err != nil {
-			ln.Close()
 			return err
 		}
 		s.adminLn = adminLn
-		s.admin = &http.Server{Handler: s.eng.MetricsMux()}
+		s.admin = &http.Server{Handler: s.adminMux()}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -274,10 +263,169 @@ func (s *Server) Start() error {
 			_ = s.admin.Serve(adminLn)
 		}()
 	}
+	if err := s.restore(); err != nil {
+		if s.admin != nil {
+			s.admin.Close()
+		}
+		return err
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		if s.admin != nil {
+			s.admin.Close()
+		}
+		return err
+	}
+	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
-	s.eng.SetReady(true)
+	if s.cfg.StateDir != "" && s.cfg.CheckpointInterval > 0 {
+		s.ckptStop = make(chan struct{})
+		s.ckptDone = make(chan struct{})
+		go s.checkpointLoop()
+	}
+	s.engine().SetReady(true)
+	s.ready.Store(true)
 	return nil
+}
+
+// restore rebuilds every shard from the last durable state: the
+// checkpoint file (shard snapshots + sequence table at one consistency
+// point), then each shard's WAL tail replayed through the sequence
+// table — records at or below the checkpointed sequence are dropped as
+// duplicates, the rest applied exactly once, in order. The replay runs
+// on the raw instances before the engine exists: engine workers
+// capture a supervision snapshot at construction, which must already
+// include the replayed state.
+func (s *Server) restore() error {
+	shards := len(s.cfg.Trees)
+	blobs := make([][]byte, shards)
+	seqs := make([]uint64, shards)
+	if s.cfg.StateDir != "" {
+		if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
+			return fmt.Errorf("server: state dir: %w", err)
+		}
+		var err error
+		if blobs, seqs, _, err = loadCheckpoint(s.cfg.StateDir, shards, shards); err != nil {
+			return fmt.Errorf("server: state dir: %w", err)
+		}
+	}
+	if s.cfg.WALDir != "" {
+		if err := os.MkdirAll(s.cfg.WALDir, 0o755); err != nil {
+			return fmt.Errorf("server: wal dir: %w", err)
+		}
+		s.wals = make([]*wal.Log, shards)
+	}
+	for i, t := range s.cfg.Trees {
+		var mtc *core.MutableTC
+		if blobs[i] != nil {
+			var err error
+			if mtc, err = snapshot.Restore(blobs[i]); err != nil {
+				return fmt.Errorf("server: shard %d: restore: %w", i, err)
+			}
+		} else {
+			mtc = core.NewMutable(t, core.MutableConfig{
+				Config: core.Config{Alpha: s.cfg.Alpha, Capacity: s.cfg.Capacity},
+			})
+		}
+		lastSeq := seqs[i]
+		if s.wals != nil {
+			l, recs, err := wal.Open(shardWALPath(s.cfg.WALDir, i), wal.Options{
+				SyncInterval: s.cfg.FsyncInterval,
+				MaxRecord:    s.cfg.MaxFrame + 1,
+			})
+			if err != nil {
+				return fmt.Errorf("server: shard %d: wal: %w", i, err)
+			}
+			s.wals[i] = l
+			applied, newLast, err := replayWAL(mtc, i, recs, lastSeq)
+			if err != nil {
+				return fmt.Errorf("server: shard %d: wal replay: %w", i, err)
+			}
+			s.replayed[i] = applied
+			lastSeq = newLast
+		}
+		// The recovery frontier — checkpoint plus replayed tail — is
+		// the stats base; the engine counts from zero on top of it.
+		s.base[i] = mtc.Ledger()
+		s.baseRounds[i] = mtc.Round()
+		var algo Algo = snapshot.Checkpointed{MutableTC: mtc}
+		if s.cfg.Wrap != nil {
+			algo = s.cfg.Wrap(i, algo)
+		}
+		s.algos[i] = algo
+		s.tenants[i] = &tenantState{lastSeq: lastSeq}
+	}
+	eng := engine.New(engine.Config{
+		Shards:          shards,
+		NewShard:        func(i int) engine.Algorithm { return s.algos[i] },
+		QueueLen:        s.cfg.QueueLen,
+		Parallelism:     s.cfg.Parallelism,
+		CheckpointEvery: s.cfg.CheckpointEvery,
+	})
+	// Not ready until the wire listener is up; /readyz stays 503.
+	eng.SetReady(false)
+	s.eng.Store(eng)
+	return nil
+}
+
+// replayWAL applies one shard's recovered records on top of its
+// restored state. Records at or below lastSeq were already covered by
+// the checkpoint and are skipped; the remainder must continue the
+// sequence gaplessly (the WAL is written in admission order, and
+// recovery only ever truncates its tail). Topology messages mirror the
+// engine's runMuts semantics: mutations apply one at a time and the
+// first failure drops the rest of that message — so a replayed stream
+// reproduces exactly what the live engine did.
+func replayWAL(mtc *core.MutableTC, tenant int, recs [][]byte, lastSeq uint64) (applied int64, newLast uint64, err error) {
+	for n, rec := range recs {
+		if len(rec) < 1 {
+			return applied, lastSeq, fmt.Errorf("record %d: empty", n)
+		}
+		kind, payload := rec[0], rec[1:]
+		var seq uint64
+		var serve wire.Serve
+		var topo wire.Topo
+		switch kind {
+		case walRecServe:
+			if serve, err = wire.DecodeServe(payload); err != nil {
+				return applied, lastSeq, fmt.Errorf("record %d: %w", n, err)
+			}
+			seq = serve.Seq
+			if serve.Tenant != tenant {
+				return applied, lastSeq, fmt.Errorf("record %d: tenant %d in shard %d's log", n, serve.Tenant, tenant)
+			}
+		case walRecTopo:
+			if topo, err = wire.DecodeTopo(payload); err != nil {
+				return applied, lastSeq, fmt.Errorf("record %d: %w", n, err)
+			}
+			seq = topo.Seq
+			if topo.Tenant != tenant {
+				return applied, lastSeq, fmt.Errorf("record %d: tenant %d in shard %d's log", n, topo.Tenant, tenant)
+			}
+		default:
+			return applied, lastSeq, fmt.Errorf("record %d: unknown kind %d", n, kind)
+		}
+		if seq <= lastSeq {
+			continue // superseded by the checkpoint
+		}
+		if seq != lastSeq+1 {
+			return applied, lastSeq, fmt.Errorf("record %d: sequence gap: got %d, expected %d", n, seq, lastSeq+1)
+		}
+		switch kind {
+		case walRecServe:
+			mtc.ServeBatch(serve.Batch)
+		case walRecTopo:
+			for i := range topo.Muts {
+				if mtc.ApplyTopology(topo.Muts[i:i+1]) != nil {
+					break
+				}
+			}
+		}
+		lastSeq = seq
+		applied++
+	}
+	return applied, lastSeq, nil
 }
 
 // Addr returns the wire listener's address (useful with ":0").
@@ -296,22 +444,75 @@ func (s *Server) AdminAddr() string {
 	return s.adminLn.Addr().String()
 }
 
-// Engine exposes the wrapped engine (metrics handlers, stats).
-func (s *Server) Engine() *engine.Engine { return s.eng }
+// Engine exposes the wrapped engine (metrics handlers, stats). Nil
+// until Start has completed recovery.
+func (s *Server) Engine() *engine.Engine { return s.engine() }
 
 // Algorithm returns shard i's instance for inspection. Only touch it
 // while the daemon is quiescent (after Shutdown).
 func (s *Server) Algorithm(i int) Algo { return s.algos[i] }
 
+// Replayed returns how many WAL records recovery applied to shard i
+// (beyond the checkpoint) during Start.
+func (s *Server) Replayed(i int) int64 { return s.replayed[i] }
+
+// adminMux is the server-owned admin plane. It differs from the
+// engine's MetricsMux in two ways: it exists before the engine does
+// (recovery runs with the admin plane already up, /readyz 503), and
+// /metrics appends the daemon's durability families after the
+// engine's.
+func (s *Server) adminMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		eng := s.engine()
+		if eng == nil {
+			http.Error(w, "recovering", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		eng.MetricsHandler().ServeHTTP(w, r)
+		s.writeWALMetrics(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness stays green while recovering and through drain, so
+		// an orchestrator does not kill a daemon that is replaying its
+		// WAL or flushing its queues; it goes red only once the engine
+		// is closed.
+		if s.closed.Load() {
+			http.Error(w, "closed", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		eng := s.engine()
+		if !s.ready.Load() || eng == nil || !eng.Ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
 // Shutdown is the graceful drain: withdraw readiness, stop accepting,
 // close client connections, drain every shard, checkpoint all state,
-// close the engine. Idempotent; later calls return the first result.
-// The context bounds only the admin server's shutdown — drain itself
-// must finish, or restart would lose acknowledged work.
+// close the WALs and the engine. Idempotent; later calls return the
+// first result. The context bounds only the admin server's shutdown —
+// drain itself must finish, or restart would lose acknowledged work.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.shutOnce.Do(func() {
 		s.draining.Store(true)
-		s.eng.SetReady(false)
+		s.ready.Store(false)
+		if eng := s.engine(); eng != nil {
+			eng.SetReady(false)
+		}
+		if s.ckptStop != nil {
+			close(s.ckptStop)
+			<-s.ckptDone
+		}
 		if s.ln != nil {
 			s.ln.Close()
 		}
@@ -329,32 +530,97 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		if err := s.checkpoint(); err != nil && s.shutErr == nil {
 			s.shutErr = err
 		}
-		s.eng.Close()
+		for _, l := range s.wals {
+			if err := l.Close(); err != nil && s.shutErr == nil {
+				s.shutErr = err
+			}
+		}
+		if eng := s.engine(); eng != nil {
+			eng.Close()
+		}
+		s.closed.Store(true)
 	})
 	return s.shutErr
 }
 
+// Kill crashes the daemon from inside the process: listeners and
+// connections close, in-flight handlers unwind, the WALs drop without
+// their final fsync, and nothing is checkpointed. It is the in-process
+// analogue of kill -9 for crash-recovery tests — state on disk is
+// exactly what the durability machinery made of it, no more.
+func (s *Server) Kill() {
+	s.killOnce.Do(func() {
+		s.draining.Store(true)
+		s.ready.Store(false)
+		if s.ckptStop != nil {
+			close(s.ckptStop)
+			<-s.ckptDone
+		}
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		if s.admin != nil {
+			s.admin.Close()
+		}
+		// Kill the WALs first so handlers blocked in Wait unwind with
+		// an error instead of a durability promise.
+		for _, l := range s.wals {
+			l.Kill()
+		}
+		s.wg.Wait()
+		if eng := s.engine(); eng != nil {
+			eng.Close()
+		}
+		s.closed.Store(true)
+	})
+}
+
+// checkpointLoop checkpoints periodically, truncating the WALs each
+// time so recovery replay stays bounded.
+func (s *Server) checkpointLoop() {
+	defer close(s.ckptDone)
+	t := time.NewTicker(s.cfg.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ckptStop:
+			return
+		case <-t.C:
+			// Best-effort: a failed background checkpoint leaves the
+			// previous one and the full WAL, which is still correct —
+			// recovery just replays more.
+			_ = s.checkpoint()
+		}
+	}
+}
+
 // checkpoint drains the engine at a submission-quiescent point and
-// persists every shard snapshot plus the sequence table. No-op
-// without a state directory.
+// persists every shard snapshot plus the sequence table as ONE
+// durably-committed file, then truncates the WALs the checkpoint
+// supersedes. No-op without a state directory.
 func (s *Server) checkpoint() error {
 	if s.cfg.StateDir == "" {
 		return nil
 	}
-	// The write lock excludes every submission path, so after Drain
-	// the shard queues are empty and stay empty: the instances are
-	// quiescent and safe to touch from this goroutine.
+	// The write lock excludes every admission end to end (including
+	// WAL appends and fsync waits), so after Drain the shard queues
+	// are empty and stay empty: the instances are quiescent and safe
+	// to Snapshot, and the WALs have no in-flight appends.
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
-	s.eng.Drain()
+	s.engine().Drain()
+	blobs := make([][]byte, len(s.algos))
 	for i, algo := range s.algos {
 		blob, err := algo.Snapshot()
 		if err != nil {
 			return fmt.Errorf("server: shard %d: snapshot: %w", i, err)
 		}
-		if err := writeFileAtomic(shardSnapPath(s.cfg.StateDir, i), blob); err != nil {
-			return fmt.Errorf("server: shard %d: %w", i, err)
-		}
+		blobs[i] = blob
 	}
 	seqs := make([]uint64, len(s.tenants))
 	for i, t := range s.tenants {
@@ -362,10 +628,20 @@ func (s *Server) checkpoint() error {
 		seqs[i] = t.lastSeq
 		t.mu.Unlock()
 	}
-	if err := writeFileAtomic(
-		filepath.Join(s.cfg.StateDir, seqsFile), encodeSeqs(seqs)); err != nil {
-		return fmt.Errorf("server: sequence table: %w", err)
+	if err := writeFileDurable(
+		filepath.Join(s.cfg.StateDir, ckptFile), encodeCheckpoint(blobs, seqs)); err != nil {
+		return fmt.Errorf("server: checkpoint: %w", err)
 	}
+	// The checkpoint is durably committed: every WAL record is now
+	// superseded, so the logs truncate. A crash between the rename and
+	// here replays the full old log against the new sequence table —
+	// every record a duplicate, every duplicate dropped.
+	for i, l := range s.wals {
+		if err := l.Reset(); err != nil {
+			return fmt.Errorf("server: shard %d: wal truncate: %w", i, err)
+		}
+	}
+	s.ckpts.Add(1)
 	return nil
 }
 
@@ -435,13 +711,13 @@ func (s *Server) dispatch(f wire.Frame) (wire.Type, []byte) {
 		if err != nil {
 			return wire.TError, wire.ErrMsg{Msg: err.Error()}.Encode()
 		}
-		return s.handleServe(m)
+		return s.handleServe(m, f.Payload)
 	case wire.TTopo:
 		m, err := wire.DecodeTopo(f.Payload)
 		if err != nil {
 			return wire.TError, wire.ErrMsg{Msg: err.Error()}.Encode()
 		}
-		return s.handleTopo(m)
+		return s.handleTopo(m, f.Payload)
 	case wire.TStats:
 		m, err := wire.DecodeStatsReq(f.Payload)
 		if err != nil {
@@ -459,19 +735,54 @@ func (s *Server) dispatch(f wire.Frame) (wire.Type, []byte) {
 }
 
 // admit runs the shared per-tenant admission path: sequence
-// deduplication, quota, then enqueue via submit (which must return
-// nil, an overload signal, or a terminal error). n is the request
-// count charged against the quota.
-func (s *Server) admit(tenant int, seq uint64, n int, submit func() error) (wire.Type, []byte) {
+// deduplication, quota, enqueue via submit (which must return nil, an
+// overload signal, or a terminal error), then — with a WAL — durable
+// logging of the frame before the ack. n is the request count charged
+// against the quota; kind and payload describe the WAL record (the raw
+// wire payload, so replay reuses the wire codecs).
+//
+// The ack discipline around the WAL:
+//
+//   - The record is appended only after the engine accepted the batch,
+//     so every logged record corresponds to an applied (or in-queue)
+//     batch; shed batches leave no record.
+//   - The ack waits for a group-commit fsync covering the record. A
+//     crash before that fsync may lose the batch — but its client
+//     never saw an ack, and will retransmit to the restarted daemon,
+//     whose replayed sequence table treats the retransmission as the
+//     first delivery. A crash after it replays the record. Either way:
+//     exactly once, and no ack for a lost batch.
+//   - If the fsync fails the log is poisoned: the batch was applied in
+//     memory, so lastSeq advances (a retransmission must not double-
+//     apply), but the client gets an error, not an ack — no durability
+//     promise is made. All later admissions fail fast on the poisoned
+//     log until an operator restarts the daemon, which recovers from
+//     what actually reached the disk.
+func (s *Server) admit(tenant int, seq uint64, n int, kind byte, payload []byte, submit func() error) (wire.Type, []byte) {
 	if tenant < 0 || tenant >= len(s.tenants) {
 		return wire.TError, wire.ErrMsg{Msg: fmt.Sprintf("server: tenant %d out of range [0,%d)", tenant, len(s.tenants))}.Encode()
 	}
 	if seq == 0 {
 		return wire.TError, wire.ErrMsg{Msg: "server: batch sequence numbers start at 1"}.Encode()
 	}
+	// Admission holds the checkpoint read lock end to end: the
+	// sequence check, WAL append, submit and fsync wait all happen on
+	// one side of the checkpoint's consistency point. Lock order is
+	// snapMu then t.mu — the same order checkpoint takes them.
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	t := s.tenants[tenant]
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	var l *wal.Log
+	if s.wals != nil {
+		l = s.wals[tenant]
+		if err := l.Err(); err != nil {
+			// Poisoned: no durability promises of any kind, duplicate
+			// acks included.
+			return wire.TError, wire.ErrMsg{Msg: err.Error()}.Encode()
+		}
+	}
 	if seq <= t.lastSeq {
 		// Idempotent retransmission of an applied batch: acknowledge
 		// without re-serving.
@@ -486,13 +797,9 @@ func (s *Server) admit(tenant int, seq uint64, n int, submit func() error) (wire
 	if ok, wait := s.quo.take(tenant, n); !ok {
 		return wire.TRetry, wire.Retry{AfterNs: int64(wait)}.Encode()
 	}
-	s.snapMu.RLock()
 	err := submit()
-	s.snapMu.RUnlock()
 	switch {
 	case err == nil:
-		t.lastSeq = seq
-		return wire.TAck, wire.Ack{Seq: seq}.Encode()
 	case errors.Is(err, engine.ErrOverloaded),
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled):
@@ -507,36 +814,55 @@ func (s *Server) admit(tenant int, seq uint64, n int, submit func() error) (wire
 		s.quo.refund(tenant, n)
 		return wire.TError, wire.ErrMsg{Msg: err.Error()}.Encode()
 	}
+	if l != nil {
+		rec := make([]byte, 0, 1+len(payload))
+		rec = append(rec, kind)
+		rec = append(rec, payload...)
+		lsn, err := l.Append(rec)
+		if err == nil {
+			err = l.Wait(lsn)
+		}
+		if err != nil {
+			// Applied in memory, not durable: advance the sequence (a
+			// retransmission must not double-apply) but answer with an
+			// error — the ack is a durability promise we cannot make.
+			t.lastSeq = seq
+			return wire.TError, wire.ErrMsg{Msg: fmt.Sprintf("server: wal: %v", err)}.Encode()
+		}
+	}
+	t.lastSeq = seq
+	return wire.TAck, wire.Ack{Seq: seq}.Encode()
 }
 
 // handleServe admits one batch: the wire deadline becomes the
 // SubmitCtx budget; without one the submit is non-blocking.
-func (s *Server) handleServe(m wire.Serve) (wire.Type, []byte) {
-	return s.admit(m.Tenant, m.Seq, len(m.Batch), func() error {
+func (s *Server) handleServe(m wire.Serve, payload []byte) (wire.Type, []byte) {
+	return s.admit(m.Tenant, m.Seq, len(m.Batch), walRecServe, payload, func() error {
 		if m.DeadlineNs > 0 {
 			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(m.DeadlineNs))
 			defer cancel()
-			return s.eng.SubmitCtx(ctx, m.Tenant, m.Batch)
+			return s.engine().SubmitCtx(ctx, m.Tenant, m.Batch)
 		}
-		return s.eng.TrySubmit(m.Tenant, m.Batch)
+		return s.engine().TrySubmit(m.Tenant, m.Batch)
 	})
 }
 
 // handleTopo admits one topology-mutation control message through the
 // same sequence/quota path as serve batches (mutations are ordered
 // events in the tenant's stream).
-func (s *Server) handleTopo(m wire.Topo) (wire.Type, []byte) {
-	return s.admit(m.Tenant, m.Seq, len(m.Muts), func() error {
-		return s.eng.ApplyTopology(m.Tenant, m.Muts)
+func (s *Server) handleTopo(m wire.Topo, payload []byte) (wire.Type, []byte) {
+	return s.admit(m.Tenant, m.Seq, len(m.Muts), walRecTopo, payload, func() error {
+		return s.engine().ApplyTopology(m.Tenant, m.Muts)
 	})
 }
 
 // handleStats answers with the tenant's cumulative ledger: the
-// restored base (work before the last restart) merged with the
-// engine's published counters (work since boot). The merge is a
-// componentwise max for the ledger — both cover the restored prefix,
-// published values are cumulative and monotone — and a sum for the
-// round count, which the engine counts from zero each boot.
+// recovery base (work before the last restart, checkpoint plus WAL
+// replay) merged with the engine's published counters (work since
+// boot). The merge is a componentwise max for the ledger — both cover
+// the recovered prefix, published values are cumulative and monotone —
+// and a sum for the round count, which the engine counts from zero
+// each boot.
 func (s *Server) handleStats(m wire.StatsReq) (wire.Type, []byte) {
 	if m.Tenant < 0 || m.Tenant >= len(s.tenants) {
 		return wire.TError, wire.ErrMsg{Msg: fmt.Sprintf("server: tenant %d out of range [0,%d)", m.Tenant, len(s.tenants))}.Encode()
@@ -545,7 +871,7 @@ func (s *Server) handleStats(m wire.StatsReq) (wire.Type, []byte) {
 	ts.mu.Lock()
 	lastSeq := ts.lastSeq
 	ts.mu.Unlock()
-	ss := s.eng.Stats().Shards[m.Tenant]
+	ss := s.engine().Stats().Shards[m.Tenant]
 	led := s.base[m.Tenant]
 	reply := wire.StatsReply{
 		Tenant:   m.Tenant,

@@ -9,111 +9,190 @@ import (
 	"path/filepath"
 )
 
-// State-directory layout. Each checkpoint writes every checkpointable
-// shard's snapshot blob plus the sequence table (the per-tenant
-// highest applied batch sequence number) at one engine-quiescent
-// consistency point, so a restart restores the caches and the
-// idempotency window together: a client retrying a batch the previous
-// process already applied gets a duplicate ack, not a double-serve.
+// State-directory layout. A checkpoint is ONE file, checkpoint.tcckpt,
+// holding every shard's snapshot blob plus the sequence table (the
+// per-tenant highest applied batch sequence number), taken at one
+// engine-quiescent consistency point and committed by one atomic
+// rename. The single commit point is what makes WAL recovery sound: a
+// crash mid-checkpoint leaves either the old file (old snapshots + old
+// seqs + the full WAL to replay) or the new one (new snapshots + new
+// seqs; stale WAL records are dropped as duplicates by the sequence
+// table) — never shard snapshots from one checkpoint paired with a
+// sequence table from another, which would double-apply replayed
+// records against the cumulative cost ledger.
 //
-// The sequence table is a small checksummed file:
+// File format:
 //
-//	magic   [6]byte  "TCSEQS"
+//	magic   [6]byte  "TCCKPT"
 //	version uint16   currently 1
 //	crc32   uint32   IEEE CRC over the payload
-//	payload varint tenant count, then one varint lastSeq per tenant
+//	payload varint shard count, then per shard varint blob length +
+//	        blob; varint tenant count, then one varint lastSeq per
+//	        tenant
 //
-// All writes go through a temp file + rename, so a crash mid-write
-// leaves the previous checkpoint intact.
+// Writes go through writeFileDurable: temp file, fsync the temp,
+// rename over the target, fsync the directory. Without the two fsyncs
+// the rename is only atomic against process crashes, not system
+// crashes — the journal can replay the rename before the data blocks
+// reach the disk, leaving a zero-length or garbage "checkpoint".
+//
+// Next to the checkpoint live the per-shard write-ahead logs,
+// shard-%04d.wal (see internal/wal), holding every admitted frame
+// since the checkpoint that superseded their predecessors.
 
 const (
-	seqsFile    = "seqs.bin"
-	seqsVersion = 1
+	ckptFile    = "checkpoint.tcckpt"
+	ckptVersion = 1
 )
 
-var seqsMagic = [6]byte{'T', 'C', 'S', 'E', 'Q', 'S'}
+var ckptMagic = [6]byte{'T', 'C', 'C', 'K', 'P', 'T'}
 
-// errSeqsFormat reports a corrupt sequence table.
-var errSeqsFormat = errors.New("server: malformed sequence table")
+// errCkptFormat reports a corrupt checkpoint file.
+var errCkptFormat = errors.New("server: malformed checkpoint")
 
-// shardSnapPath names shard i's snapshot blob inside dir.
-func shardSnapPath(dir string, shard int) string {
-	return filepath.Join(dir, fmt.Sprintf("shard-%04d.tcsnap", shard))
+// shardWALPath names shard i's write-ahead log inside dir.
+func shardWALPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.wal", shard))
 }
 
-// writeFileAtomic writes data to path via a temp file + rename.
-func writeFileAtomic(path string, data []byte) error {
+// writeFileDurable writes data to path crash-durably: temp file, fsync
+// the temp (data blocks reach disk before the rename can be
+// journaled), atomic rename, fsync the parent directory (the rename
+// itself reaches disk).
+func writeFileDurable(path string, data []byte) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
 }
 
-// encodeSeqs serializes the sequence table.
-func encodeSeqs(seqs []uint64) []byte {
-	payload := binary.AppendUvarint(nil, uint64(len(seqs)))
+// syncDir fsyncs a directory so a just-renamed entry in it survives a
+// system crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// encodeCheckpoint serializes one checkpoint: every shard's snapshot
+// blob plus the sequence table.
+func encodeCheckpoint(blobs [][]byte, seqs []uint64) []byte {
+	payload := binary.AppendUvarint(nil, uint64(len(blobs)))
+	for _, b := range blobs {
+		payload = binary.AppendUvarint(payload, uint64(len(b)))
+		payload = append(payload, b...)
+	}
+	payload = binary.AppendUvarint(payload, uint64(len(seqs)))
 	for _, s := range seqs {
 		payload = binary.AppendUvarint(payload, s)
 	}
 	out := make([]byte, 0, 12+len(payload))
-	out = append(out, seqsMagic[:]...)
-	out = binary.LittleEndian.AppendUint16(out, seqsVersion)
+	out = append(out, ckptMagic[:]...)
+	out = binary.LittleEndian.AppendUint16(out, ckptVersion)
 	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
 	return append(out, payload...)
 }
 
-// decodeSeqs parses and integrity-checks a sequence table.
-func decodeSeqs(data []byte) ([]uint64, error) {
+// decodeCheckpoint parses and integrity-checks a checkpoint file.
+func decodeCheckpoint(data []byte) (blobs [][]byte, seqs []uint64, err error) {
 	if len(data) < 12 {
-		return nil, fmt.Errorf("%w: %d bytes", errSeqsFormat, len(data))
+		return nil, nil, fmt.Errorf("%w: %d bytes", errCkptFormat, len(data))
 	}
-	if [6]byte(data[:6]) != seqsMagic {
-		return nil, fmt.Errorf("%w: bad magic", errSeqsFormat)
+	if [6]byte(data[:6]) != ckptMagic {
+		return nil, nil, fmt.Errorf("%w: bad magic", errCkptFormat)
 	}
-	if v := binary.LittleEndian.Uint16(data[6:8]); v != seqsVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", errSeqsFormat, v)
+	if v := binary.LittleEndian.Uint16(data[6:8]); v != ckptVersion {
+		return nil, nil, fmt.Errorf("%w: unsupported version %d", errCkptFormat, v)
 	}
 	payload := data[12:]
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[8:12]) {
-		return nil, fmt.Errorf("%w: checksum mismatch", errSeqsFormat)
+		return nil, nil, fmt.Errorf("%w: checksum mismatch", errCkptFormat)
 	}
-	n, k := binary.Uvarint(payload)
-	if k <= 0 || n > uint64(len(payload)) {
-		return nil, fmt.Errorf("%w: bad tenant count", errSeqsFormat)
+	nb, k := binary.Uvarint(payload)
+	if k <= 0 || nb > uint64(len(payload)) {
+		return nil, nil, fmt.Errorf("%w: bad shard count", errCkptFormat)
 	}
 	payload = payload[k:]
-	seqs := make([]uint64, n)
+	blobs = make([][]byte, nb)
+	for i := range blobs {
+		n, k := binary.Uvarint(payload)
+		if k <= 0 || n > uint64(len(payload)-k) {
+			return nil, nil, fmt.Errorf("%w: truncated shard %d blob", errCkptFormat, i)
+		}
+		payload = payload[k:]
+		blobs[i] = payload[:n:n]
+		payload = payload[n:]
+	}
+	ns, k := binary.Uvarint(payload)
+	if k <= 0 || ns > uint64(len(payload)) {
+		return nil, nil, fmt.Errorf("%w: bad tenant count", errCkptFormat)
+	}
+	payload = payload[k:]
+	seqs = make([]uint64, ns)
 	for i := range seqs {
 		v, k := binary.Uvarint(payload)
 		if k <= 0 {
-			return nil, fmt.Errorf("%w: truncated at tenant %d", errSeqsFormat, i)
+			return nil, nil, fmt.Errorf("%w: truncated at tenant %d", errCkptFormat, i)
 		}
 		seqs[i] = v
 		payload = payload[k:]
 	}
 	if len(payload) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", errSeqsFormat, len(payload))
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes", errCkptFormat, len(payload))
 	}
-	return seqs, nil
+	return blobs, seqs, nil
 }
 
-// loadSeqs reads the sequence table from dir; a missing file is an
-// empty table (fresh state dir), a corrupt one is an error — failing
-// loud beats silently re-serving acknowledged batches.
-func loadSeqs(dir string, tenants int) ([]uint64, error) {
-	seqs := make([]uint64, tenants)
-	data, err := os.ReadFile(filepath.Join(dir, seqsFile))
+// loadCheckpoint reads the checkpoint from dir. A missing file means a
+// fresh state directory (ok=false); a corrupt one is an error —
+// failing loud beats silently re-serving acknowledged batches. Shard
+// blobs and the sequence table are padded out to shards/tenants for
+// fleets that grew since the checkpoint.
+func loadCheckpoint(dir string, shards, tenants int) (blobs [][]byte, seqs []uint64, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, ckptFile))
 	if errors.Is(err, os.ErrNotExist) {
-		return seqs, nil
+		return make([][]byte, shards), make([]uint64, tenants), false, nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, false, err
 	}
-	saved, err := decodeSeqs(data)
+	b, s, err := decodeCheckpoint(data)
 	if err != nil {
-		return nil, err
+		return nil, nil, false, err
 	}
-	copy(seqs, saved)
-	return seqs, nil
+	if len(b) > shards || len(s) > tenants {
+		return nil, nil, false, fmt.Errorf("%w: checkpoint has %d shards / %d tenants, configured %d / %d",
+			errCkptFormat, len(b), len(s), shards, tenants)
+	}
+	blobs = make([][]byte, shards)
+	copy(blobs, b)
+	seqs = make([]uint64, tenants)
+	copy(seqs, s)
+	return blobs, seqs, true, nil
 }

@@ -1,38 +1,48 @@
 package server
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
 )
 
-func TestSeqsRoundTrip(t *testing.T) {
-	for _, seqs := range [][]uint64{
-		{},
-		{0},
-		{1, 0, 7, 1 << 40},
-		make([]uint64, 100),
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		blobs [][]byte
+		seqs  []uint64
+	}{
+		{nil, nil},
+		{[][]byte{{}}, []uint64{0}},
+		{[][]byte{[]byte("shard0"), {}, []byte("shard2 blob")}, []uint64{1, 0, 7}},
+		{make([][]byte, 100), make([]uint64, 100)},
 	} {
-		got, err := decodeSeqs(encodeSeqs(seqs))
+		blobs, seqs, err := decodeCheckpoint(encodeCheckpoint(tc.blobs, tc.seqs))
 		if err != nil {
-			t.Fatalf("decode(encode(%v)): %v", seqs, err)
+			t.Fatalf("decode(encode(%v, %v)): %v", tc.blobs, tc.seqs, err)
 		}
-		if len(got) != len(seqs) {
-			t.Fatalf("round-trip length %d, want %d", len(got), len(seqs))
+		if len(blobs) != len(tc.blobs) || len(seqs) != len(tc.seqs) {
+			t.Fatalf("round-trip %d blobs / %d seqs, want %d / %d",
+				len(blobs), len(seqs), len(tc.blobs), len(tc.seqs))
 		}
-		if len(seqs) > 0 && !reflect.DeepEqual(got, seqs) {
-			t.Fatalf("round-trip %v, want %v", got, seqs)
+		for i := range tc.blobs {
+			if !bytes.Equal(blobs[i], tc.blobs[i]) {
+				t.Fatalf("blob %d = %q, want %q", i, blobs[i], tc.blobs[i])
+			}
+		}
+		if len(tc.seqs) > 0 && !reflect.DeepEqual(seqs, tc.seqs) {
+			t.Fatalf("seqs round-trip %v, want %v", seqs, tc.seqs)
 		}
 	}
 }
 
-func TestSeqsRejections(t *testing.T) {
-	good := encodeSeqs([]uint64{3, 9})
+func TestCheckpointRejections(t *testing.T) {
+	good := encodeCheckpoint([][]byte{[]byte("blob")}, []uint64{3, 9})
 	cases := map[string][]byte{
-		"empty":      {},
-		"short":      good[:11],
-		"bad magic":  append([]byte("XXSEQS"), good[6:]...),
+		"empty":     {},
+		"short":     good[:11],
+		"bad magic": append([]byte("XXCKPT"), good[6:]...),
 		"bad version": func() []byte {
 			b := append([]byte(nil), good...)
 			b[6] = 99
@@ -44,48 +54,70 @@ func TestSeqsRejections(t *testing.T) {
 			return b
 		}(),
 		"truncated payload": good[:len(good)-1],
-		"huge count": func() []byte {
-			// A count claiming more tenants than bytes must fail fast,
+		"huge shard count": func() []byte {
+			// A count claiming more shards than bytes must fail fast,
 			// not allocate.
 			b := append([]byte(nil), good[:12]...)
 			return append(b, 0xff, 0xff, 0xff, 0xff, 0x7f)
 		}(),
+		"huge blob length": func() []byte {
+			b := append([]byte(nil), good[:12]...)
+			return append(b, 1, 0xff, 0xff, 0xff, 0xff, 0x7f)
+		}(),
 	}
 	for name, data := range cases {
-		if _, err := decodeSeqs(data); err == nil {
-			t.Errorf("%s: decode accepted corrupt table", name)
+		if _, _, err := decodeCheckpoint(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt checkpoint", name)
 		}
 	}
 }
 
-func TestLoadSeqs(t *testing.T) {
+func TestLoadCheckpoint(t *testing.T) {
 	dir := t.TempDir()
-	// Missing file: fresh zeros.
-	seqs, err := loadSeqs(dir, 3)
+	// Missing file: fresh zeros, ok=false.
+	blobs, seqs, ok, err := loadCheckpoint(dir, 3, 3)
 	if err != nil {
 		t.Fatalf("missing file: %v", err)
 	}
-	if !reflect.DeepEqual(seqs, []uint64{0, 0, 0}) {
-		t.Fatalf("fresh table %v, want zeros", seqs)
+	if ok {
+		t.Fatal("missing file reported ok")
 	}
-	// Round trip through the atomic writer.
-	if err := writeFileAtomic(filepath.Join(dir, seqsFile), encodeSeqs([]uint64{5, 7})); err != nil {
+	if len(blobs) != 3 || !reflect.DeepEqual(seqs, []uint64{0, 0, 0}) {
+		t.Fatalf("fresh state %v / %v, want nils and zeros", blobs, seqs)
+	}
+	// Round trip through the durable writer.
+	if err := writeFileDurable(filepath.Join(dir, ckptFile),
+		encodeCheckpoint([][]byte{[]byte("b0"), []byte("b1")}, []uint64{5, 7})); err != nil {
 		t.Fatal(err)
 	}
-	// Loading with more tenants than saved pads with zeros (a restart
-	// with extra tenants configured must not fail).
-	seqs, err = loadSeqs(dir, 3)
+	// Loading with more shards than saved pads with nils/zeros (a
+	// restart with extra tenants configured must not fail).
+	blobs, seqs, ok, err = loadCheckpoint(dir, 3, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !ok {
+		t.Fatal("existing checkpoint reported missing")
+	}
+	if string(blobs[0]) != "b0" || string(blobs[1]) != "b1" || blobs[2] != nil {
+		t.Fatalf("loaded blobs %q", blobs)
+	}
 	if !reflect.DeepEqual(seqs, []uint64{5, 7, 0}) {
-		t.Fatalf("loaded %v, want [5 7 0]", seqs)
+		t.Fatalf("loaded seqs %v, want [5 7 0]", seqs)
+	}
+	// Shrinking the fleet below the checkpoint is loud.
+	if _, _, _, err := loadCheckpoint(dir, 1, 1); err == nil {
+		t.Fatal("checkpoint with more shards than configured loaded silently")
 	}
 	// Corruption is loud, not silent.
-	if err := os.WriteFile(filepath.Join(dir, seqsFile), []byte("garbage"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, ckptFile), []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadSeqs(dir, 3); err == nil {
-		t.Fatal("corrupt sequence table loaded silently")
+	if _, _, _, err := loadCheckpoint(dir, 3, 3); err == nil {
+		t.Fatal("corrupt checkpoint loaded silently")
+	}
+	// The durable writer leaves no temp droppings on success.
+	if _, err := os.Stat(filepath.Join(dir, ckptFile+".tmp")); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
 	}
 }

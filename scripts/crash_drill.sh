@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Binary-level kill -9 drill for treecached's write-ahead log, shared
+# by `make crash-drill` and CI. The drill boots the daemon with -wal,
+# streams a workload at it over loopback TCP (treesim -remote
+# -remote-hardkill), and SIGKILLs the daemon at three random points
+# mid-stream — no drain, no final fsync, no checkpoint beyond whatever
+# the 50ms background cadence landed. Each restart must recover
+# checkpoint + WAL tail before serving again; the driver rides through
+# on its retry budget. After the stream completes, treesim verifies the
+# cumulative ledger matches an uninterrupted local sequential run. A
+# final kill -9 + restart then re-checks from cold: the recovered
+# LastSeq must equal exactly the batches acknowledged (zero
+# acknowledged loss, nothing applied twice) and the ledger must still
+# match cost for cost.
+#
+# Usage: scripts/crash_drill.sh [bindir]   (default: bin)
+set -euo pipefail
+
+BIN=${1:-bin}
+ADDR=127.0.0.1:7642
+STATE=$(mktemp -d)
+DPID=""
+SIMPID=""
+trap '[ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null; [ -n "$SIMPID" ] && kill "$SIMPID" 2>/dev/null; rm -rf "$STATE"' EXIT
+
+# Tree/cost geometry must match between daemon and replayer.
+GEOM=(-tree binary -nodes 1023 -alpha 8 -capacity 128)
+ROUNDS=60000
+BATCH=64
+
+start_daemon() {
+  "$BIN/treecached" -addr "$ADDR" -admin "" -state-dir "$STATE" \
+    -wal -fsync-interval 2ms -checkpoint-interval 50ms \
+    -tenants 1 -queue 64 "${GEOM[@]}" &
+  DPID=$!
+  for _ in $(seq 1 100); do
+    (exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR#*:}") 2>/dev/null && exec 3>&- && return 0
+    sleep 0.1
+  done
+  echo "crash drill: daemon did not start listening on $ADDR" >&2
+  return 1
+}
+
+hard_kill() {
+  kill -9 "$DPID"
+  wait "$DPID" 2>/dev/null || true
+  DPID=""
+}
+
+echo "== boot with WAL, stream $ROUNDS rounds in the background =="
+start_daemon
+"$BIN/treesim" "${GEOM[@]}" -rounds "$ROUNDS" -seed 1 \
+  -remote "$ADDR" -remote-batch "$BATCH" -remote-hardkill &
+SIMPID=$!
+
+for i in 1 2 3; do
+  sleep "0.$((2 + RANDOM % 4))"
+  if ! kill -0 "$SIMPID" 2>/dev/null; then
+    echo "crash drill: driver finished before kill $i; drill continues" >&2
+    break
+  fi
+  echo "== kill $i: SIGKILL mid-stream, restart, recover from WAL =="
+  hard_kill
+  start_daemon
+done
+
+if ! wait "$SIMPID"; then
+  echo "crash drill: driver FAILED" >&2
+  exit 1
+fi
+SIMPID=""
+
+echo "== final kill -9 with everything acknowledged, verify from cold =="
+hard_kill
+start_daemon
+"$BIN/treesim" "${GEOM[@]}" -rounds "$ROUNDS" -seed 1 \
+  -remote "$ADDR" -remote-batch "$BATCH" -remote-hardkill -remote-from "$ROUNDS"
+hard_kill
+
+echo "crash drill: PASS"

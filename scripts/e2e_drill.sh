@@ -50,7 +50,7 @@ start_daemon
 
 echo "== SIGTERM: graceful drain must checkpoint and exit 0 =="
 stop_daemon
-ls "$STATE"/shard-*.tcsnap "$STATE"/seqs.bin >/dev/null
+ls "$STATE"/checkpoint.tcckpt >/dev/null
 
 echo "== run 2: restart from checkpoint, serve [$HALF,$ROUNDS), verify cumulative parity =="
 start_daemon
