@@ -1,7 +1,7 @@
 GO  ?= go
 BIN ?= bin
 
-.PHONY: build test race e2e crash-drill bench-smoke clean
+.PHONY: build test race e2e crash-drill bench-smoke bench-compare clean
 
 # build compiles every package and drops the binaries (treecached
 # daemon, treesim replayer/driver, experiments harness) into $(BIN).
@@ -36,7 +36,16 @@ crash-drill: build
 # count so the bench code cannot rot; real perf deltas come from
 # `experiments -bench-compare old.json new.json`.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkTC|BenchmarkEngineFleet|BenchmarkEngineBurst|BenchmarkDaemonLoopback' -benchtime 100x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkTC|BenchmarkEngineFleet|BenchmarkEngineBurst|BenchmarkDaemonLoopback|BenchmarkTreePar' -benchtime 100x -benchmem .
+
+# bench-compare gates a perf PR mechanically: record OLD=... from the
+# base commit and NEW=... from the candidate (both via
+# `experiments -bench-json file.json`), then compare with the shared
+# ±30% container-drift tolerance. Exits non-zero on regressions.
+OLD ?= BENCH_core.json
+NEW ?= bench_new.json
+bench-compare:
+	$(GO) run ./cmd/experiments -bench-compare -bench-tolerance 0.3 $(OLD) $(NEW)
 
 clean:
 	rm -rf $(BIN)

@@ -28,6 +28,25 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// GoMaxProcs is the scheduler width the row was measured under.
+	// Parallel rows (EngineFleet shards>1, TreePar) are only
+	// interpretable next to it: at 1 the intra-tree rows gate to the
+	// sequential path by design, so a flat delta there is the expected
+	// result, not a missing speedup. -bench-cpus sweeps it.
+	GoMaxProcs int `json:"gomaxprocs"`
+}
+
+// toResult converts a testing.Benchmark result to a JSON row, stamping
+// the GOMAXPROCS setting the measurement ran under.
+func toResult(name string, r testing.BenchmarkResult) benchResult {
+	return benchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
 }
 
 type benchFile struct {
@@ -51,14 +70,7 @@ type benchFile struct {
 // body is experiments.EngineFleetBench, shared with the repo-root
 // BenchmarkEngineFleet so the two measurements cannot drift apart.
 func runEngineBench(c experiments.EngineBenchCase) benchResult {
-	r := testing.Benchmark(func(b *testing.B) { experiments.EngineFleetBench(b, c) })
-	return benchResult{
-		Name:        c.Name,
-		Iterations:  r.N,
-		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-		AllocsPerOp: r.AllocsPerOp(),
-	}
+	return toResult(c.Name, testing.Benchmark(func(b *testing.B) { experiments.EngineFleetBench(b, c) }))
 }
 
 // runChurnBench measures one cell of the dynamic-topology churn grid
@@ -69,27 +81,23 @@ func runChurnBench(c experiments.ChurnBenchCase) benchResult {
 	if c.Shards > 0 {
 		body = experiments.EngineChurnBench
 	}
-	r := testing.Benchmark(func(b *testing.B) { body(b, c) })
-	return benchResult{
-		Name:        c.Name,
-		Iterations:  r.N,
-		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-		AllocsPerOp: r.AllocsPerOp(),
-	}
+	return toResult(c.Name, testing.Benchmark(func(b *testing.B) { body(b, c) }))
 }
 
 // runBurstBench measures one cell of the batched-serve burst grid
 // (body shared with the repo-root BenchmarkTCBurst / BenchmarkTCBurstSeq).
 func runBurstBench(c experiments.BurstBenchCase) benchResult {
-	r := testing.Benchmark(func(b *testing.B) { experiments.BurstBench(b, c) })
-	return benchResult{
-		Name:        c.Name,
-		Iterations:  r.N,
-		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-		AllocsPerOp: r.AllocsPerOp(),
-	}
+	return toResult(c.Name, testing.Benchmark(func(b *testing.B) { experiments.BurstBench(b, c) }))
+}
+
+// runTreeParBench measures one cell of the intra-tree parallelism grid
+// (body shared with the repo-root BenchmarkTreePar / BenchmarkTreeParSeq):
+// ns/op is per request served through one partitioned (or, for the
+// TreeParSeq control, plain sequential) instance. The parallel rows
+// gate on GOMAXPROCS, so sweep them with -bench-cpus to see both the
+// one-core pass-through and the multi-core wave dispatch.
+func runTreeParBench(c experiments.TreeParBenchCase) benchResult {
+	return toResult(c.Name, testing.Benchmark(func(b *testing.B) { experiments.TreeParBench(b, c) }))
 }
 
 // runDaemonBench measures one cell of the treecached loopback grid
@@ -97,42 +105,34 @@ func runBurstBench(c experiments.BurstBenchCase) benchResult {
 // per request driven by real wire clients through an in-process
 // daemon over loopback TCP, served and acknowledged.
 func runDaemonBench(c experiments.DaemonBenchCase) benchResult {
-	r := testing.Benchmark(func(b *testing.B) { experiments.DaemonLoopbackBench(b, c) })
-	return benchResult{
-		Name:        c.Name,
-		Iterations:  r.N,
-		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-		AllocsPerOp: r.AllocsPerOp(),
-	}
+	return toResult(c.Name, testing.Benchmark(func(b *testing.B) { experiments.DaemonLoopbackBench(b, c) }))
 }
 
 func runBenchCase(c experiments.BenchCase) benchResult {
 	t := c.Build()
 	rng := rand.New(rand.NewSource(1))
 	input := trace.RandomMixed(rng, t, 1<<16)
-	r := testing.Benchmark(func(b *testing.B) {
+	return toResult(c.Name, testing.Benchmark(func(b *testing.B) {
 		tc := core.New(t, core.Config{Alpha: 8, Capacity: c.Capacity})
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			tc.Serve(input[i&(1<<16-1)])
 		}
-	})
-	return benchResult{
-		Name:        c.Name,
-		Iterations:  r.N,
-		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-		AllocsPerOp: r.AllocsPerOp(),
-	}
+	}))
 }
 
 // emitBenchJSON runs the TC microbenchmarks and merges the results into
 // the JSON file at path. With asBaseline the results are stored under
 // "baseline" (preserving any existing "current"); otherwise under
 // "current" (preserving any existing "baseline").
-func emitBenchJSON(path string, asBaseline bool) error {
+//
+// cpus is the -bench-cpus sweep: the GOMAXPROCS settings to measure the
+// intra-tree parallelism (TreePar) grid under. Every other grid runs at
+// the ambient setting. nil or empty means ambient only; with more than
+// one value the swept rows carry a /cpus=N name suffix so the JSON
+// keeps every point.
+func emitBenchJSON(path string, asBaseline bool, cpus []int) error {
 	var file benchFile
 	raw, err := os.ReadFile(path)
 	switch {
@@ -152,7 +152,11 @@ func emitBenchJSON(path string, asBaseline bool) error {
 	churnCases := append(experiments.ChurnBenchCases(), experiments.EngineChurnCases()...)
 	engineCases := append(experiments.EngineBenchCases(), experiments.EngineBurstCases()...)
 	daemonCases := experiments.DaemonBenchCases()
-	results := make([]benchResult, 0, len(cases)+len(burstCases)+len(churnCases)+len(engineCases)+len(daemonCases))
+	treeParCases := experiments.TreeParBenchCases()
+	if len(cpus) == 0 {
+		cpus = []int{runtime.GOMAXPROCS(0)}
+	}
+	results := make([]benchResult, 0, len(cases)+len(burstCases)+len(churnCases)+len(engineCases)+len(daemonCases)+len(treeParCases)*len(cpus))
 	for _, c := range cases {
 		fmt.Fprintf(os.Stderr, "bench %s...\n", c.Name)
 		results = append(results, runBenchCase(c))
@@ -173,6 +177,24 @@ func emitBenchJSON(path string, asBaseline bool) error {
 		fmt.Fprintf(os.Stderr, "bench %s...\n", c.Name)
 		results = append(results, runDaemonBench(c))
 	}
+	ambient := runtime.GOMAXPROCS(0)
+	for _, procs := range cpus {
+		if procs <= 0 {
+			procs = ambient
+		}
+		runtime.GOMAXPROCS(procs)
+		for _, c := range treeParCases {
+			name := c.Name
+			if len(cpus) > 1 {
+				name = fmt.Sprintf("%s/cpus=%d", c.Name, procs)
+			}
+			fmt.Fprintf(os.Stderr, "bench %s...\n", name)
+			r := runTreeParBench(c)
+			r.Name = name
+			results = append(results, r)
+		}
+	}
+	runtime.GOMAXPROCS(ambient)
 	file.GeneratedBy = "cmd/experiments -bench-json"
 	file.GoVersion = runtime.Version()
 	file.GOOS = runtime.GOOS

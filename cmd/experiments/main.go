@@ -11,6 +11,8 @@
 //	experiments -bench-json BENCH_core.json # record TC microbenchmarks
 //	experiments -bench-json BENCH_core.json -bench-baseline
 //	                                        # record them as the baseline section
+//	experiments -bench-json out.json -bench-cpus 1,4
+//	                                        # sweep the TreePar grid across GOMAXPROCS
 //	experiments -bench-compare old.json new.json
 //	                                        # before/after delta table
 package main
@@ -19,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,15 +34,26 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "run the TC microbenchmarks and merge the results into this JSON file, then exit")
 	benchBaseline := flag.Bool("bench-baseline", false, "with -bench-json, store results under the persistent 'baseline' section instead of 'current'")
 	benchCompare := flag.Bool("bench-compare", false, "compare two bench JSON files (args: old.json new.json) and print a per-benchmark delta table, then exit")
-	benchTolerance := flag.Float64("bench-tolerance", 30, "with -bench-compare, exit non-zero only when a benchmark's ns/op regressed by more than this percentage (matches the ±30% container drift; 0 disables the gate)")
+	benchTolerance := flag.Float64("bench-tolerance", 30, "with -bench-compare, exit non-zero only when a benchmark's ns/op regressed by more than this percentage (matches the ±30% container drift; 0 disables the gate; values in (0,1] are read as fractions, so 0.3 == 30)")
+	benchCPUs := flag.String("bench-cpus", "", "with -bench-json, comma-separated GOMAXPROCS settings to sweep the TreePar grid across (e.g. '1,4'); empty = ambient setting only")
 	flag.Parse()
+
+	cpus, err := parseCPUList(*benchCPUs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *benchCompare {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "usage: experiments -bench-compare [-bench-tolerance pct] old.json new.json")
 			os.Exit(2)
 		}
-		if err := compareBenchJSON(flag.Arg(0), flag.Arg(1), *benchTolerance); err != nil {
+		tol := *benchTolerance
+		if tol > 0 && tol <= 1 {
+			tol *= 100
+		}
+		if err := compareBenchJSON(flag.Arg(0), flag.Arg(1), tol); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -47,11 +61,16 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		if err := emitBenchJSON(*benchJSON, *benchBaseline); err != nil {
+		if err := emitBenchJSON(*benchJSON, *benchBaseline, cpus); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
+	}
+
+	if *benchCPUs != "" {
+		fmt.Fprintln(os.Stderr, "-bench-cpus only applies with -bench-json")
+		os.Exit(2)
 	}
 
 	ids := experiments.IDs()
@@ -83,4 +102,26 @@ func main() {
 		}
 		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// parseCPUList parses the -bench-cpus value: a comma-separated list of
+// positive GOMAXPROCS settings. Empty means "ambient setting only".
+func parseCPUList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	cpus := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-bench-cpus: %q is not a positive integer", p)
+		}
+		cpus = append(cpus, n)
+	}
+	return cpus, nil
 }

@@ -253,7 +253,9 @@ func (a *TC) serveNegativeRun(v tree.NodeID, k int64) int64 {
 	a.negChainAdd(g, j)
 	a.payServeN(j)
 	if j == -hAw {
-		a.negFlipAt(w, hBw)
+		if r := a.negFlipAt(w, hBw); r != tree.None {
+			a.applyEvict(r)
+		}
 	}
 	return j
 }

@@ -924,6 +924,17 @@ func (a *TC) negLastRec(off, base, p, l, t, lo, hi, qr int32, acc int64) int32 {
 // ---------------------------------------------------------------------------
 
 func (a *TC) serveNegative(v tree.NodeID) {
+	if r := a.negServe(v); r != tree.None {
+		a.applyEvict(r)
+	}
+}
+
+// negServe advances the negative-side counter state for one paid
+// negative request on cached v and returns the root of the saturated
+// cap to evict, or tree.None when the cache stays put. The decision is
+// split from applyEvict so the partitioned serve path (shard.go) can
+// route the eviction through a shard-local view.
+func (a *TC) negServe(v tree.NodeID) tree.NodeID {
 	// Bump v's counter: hA(v) += 1 (hA = cnt − α + sA; the counter
 	// bump is absorbed directly by hA). Then propagate v's contribution
 	// change along the cached chain. The linear implementation rebuilt
@@ -952,21 +963,20 @@ func (a *TC) serveNegative(v tree.NodeID) {
 		// Was ≤ −2: contribution (0,0) before and after, and no
 		// eviction even if v roots its cached tree. The common case
 		// costs two slot loads total.
-		return
+		return tree.None
 	}
 	if up < 0 || a.nLeaf(up).hA <= notCachedHA/2 {
 		// v's parent is absent or non-cached (sentinel): v roots its
 		// cached tree, and its cap is saturated.
-		a.applyEvict(v)
-		return
+		return v
 	}
 	if hA == 0 {
 		// Flip −1 → 0: contribution (0,0) → (0, hB).
 		a.negPropagateB(up, hB)
-		return
+		return tree.None
 	}
 	// Was ≥ 0 and stays positive: contribution grows by (+1, 0).
-	a.negPropagateA(up)
+	return a.negPropagateA(up)
 }
 
 // negPropagateA climbs from slot g adding +1 to hA along the maximal
@@ -976,7 +986,8 @@ func (a *TC) serveNegative(v tree.NodeID) {
 // cached-tree root. By Lemma 5.1 the cached-tree root has hA < 0
 // between rounds, so the run can never climb past it; crossing the
 // cached boundary (sentinel slots) is therefore an invariant breach.
-func (a *TC) negPropagateA(g int32) {
+// Returns the saturated cached-tree root to evict, or tree.None.
+func (a *TC) negPropagateA(g int32) tree.NodeID {
 	for g >= 0 {
 		l := a.nLeaf(g)
 		if l.posF&cSegBit != 0 {
@@ -994,10 +1005,9 @@ func (a *TC) negPropagateA(g int32) {
 			}
 			a.negAddRange(base, i, p, 1, 0)
 			if hA+1 != 0 {
-				return // stays negative: contribution still (0,0)
+				return tree.None // stays negative: contribution still (0,0)
 			}
-			a.negFlipAt(base+i, hB)
-			return
+			return a.negFlipAt(base+i, hB)
 		}
 		// Uniform climb step on the record's own parent-slot pointer.
 		hAold := l.hA
@@ -1010,24 +1020,24 @@ func (a *TC) negPropagateA(g int32) {
 			continue
 		}
 		if hAold != -1 {
-			return // stays negative: contribution still (0,0)
+			return tree.None // stays negative: contribution still (0,0)
 		}
-		a.negFlipAt(g, l.hB)
-		return
+		return a.negFlipAt(g, l.hB)
 	}
 	panic("core: positive hval run reached the tree root (Lemma 5.1 breach)")
 }
 
 // negFlipAt handles the stopping node of a +1 propagation flipping
 // −1 → 0 at slot g: if it is its cached tree's root the saturated cap
-// is evicted, otherwise the hB delta propagates further up.
-func (a *TC) negFlipAt(g int32, hB int64) {
+// must be evicted (the root is returned), otherwise the hB delta
+// propagates further up and tree.None is returned.
+func (a *TC) negFlipAt(g int32, hB int64) tree.NodeID {
 	up := a.nL[g].up
 	if up < 0 || a.nLeaf(up).hA <= notCachedHA/2 {
-		a.applyEvict(a.t.NodeAtHeavySlot(g)) // saturated cached-tree root
-		return
+		return a.t.NodeAtHeavySlot(g) // saturated cached-tree root
 	}
 	a.negPropagateB(up, hB)
+	return tree.None
 }
 
 // negPropagateB climbs from slot g adding dB to hB along the run of

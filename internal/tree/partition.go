@@ -1,0 +1,88 @@
+package tree
+
+import "sort"
+
+// PartitionHeads picks up to maxPieces heavy-path heads with pairwise
+// disjoint subtrees — the cut set of the partitioned serve path
+// (internal/treepar). Cutting at heavy-path heads is what makes
+// parallel serving sound: a heavy path (and its lazy segment arena)
+// lies entirely on one side of every cut, so owners of different cuts
+// write disjoint slot ranges.
+//
+// The cuts are grown greedily: seed with the heads hanging off the
+// root's heavy path (every node except the root path itself lives
+// under exactly one of them), then repeatedly split the piece with the
+// largest subtree into the heads hanging off ITS heavy path, while the
+// budget allows and the piece dominates the partition (> n/(2·max)).
+// When a split point offers more heads than remaining budget, the
+// largest heads are taken and the rest stay covered by the unsplit
+// remainder — those nodes fall back to the sequential coordinator
+// region, like the root path itself.
+//
+// The result is deterministic, sorted by subtree size (largest first),
+// and may be empty (a pure path has no off-path heads). maxPieces < 2
+// returns nil.
+func (t *Tree) PartitionHeads(maxPieces int) []NodeID {
+	if maxPieces < 2 || t.Len() < 2 {
+		return nil
+	}
+	var cuts []NodeID
+	// offPathHeads appends the heads hanging off v's heavy path: every
+	// light child of every node on the path from v down to its end.
+	offPathHeads := func(dst []NodeID, v NodeID) []NodeID {
+		for w := v; w != None; w = t.HeavyChild(w) {
+			for _, c := range t.Children(w) {
+				if c != t.HeavyChild(w) {
+					dst = append(dst, c)
+				}
+			}
+		}
+		return dst
+	}
+	bySize := func(s []NodeID) {
+		sort.Slice(s, func(i, j int) bool {
+			si, sj := t.SubtreeSize(s[i]), t.SubtreeSize(s[j])
+			if si != sj {
+				return si > sj
+			}
+			return s[i] < s[j]
+		})
+	}
+	cuts = offPathHeads(cuts, t.Root())
+	bySize(cuts)
+	if len(cuts) > maxPieces {
+		cuts = cuts[:maxPieces]
+	}
+	if len(cuts) == 0 {
+		return nil
+	}
+	// Split the dominating piece until the partition is balanced
+	// enough or the budget is spent. Each split replaces one cut with
+	// all heads off its own heavy path (only if they all fit — a
+	// partial split of an inner piece would leave its remainder
+	// unowned, unlike the root seeding whose remainder the coordinator
+	// serves anyway).
+	threshold := t.Len() / (2 * maxPieces)
+	var scratch []NodeID
+	for len(cuts) < maxPieces {
+		bySize(cuts)
+		split := -1
+		for i, c := range cuts {
+			if t.SubtreeSize(c) <= threshold {
+				break // size-sorted: nothing further dominates
+			}
+			scratch = offPathHeads(scratch[:0], c)
+			if len(scratch) > 0 && len(cuts)-1+len(scratch) <= maxPieces {
+				split = i
+				break
+			}
+		}
+		if split < 0 {
+			break
+		}
+		cuts = append(cuts[:split], cuts[split+1:]...)
+		cuts = append(cuts, scratch...)
+	}
+	bySize(cuts)
+	return cuts
+}

@@ -1,0 +1,65 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPartitionHeads checks the structural contract on varied shapes:
+// every cut is a heavy-path head, subtrees are pairwise disjoint, the
+// budget holds, ordering is deterministic largest-first, and non-cut
+// nodes outside every cut all lie on root-side paths (the coordinator
+// region is exactly the complement of the cut subtrees).
+func TestPartitionHeads(t *testing.T) {
+	shapes := []struct {
+		name string
+		t    *Tree
+	}{
+		{"binary", CompleteKary(4095, 2)},
+		{"ternary", CompleteKary(1093, 3)},
+		{"star", Star(100)},
+		{"caterpillar", Caterpillar(64, 3)},
+		{"random", Random(rand.New(rand.NewSource(2)), 2048, 2)},
+		{"random-deep", Random(rand.New(rand.NewSource(4)), 2048, 6)},
+	}
+	for _, sh := range shapes {
+		for _, budget := range []int{2, 4, 16, 64} {
+			cuts := sh.t.PartitionHeads(budget)
+			if len(cuts) > budget {
+				t.Fatalf("%s/max=%d: %d cuts exceed the budget", sh.name, budget, len(cuts))
+			}
+			for i, c := range cuts {
+				if sh.t.HeavyPos(c) != 0 {
+					t.Fatalf("%s/max=%d: cut %d is not a heavy-path head", sh.name, budget, c)
+				}
+				if i > 0 {
+					si, sj := sh.t.SubtreeSize(cuts[i-1]), sh.t.SubtreeSize(c)
+					if si < sj || (si == sj && cuts[i-1] > c) {
+						t.Fatalf("%s/max=%d: cuts not size-ordered at %d: %v", sh.name, budget, i, cuts)
+					}
+				}
+				for _, d := range cuts[:i] {
+					if sh.t.IsAncestorOrSelf(c, d) || sh.t.IsAncestorOrSelf(d, c) {
+						t.Fatalf("%s/max=%d: cuts %d and %d overlap", sh.name, budget, c, d)
+					}
+				}
+			}
+			// Determinism: a second call yields the identical slice.
+			again := sh.t.PartitionHeads(budget)
+			if len(again) != len(cuts) {
+				t.Fatalf("%s/max=%d: non-deterministic cut count", sh.name, budget)
+			}
+			for i := range cuts {
+				if cuts[i] != again[i] {
+					t.Fatalf("%s/max=%d: non-deterministic cuts: %v vs %v", sh.name, budget, cuts, again)
+				}
+			}
+		}
+	}
+	if cuts := Path(256).PartitionHeads(8); cuts != nil {
+		t.Fatalf("a pure path has off-path heads? %v", cuts)
+	}
+	if cuts := CompleteKary(1023, 2).PartitionHeads(1); cuts != nil {
+		t.Fatalf("budget 1 must return nil, got %v", cuts)
+	}
+}

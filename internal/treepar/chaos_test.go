@@ -1,0 +1,120 @@
+// Engine-supervision chaos drill for partitioned shards, mirroring
+// the PR-6 fault suite: deterministic panics land between waves (the
+// fault wrapper fires after the inner ServeBatch prefix) and the
+// engine's supervisor restores the shard from its last checkpoint and
+// replays the journal — through the partitioned instance, whose
+// partition must follow the restored inner state. Run with -race.
+package treepar_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/faultinject"
+	"repro/internal/trace"
+	"repro/internal/tree"
+	"repro/internal/treepar"
+)
+
+func TestTreeParChaosSupervision(t *testing.T) {
+	const shards = 2
+	trees := [shards]*tree.Tree{
+		tree.CompleteKary(511, 2),
+		tree.Random(rand.New(rand.NewSource(17)), 600, 3),
+	}
+	cfgs := [shards]core.MutableConfig{
+		{Config: core.Config{Alpha: 4, Capacity: 128}},
+		{Config: core.Config{Alpha: 2, Capacity: 150}},
+	}
+	injs := [shards]*faultinject.Injector{faultinject.NewInjector(), faultinject.NewInjector()}
+	// Shard 0: panic mid-stream, several checkpoints in. Shard 1: a
+	// corrupted checkpoint capture (the verifier must reject it) and a
+	// later panic recovering from the older checkpoint with a longer
+	// journal replay.
+	injs[0].Arm(faultinject.ServeRequest, 700)
+	injs[1].Arm(faultinject.Checkpoint, 2)
+	injs[1].Arm(faultinject.ServeRequest, 1100)
+
+	ms := [shards]*core.MutableTC{}
+	pars := [shards]*treepar.TC{}
+	eng := engine.New(engine.Config{
+		Shards:          shards,
+		QueueLen:        4,
+		CheckpointEvery: 3,
+		NewShard: func(i int) engine.Algorithm {
+			ms[i] = core.NewMutable(trees[i], cfgs[i])
+			pars[i] = treepar.NewMutable(ms[i], treepar.Options{Shards: 4, MinWave: 1, ForceWaves: true})
+			return faultinject.Wrap(pars[i], injs[i])
+		},
+	})
+	defer eng.Close()
+
+	rng := rand.New(rand.NewSource(29))
+	traces := [shards]trace.Trace{}
+	for i := range traces {
+		traces[i] = trace.RandomMixed(rng, trees[i], 2000)
+	}
+	const batchLen = 64
+	for i, tr := range traces {
+		for pos := 0; pos < len(tr); pos += batchLen {
+			end := pos + batchLen
+			if end > len(tr) {
+				end = len(tr)
+			}
+			if err := eng.Submit(i, tr[pos:end]); err != nil {
+				t.Fatalf("submit shard %d: %v", i, err)
+			}
+		}
+	}
+	eng.Drain()
+
+	st := eng.Stats()
+	if st.Restarts != 2 {
+		t.Fatalf("restarts = %d, want 2 (one per armed panic)", st.Restarts)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("dropped = %d, want 0: no accepted batch may be lost", st.Dropped)
+	}
+	if st.Shards[1].CkptErrs == 0 {
+		t.Fatalf("shard 1 reported no checkpoint errors; the corrupted capture was accepted")
+	}
+	for i := range traces {
+		if got := st.Shards[i].Rounds; got != int64(len(traces[i])) {
+			t.Fatalf("shard %d served %d rounds, want %d", i, got, len(traces[i]))
+		}
+	}
+
+	for i := range traces {
+		ps := pars[i].Stats()
+		if ps.Waves == 0 {
+			t.Fatalf("shard %d dispatched no parallel waves: %+v", i, ps)
+		}
+		if ps.Repartitions < 2 {
+			// Initial build plus at least the post-restore rebuild.
+			t.Fatalf("shard %d partition did not follow the restore: %+v", i, ps)
+		}
+		ref := core.NewMutable(trees[i], cfgs[i])
+		for pos := 0; pos < len(traces[i]); pos += batchLen {
+			end := pos + batchLen
+			if end > len(traces[i]) {
+				end = len(traces[i])
+			}
+			ref.ServeBatch(traces[i][pos:end])
+		}
+		m := ms[i]
+		if m.Ledger() != ref.Ledger() {
+			t.Fatalf("shard %d: ledger %+v, sequential oracle %+v", i, m.Ledger(), ref.Ledger())
+		}
+		for v := 0; v < trees[i].Len(); v++ {
+			id := tree.NodeID(v)
+			if m.Cached(id) != ref.Cached(id) {
+				t.Fatalf("shard %d: cached flag of node %d diverged", i, v)
+			}
+			if m.Counter(id) != ref.Counter(id) {
+				t.Fatalf("shard %d: counter of node %d: fleet %d, oracle %d", i, v, m.Counter(id), ref.Counter(id))
+			}
+		}
+	}
+}

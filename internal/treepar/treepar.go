@@ -1,0 +1,697 @@
+// Package treepar serves ONE tree with intra-tree parallelism: the
+// tree is partitioned into subtree shards cut at heavy-path heads
+// (tree.PartitionHeads), each wave of requests is routed to per-shard
+// single-writer owner goroutines, and everything a request does above
+// its cut — root-path key bumps, fetch/evict aggregate adjustments —
+// is accumulated into per-cut frontier messages and applied once at
+// the wave barrier (the SPAA'21 stepping-algorithm discipline: process
+// a wave locally, exchange boundary updates, repeat).
+//
+// The result is EXACTLY the sequential TC: same costs, same per-node
+// counters, same cache members, same phase boundaries. The wave
+// planner only admits a parallel wave when the sequential replay could
+// not have crossed a boundary in a way the frontier cannot carry:
+//
+//   - a request outside every cut (the coordinator region around the
+//     root's heavy path) ends the wave and is served sequentially;
+//   - a cut whose parent is cached is "blocked" (an eviction chain
+//     could climb past the cut): its requests serve sequentially;
+//   - capacity: pre-wave occupancy plus Σ |P(cut)| over cuts with
+//     counted positives must fit, so no interleaving can trigger a
+//     phase flush mid-wave;
+//   - saturation: the number of admitted positive bumps stays below
+//     the minimum above-cut slack (−max key over the cut parents' root
+//     paths), so no above-cut key can saturate mid-wave — the topmost
+//     saturated node of every fetch stays inside its shard.
+//
+// Slack is cached per cut and discounted by a global bump clock, so
+// steady-state planning is O(1) per request; the exact O(log² n) query
+// re-runs only when the hint gets tight or the phase changes.
+package treepar
+
+import (
+	"errors"
+	"math"
+	"runtime"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/snapshot"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// Options tunes the partitioned serve path.
+type Options struct {
+	// Shards is the number of owner goroutines (≥ 2 to parallelize;
+	// < 2 makes the instance a sequential pass-through).
+	Shards int
+	// WaveLen caps how many requests one wave admits (default 1024).
+	WaveLen int
+	// MaxCuts caps the partition size (default 8×Shards, min 16).
+	// More cuts than owners lets the LPT assignment balance skewed
+	// trees; each owner serves all its cuts in wave order.
+	MaxCuts int
+	// MinWave is the smallest planned span worth dispatching to owner
+	// goroutines (default 16); shorter spans serve sequentially via
+	// the batched path, which is cheaper than a barrier.
+	MinWave int
+	// ForceWaves disables the single-processor gate: by default the
+	// instance serves sequentially while runtime.GOMAXPROCS(0) < 2 —
+	// wave planning and barrier hand-offs cannot be repaid without a
+	// second processor, so gating keeps the partitioned instance
+	// within noise of the sequential path on one-core hosts. The
+	// differential and chaos tests set ForceWaves to exercise the wave
+	// protocol regardless of the host's processor count.
+	ForceWaves bool
+	// FaultHook, when non-nil, runs in the owner goroutine before each
+	// shard request as (owner, index-within-owner-jobs) — the chaos
+	// tests panic inside it to crash an owner mid-wave. A hook panic
+	// before a request is a boundary-clean fault: the coordinator
+	// completes the owner's remaining work sequentially after the
+	// barrier and the wave commits exactly. Never set in production.
+	FaultHook func(owner, served int)
+}
+
+// Stats counts how the request stream split between the parallel and
+// sequential paths.
+type Stats struct {
+	Waves        int64 // parallel waves dispatched (incl. inline)
+	WaveReqs     int64 // requests served inside parallel waves
+	SeqReqs      int64 // requests served sequentially
+	InlineWaves  int64 // waves with one active owner, served inline
+	OwnerFaults  int64 // owner panics recovered at a request boundary
+	Repartitions int64
+}
+
+type cutMeta struct {
+	node  tree.NodeID
+	slot  int32
+	owner int32
+
+	// Slack hint: how many positive bumps the above-cut root path
+	// could absorb when the hint was computed (slackClock's value of
+	// the global bump clock); invalid when slackGen is stale.
+	slack      int64
+	slackClock int64
+	slackGen   uint32
+
+	// Per-wave planning state, valid while stamp == the planner's wave.
+	stamp   uint32
+	blocked bool
+	counted bool
+	sawNeg  bool
+}
+
+type shardReq struct {
+	req trace.Request // dense ids
+	cut int32
+	idx int32 // index within the wave: the sequential replay order
+}
+
+type ownerResult struct {
+	owner    int
+	served   int
+	pval     any
+	boundary bool // panic hit at a request boundary: remainder completable
+}
+
+// TC is a partitioned tree-cache instance. It wraps either a static
+// core.TC or a core.MutableTC and implements the engine's Algorithm,
+// BatchServer, TopologyServer and Checkpointer surfaces, so it drops
+// into a shard slot wherever the sequential instance does. Not safe
+// for concurrent use by multiple callers — like the sequential TC it
+// is a single-writer structure; the parallelism is internal.
+type TC struct {
+	mut *core.MutableTC // non-nil in dynamic-topology mode
+	seq *core.TC        // current inner dense-id instance
+	t   *tree.Tree
+	opt Options
+
+	cuts  []cutMeta
+	cutOf []int32 // dense node → cut index; −1 = coordinator region
+	fr    []core.Frontier
+	frHot []int32
+
+	views []*core.ShardView
+	jobs  [][]shardReq
+	work  []chan struct{}
+	done  chan ownerResult
+
+	wave      uint32
+	slackGen  uint32
+	bumpClock int64
+	lastPhase int64
+	involved  []int32
+
+	needPart bool
+	disabled bool // observer attached or Shards < 2: permanent sequential
+	started  bool
+	closed   bool
+
+	stats Stats
+}
+
+func normalize(opt Options) Options {
+	if opt.WaveLen <= 0 {
+		opt.WaveLen = 1024
+	}
+	if opt.MaxCuts <= 0 {
+		opt.MaxCuts = 8 * opt.Shards
+		if opt.MaxCuts < 16 {
+			opt.MaxCuts = 16
+		}
+	}
+	if opt.MinWave <= 0 {
+		opt.MinWave = 16
+	}
+	return opt
+}
+
+// New wraps a static TC. The wrapped instance must not be served
+// through a directly anymore.
+func New(a *core.TC, opt Options) *TC {
+	p := &TC{seq: a, t: a.Tree(), opt: normalize(opt), needPart: true}
+	p.disabled = a.Observed() || p.opt.Shards < 2
+	return p
+}
+
+// NewMutable wraps a dynamic-topology instance. Parallel waves run
+// only while the overlay is quiescent (no pending mutations, overlay
+// leaves or phantom pins); otherwise every request serves sequentially
+// through m. The partition is keyed on m's inner snapshot instance and
+// rebuilt after every topology rebuild or restore.
+func NewMutable(m *core.MutableTC, opt Options) *TC {
+	p := &TC{mut: m, seq: m.Core(), t: m.Snapshot(), opt: normalize(opt), needPart: true}
+	p.disabled = m.Observed() || p.opt.Shards < 2
+	return p
+}
+
+// Stats returns the path-split counters.
+func (p *TC) Stats() Stats { return p.stats }
+
+// Cuts returns the current cut nodes (dense ids), largest subtree
+// first; empty while the partition is unbuilt or impossible.
+func (p *TC) Cuts() []tree.NodeID {
+	out := make([]tree.NodeID, len(p.cuts))
+	for i := range p.cuts {
+		out[i] = p.cuts[i].node
+	}
+	return out
+}
+
+// Close stops the owner goroutines. Idempotent; the engine calls it
+// when a shard worker retires the algorithm.
+func (p *TC) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if p.started {
+		for _, c := range p.work {
+			close(c)
+		}
+		p.started = false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sequential facade (engine.Algorithm etc.).
+// ---------------------------------------------------------------------------
+
+func (p *TC) Name() string { return "TCPar" }
+
+func (p *TC) CacheLen() int {
+	if p.mut != nil {
+		return p.mut.CacheLen()
+	}
+	return p.seq.CacheLen()
+}
+
+func (p *TC) MaxCacheLen() int {
+	if p.mut != nil {
+		return p.mut.MaxCacheLen()
+	}
+	return p.seq.MaxCacheLen()
+}
+
+func (p *TC) Ledger() cache.Ledger {
+	if p.mut != nil {
+		return p.mut.Ledger()
+	}
+	return p.seq.Ledger()
+}
+
+// Serve serves one request sequentially (a single request never wins
+// from a wave barrier); it exists so the instance drops into the
+// engine's per-request path.
+func (p *TC) Serve(req trace.Request) (int64, int64) {
+	return p.serveSeqOne(req)
+}
+
+// ApplyTopology forwards mutations to the wrapped MutableTC; the
+// partition rebuilds once the overlay quiesces (after its amortized
+// rebuild), and requests serve sequentially in between.
+func (p *TC) ApplyTopology(muts []trace.Mutation) error {
+	if p.mut == nil {
+		return errors.New("treepar: static instance cannot mutate topology")
+	}
+	err := p.mut.ApplyTopology(muts)
+	p.needPart = true
+	return err
+}
+
+// Snapshot captures the full state via internal/snapshot (dynamic
+// instances only, like the sequential engine shard).
+func (p *TC) Snapshot() ([]byte, error) {
+	if p.mut == nil {
+		return nil, errors.New("treepar: static instance is not checkpointable")
+	}
+	return snapshot.Capture(p.mut)
+}
+
+// Restore replaces the full state from a snapshot blob and invalidates
+// the partition (the inner instance is rebuilt).
+func (p *TC) Restore(data []byte) error {
+	if p.mut == nil {
+		return errors.New("treepar: static instance is not checkpointable")
+	}
+	err := snapshot.RestoreInto(p.mut, data)
+	p.needPart = true
+	p.slackGen++
+	return err
+}
+
+// VerifySnapshot validates a blob without applying it.
+func (p *TC) VerifySnapshot(data []byte) error { return snapshot.Verify(data) }
+
+func (p *TC) serveSeqOne(req trace.Request) (int64, int64) {
+	if req.Kind == trace.Positive {
+		p.bumpClock++
+	}
+	p.stats.SeqReqs++
+	if p.mut != nil {
+		return p.mut.Serve(req)
+	}
+	return p.seq.Serve(req)
+}
+
+func (p *TC) serveSeqSpan(span trace.Trace) {
+	// Invalidate every slack hint wholesale rather than counting the
+	// span's positives into bumpClock: long sequential spans (gated or
+	// wave-rejected) would pay a pass over the span for bookkeeping
+	// the next wave can recompute with one refresh per involved cut.
+	if len(span) > 0 {
+		p.slackGen++
+	}
+	p.stats.SeqReqs += int64(len(span))
+	if p.mut != nil {
+		p.mut.ServeBatch(span)
+	} else {
+		p.seq.ServeBatch(span)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The wave loop.
+// ---------------------------------------------------------------------------
+
+// ServeBatch serves a batch with the same exact semantics as the
+// sequential TC.ServeBatch: wave-admissible spans fan out across the
+// owner goroutines, everything else (coordinator-region requests,
+// blocked cuts, tiny spans, non-quiescent overlays) serves
+// sequentially in order.
+func (p *TC) ServeBatch(batch trace.Trace) (int64, int64) {
+	led0 := p.Ledger()
+	for i := 0; i < len(batch); {
+		if !p.parReady() {
+			p.serveSeqSpan(batch[i:])
+			break
+		}
+		end := p.planWave(batch, i)
+		switch {
+		case end == i:
+			// The head request is not wave-admissible: serve it (and
+			// whatever the next plan rejects again) sequentially.
+			p.serveSeqOne(batch[i])
+			i++
+		case end-i < p.opt.MinWave:
+			p.serveSeqSpan(batch[i:end])
+			i = end
+		default:
+			p.dispatch(end - i)
+			i = end
+		}
+	}
+	led1 := p.Ledger()
+	return led1.Serve - led0.Serve, led1.Move - led0.Move
+}
+
+// parReady reports whether parallel waves may run right now,
+// repartitioning first when the inner snapshot changed.
+func (p *TC) parReady() bool {
+	if p.disabled || p.closed {
+		return false
+	}
+	if !p.opt.ForceWaves && runtime.GOMAXPROCS(0) < 2 {
+		return false
+	}
+	if p.mut != nil {
+		if !p.mut.Quiesced() {
+			return false
+		}
+		if p.mut.Core() != p.seq {
+			p.needPart = true
+		}
+	}
+	if p.needPart && !p.repartition() {
+		return false
+	}
+	if len(p.cuts) == 0 {
+		return false
+	}
+	if ph := p.seq.Phase(); ph != p.lastPhase {
+		// A phase flush (sequential serves only; waves cannot flush)
+		// reset every key: all slack hints are stale.
+		p.lastPhase = ph
+		p.slackGen++
+	}
+	return true
+}
+
+func (p *TC) repartition() bool {
+	inner, t := p.seq, p.t
+	if p.mut != nil {
+		inner, t = p.mut.Core(), p.mut.Snapshot()
+	}
+	p.seq, p.t = inner, t
+	p.needPart = false
+	p.slackGen++
+	p.lastPhase = inner.Phase()
+	p.stats.Repartitions++
+
+	heads := t.PartitionHeads(p.opt.MaxCuts)
+	p.cuts = p.cuts[:0]
+	for _, h := range heads {
+		p.cuts = append(p.cuts, cutMeta{node: h, slot: t.HeavySlot(h)})
+	}
+	// LPT owner assignment: heads come largest-first, each goes to the
+	// least-loaded owner.
+	var loads [256]int
+	load := loads[:p.opt.Shards]
+	for i := range p.cuts {
+		best := 0
+		for o := 1; o < len(load); o++ {
+			if load[o] < load[best] {
+				best = o
+			}
+		}
+		p.cuts[i].owner = int32(best)
+		load[best] += t.SubtreeSize(p.cuts[i].node)
+	}
+	if cap(p.cutOf) < t.Len() {
+		p.cutOf = make([]int32, t.Len())
+	}
+	p.cutOf = p.cutOf[:t.Len()]
+	for i := range p.cutOf {
+		p.cutOf[i] = -1
+	}
+	pre := t.Preorder()
+	for ci := range p.cuts {
+		lo, hi := t.PreorderInterval(p.cuts[ci].node)
+		for i := lo; i < hi; i++ {
+			p.cutOf[pre[i]] = int32(ci)
+		}
+	}
+	p.fr = make([]core.Frontier, len(p.cuts))
+	if p.views == nil {
+		p.views = make([]*core.ShardView, p.opt.Shards)
+	}
+	for o := range p.views {
+		p.views[o] = core.NewShardView(inner)
+	}
+	if p.jobs == nil {
+		p.jobs = make([][]shardReq, p.opt.Shards)
+	}
+	for o := range p.jobs {
+		p.jobs[o] = p.jobs[o][:0]
+	}
+	return len(p.cuts) > 0
+}
+
+// planWave scans batch[start:] and routes the longest admissible
+// prefix into per-owner job lists, returning the exclusive end of the
+// planned span. end == start means the head request itself is not
+// admissible. See the package comment for the admission rules.
+func (p *TC) planWave(batch trace.Trace, start int) int {
+	p.wave++
+	for o := range p.jobs {
+		p.jobs[o] = p.jobs[o][:0]
+	}
+	p.involved = p.involved[:0]
+	a := p.seq
+	var dyn *tree.Dyn
+	if p.mut != nil {
+		dyn = p.mut.Dyn()
+	}
+	capa := a.Capacity()
+	preLen := a.CacheLen()
+	capNeed := 0
+	var pTot int64
+	minSlack := int64(math.MaxInt64)
+	end := start
+	limit := start + p.opt.WaveLen
+	if limit > len(batch) {
+		limit = len(batch)
+	}
+	for end < limit {
+		req := batch[end]
+		g := req.Node
+		if dyn != nil {
+			if !dyn.Live(g) {
+				// A dead stable id is a free no-op (no round, no
+				// cost) in the sequential order too: skip it.
+				end++
+				continue
+			}
+			g = dyn.Dense(g)
+		}
+		ci := p.cutOf[g]
+		if ci < 0 {
+			break // coordinator region: wave breaker
+		}
+		c := &p.cuts[ci]
+		if c.stamp != p.wave {
+			c.stamp = p.wave
+			c.blocked = a.Cached(p.t.Parent(c.node))
+			c.counted = false
+			c.sawNeg = false
+			if !c.blocked {
+				a.WarmBoundary(c.node)
+				p.involved = append(p.involved, ci)
+			}
+		}
+		if c.blocked {
+			break // a cached tree spans the cut: escalate sequentially
+		}
+		if req.Kind == trace.Negative {
+			c.sawNeg = true
+		} else if !(a.Cached(g) && !c.sawNeg) {
+			// A positive to a node cached at plan time, with no earlier
+			// negative in its cut this wave, is provably free at
+			// execution too: intra-cut fetches only add members and no
+			// other shard can touch this cut's membership. Everything
+			// else is conservatively counted as a potential paid bump.
+			if !c.counted {
+				miss := int(a.MissingBelow(c.node))
+				if preLen+capNeed+miss > capa {
+					break // a fetch could overflow: no phase flush mid-wave
+				}
+				s := p.cutSlack(c)
+				if pTot >= s {
+					break
+				}
+				c.counted = true
+				capNeed += miss
+				if s < minSlack {
+					minSlack = s
+				}
+			}
+			if pTot+1 >= minSlack {
+				break // one more bump could saturate an above-cut key
+			}
+			pTot++
+		}
+		p.jobs[c.owner] = append(p.jobs[c.owner], shardReq{
+			req: trace.Request{Node: g, Kind: req.Kind},
+			cut: ci,
+			idx: int32(end - start),
+		})
+		end++
+	}
+	p.bumpClock += pTot
+	return end
+}
+
+// cutSlack returns a sound lower bound on how many further positive
+// bumps the root path above c can absorb: the cached hint discounted
+// by the bumps since it was computed, re-derived exactly (one
+// O(log² n) prefix-max per heavy path) when stale or tight.
+func (p *TC) cutSlack(c *cutMeta) int64 {
+	if c.slackGen == p.slackGen {
+		if eff := c.slack - (p.bumpClock - c.slackClock); eff > int64(p.opt.WaveLen) {
+			return eff
+		}
+	}
+	c.slack = p.seq.AboveCutSlack(c.node)
+	c.slackGen = p.slackGen
+	c.slackClock = p.bumpClock
+	return c.slack
+}
+
+// dispatch runs the planned wave: owners serve their job lists
+// concurrently, the coordinator waits the barrier, completes any
+// boundary-clean owner fault sequentially, commits the views and
+// applies the frontiers. nReq is the planned span length (stats only).
+func (p *TC) dispatch(nReq int) {
+	a := p.seq
+	preLen := a.CacheLen()
+	active, last := 0, -1
+	for o := range p.jobs {
+		if len(p.jobs[o]) > 0 {
+			active++
+			last = o
+		}
+	}
+	if active == 0 {
+		return // the whole span was dead-id no-ops
+	}
+	p.stats.Waves++
+	p.stats.WaveReqs += int64(nReq)
+	var torn any
+	if active == 1 && p.opt.FaultHook == nil {
+		// One active owner: a barrier buys nothing, serve inline on
+		// the coordinator through the same view/frontier path.
+		p.stats.InlineWaves++
+		if res := p.serveOwned(last); res.pval != nil {
+			torn = res.pval
+		}
+	} else {
+		p.ensureWorkers()
+		for o := range p.jobs {
+			if len(p.jobs[o]) > 0 {
+				p.work[o] <- struct{}{}
+			}
+		}
+		fails := 0
+		var failed [3]ownerResult
+		for i := 0; i < active; i++ {
+			if res := <-p.done; res.pval != nil {
+				if fails < len(failed) {
+					failed[fails] = res
+				}
+				fails++
+			}
+		}
+		// Every owner reached the barrier (panics are recovered inside
+		// serveOwned, so a fault can never leave the coordinator
+		// waiting). Boundary-clean faults — the supervised-restart
+		// drill — are completed here: the owner's remaining requests
+		// run on the coordinator against the same view, which is exact
+		// because the other shards' state is disjoint.
+		for i := 0; i < fails && i < len(failed); i++ {
+			res := failed[i]
+			if !res.boundary {
+				torn = res.pval
+				continue
+			}
+			p.stats.OwnerFaults++
+			p.resumeOwned(res.owner, res.served)
+		}
+	}
+	if torn != nil {
+		// A panic inside the serve core left this shard's state torn:
+		// no exact completion is possible. Drop the partition and
+		// re-panic so the engine's supervision (checkpoint restore +
+		// journal replay) takes over; the views' journals die with it.
+		p.needPart = true
+		p.slackGen++
+		panic(torn)
+	}
+	a.CommitWave(p.views, preLen)
+	p.frHot = p.frHot[:0]
+	for _, ci := range p.involved {
+		if f := p.fr[ci]; f != (core.Frontier{}) {
+			p.fr[ci] = core.Frontier{}
+			a.ApplyFrontier(p.cuts[ci].node, f)
+			p.frHot = append(p.frHot, ci)
+		}
+	}
+	// Refresh the touched cuts' slack hints only after ALL frontiers
+	// applied (a pending positive frontier on a shared ancestor would
+	// otherwise inflate a hint whose clock already includes the wave).
+	for _, ci := range p.frHot {
+		c := &p.cuts[ci]
+		c.slack = a.AboveCutSlack(c.node) // also asserts keys < 0 post-wave
+		c.slackGen = p.slackGen
+		c.slackClock = p.bumpClock
+	}
+}
+
+// serveOwned serves owner o's job list against its shard view. It runs
+// on an owner goroutine (or inline on the coordinator for single-owner
+// waves) and converts panics into an ownerResult instead of unwinding,
+// so the barrier always completes.
+func (p *TC) serveOwned(o int) (res ownerResult) {
+	res.owner = o
+	res.boundary = true
+	defer func() { res.pval = recover() }()
+	sv := p.views[o]
+	jobs := p.jobs[o]
+	for j := 0; j < len(jobs); j++ {
+		if h := p.opt.FaultHook; h != nil {
+			h(o, j)
+		}
+		res.boundary = false
+		sr := &jobs[j]
+		sv.ServeShard(sr.req, p.cuts[sr.cut].slot, &p.fr[sr.cut], sr.idx)
+		res.served = j + 1
+		res.boundary = true
+	}
+	return res
+}
+
+// resumeOwned completes a boundary-clean failed owner's remainder on
+// the coordinator, after all owners reached the barrier. The fault
+// hook is not re-fired: the model is a transient owner crash whose
+// supervisor finishes the wave.
+func (p *TC) resumeOwned(o, from int) {
+	sv := p.views[o]
+	jobs := p.jobs[o]
+	for j := from; j < len(jobs); j++ {
+		sr := &jobs[j]
+		sv.ServeShard(sr.req, p.cuts[sr.cut].slot, &p.fr[sr.cut], sr.idx)
+	}
+}
+
+// ensureWorkers starts the owner goroutines on first parallel
+// dispatch. Owners block on their work channel between waves; all
+// coordinator writes (jobs, views, frontiers, partition) happen before
+// the send, all owner writes before the done reply, so every wave has
+// clean happens-before edges and runs race-detector-clean.
+func (p *TC) ensureWorkers() {
+	if p.started {
+		return
+	}
+	p.started = true
+	p.work = make([]chan struct{}, p.opt.Shards)
+	p.done = make(chan ownerResult, p.opt.Shards)
+	for o := 0; o < p.opt.Shards; o++ {
+		p.work[o] = make(chan struct{})
+		go func(o int) {
+			for range p.work[o] {
+				p.done <- p.serveOwned(o)
+			}
+		}(o)
+	}
+}

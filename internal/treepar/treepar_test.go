@@ -1,0 +1,474 @@
+// Differential suite for the intra-tree parallel serve path: every
+// test pins the partitioned instance bit-for-bit against the
+// sequential TC — same costs, same per-node counters, same cache
+// members, same phase and peak-occupancy trajectory. Run with -race;
+// the suite doubles as the wave protocol's concurrency regression
+// test.
+package treepar_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/tree"
+	"repro/internal/treepar"
+)
+
+// checkState compares every observable of the partitioned instance's
+// inner TC against the sequential reference.
+func checkState(t *testing.T, tag string, a, ref *core.TC) {
+	t.Helper()
+	if a.Ledger() != ref.Ledger() {
+		t.Fatalf("%s: ledger %+v != sequential %+v", tag, a.Ledger(), ref.Ledger())
+	}
+	if a.Phase() != ref.Phase() {
+		t.Fatalf("%s: phase %d != sequential %d", tag, a.Phase(), ref.Phase())
+	}
+	if a.Round() != ref.Round() {
+		t.Fatalf("%s: round %d != sequential %d", tag, a.Round(), ref.Round())
+	}
+	if a.CacheLen() != ref.CacheLen() {
+		t.Fatalf("%s: occupancy %d != sequential %d", tag, a.CacheLen(), ref.CacheLen())
+	}
+	if a.MaxCacheLen() != ref.MaxCacheLen() {
+		t.Fatalf("%s: peak occupancy %d != sequential %d", tag, a.MaxCacheLen(), ref.MaxCacheLen())
+	}
+	am, rm := a.CacheMembers(), ref.CacheMembers()
+	if len(am) != len(rm) {
+		t.Fatalf("%s: cache sizes differ: %d vs %d", tag, len(am), len(rm))
+	}
+	for i := range am {
+		if am[i] != rm[i] {
+			t.Fatalf("%s: cache members differ at %d: %v vs %v", tag, i, am, rm)
+		}
+	}
+	for v := 0; v < a.Tree().Len(); v++ {
+		if c, cr := a.Counter(tree.NodeID(v)), ref.Counter(tree.NodeID(v)); c != cr {
+			t.Fatalf("%s: counter(%d) = %d, sequential %d", tag, v, c, cr)
+		}
+	}
+}
+
+// replayBoth drives the identical trace through the partitioned and
+// the sequential instance in matching batch spans, checking full state
+// equality after every batch. Batch lengths cycle through sizes that
+// hit the single-request path, the tiny-span sequential path and
+// multi-wave spans.
+func replayBoth(t *testing.T, p *treepar.TC, a, ref *core.TC, input trace.Trace) {
+	t.Helper()
+	sizes := []int{997, 1, 31, 2048, 7, 512}
+	for pos, b := 0, 0; pos < len(input); b++ {
+		end := pos + sizes[b%len(sizes)]
+		if end > len(input) {
+			end = len(input)
+		}
+		s1, m1 := p.ServeBatch(input[pos:end])
+		var s2, m2 int64
+		for _, req := range input[pos:end] {
+			s, m := ref.Serve(req)
+			s2, m2 = s2+s, m2+m
+		}
+		if s1 != s2 || m1 != m2 {
+			t.Fatalf("batch [%d,%d): cost (%d,%d) != sequential (%d,%d)", pos, end, s1, m1, s2, m2)
+		}
+		checkState(t, fmt.Sprintf("after batch [%d,%d)", pos, end), a, ref)
+		pos = end
+	}
+}
+
+// TestTreeParDifferential replays deterministic mixed traces on the
+// canonical shapes through 2/4/8-way partitioned instances and the
+// sequential TC, batch by batch. It also asserts the parallel path was
+// actually exercised: shapes with real branching must dispatch waves.
+func TestTreeParDifferential(t *testing.T) {
+	shapes := []struct {
+		name string
+		t    *tree.Tree
+	}{
+		{"binary", tree.CompleteKary(4095, 2)},
+		{"ternary", tree.CompleteKary(1093, 3)},
+		{"caterpillar", tree.Caterpillar(256, 7)},
+		{"deep-random", tree.Random(rand.New(rand.NewSource(41)), 4096, 3)},
+		{"star", tree.Star(512)},
+	}
+	for _, sh := range shapes {
+		n := sh.t.Len()
+		for _, capacity := range []int{n / 8, n / 2} {
+			for _, shards := range []int{2, 4, 8} {
+				name := fmt.Sprintf("%s/k=%d/shards=%d", sh.name, capacity, shards)
+				t.Run(name, func(t *testing.T) {
+					cfg := core.Config{Alpha: 4, Capacity: capacity}
+					a := core.New(sh.t, cfg)
+					ref := core.New(sh.t, cfg)
+					p := treepar.New(a, treepar.Options{Shards: shards, MinWave: 1, ForceWaves: true})
+					defer p.Close()
+					rng := rand.New(rand.NewSource(int64(n)*31 + int64(capacity)*7 + int64(shards)))
+					replayBoth(t, p, a, ref, trace.RandomMixed(rng, sh.t, 12000))
+					if st := p.Stats(); st.Waves == 0 {
+						t.Fatalf("no parallel wave dispatched (stats %+v)", st)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestTreeParSequentialShapes pins the degenerate partitions: a pure
+// path has no off-path heads (no cuts at all) and must fall back to
+// plain sequential serving without diverging or dispatching waves.
+func TestTreeParSequentialShapes(t *testing.T) {
+	sh := tree.Path(512)
+	cfg := core.Config{Alpha: 4, Capacity: 128}
+	a, ref := core.New(sh, cfg), core.New(sh, cfg)
+	p := treepar.New(a, treepar.Options{Shards: 4, MinWave: 1, ForceWaves: true})
+	defer p.Close()
+	rng := rand.New(rand.NewSource(5))
+	replayBoth(t, p, a, ref, trace.RandomMixed(rng, sh, 4000))
+	if st := p.Stats(); st.Waves != 0 {
+		t.Fatalf("a pure path dispatched %d waves, want 0 (stats %+v)", st.Waves, st)
+	}
+}
+
+// TestTreeParBoundaryStraddle hammers the cut frontier directly: after
+// the partition materializes, the trace alternates deep bursts inside
+// each cut's subtree (fetches whose root-path adds cross into the
+// coordinator region), requests to each cut head and its parent
+// (wave breakers and blocked cuts), and negative storms that drive
+// eviction chains up to — and across — the cuts.
+func TestTreeParBoundaryStraddle(t *testing.T) {
+	sh := tree.CompleteKary(2047, 2)
+	for _, capacity := range []int{255, 2047} {
+		t.Run(fmt.Sprintf("k=%d", capacity), func(t *testing.T) {
+			cfg := core.Config{Alpha: 4, Capacity: capacity}
+			a, ref := core.New(sh, cfg), core.New(sh, cfg)
+			p := treepar.New(a, treepar.Options{Shards: 4, MinWave: 1, ForceWaves: true})
+			defer p.Close()
+
+			// Materialize the partition with a first span, mirrored on
+			// the reference.
+			warm := trace.UniformPositive(rand.New(rand.NewSource(1)), sh, 256)
+			replayBoth(t, p, a, ref, warm)
+			cuts := p.Cuts()
+			if len(cuts) == 0 {
+				t.Fatalf("no cuts on a complete binary tree")
+			}
+
+			rng := rand.New(rand.NewSource(77))
+			var adv trace.Trace
+			pre := sh.Preorder()
+			for round := 0; round < 30; round++ {
+				for _, c := range cuts {
+					lo, hi := sh.PreorderInterval(c)
+					// Deep burst inside the cut: fetch pressure whose
+					// ancestor updates cross the boundary.
+					for i := 0; i < 40; i++ {
+						adv = append(adv, trace.Pos(pre[lo+int32(rng.Intn(int(hi-lo)))]))
+					}
+					// The cut head and its parent: frontier target and
+					// wave breaker / blocked-cut trigger.
+					adv = append(adv, trace.Pos(c), trace.Neg(c), trace.Pos(sh.Parent(c)))
+					// Negative storm inside the cut: eviction chains that
+					// climb to the cut head (and past it once the parent
+					// is cached — the blocked, sequential case).
+					for i := 0; i < 25; i++ {
+						adv = append(adv, trace.Neg(pre[lo+int32(rng.Intn(int(hi-lo)))]))
+					}
+				}
+				adv = append(adv, trace.Neg(sh.Root()), trace.Pos(sh.Root()))
+			}
+			replayBoth(t, p, a, ref, adv)
+			st := p.Stats()
+			if st.Waves == 0 || st.SeqReqs == 0 {
+				t.Fatalf("boundary trace did not exercise both paths: %+v", st)
+			}
+		})
+	}
+}
+
+// TestTreeParCutCrossingEvictions pins the hardest boundary case by
+// construction: with capacity ≥ n every positive pass leaves the whole
+// tree cached, so the following negative storms build eviction chains
+// that MUST climb across every cut (the blocked-cut rule escalates
+// them to the sequential path; any admission bug here corrupts the
+// cached-subforest invariant, not just costs).
+func TestTreeParCutCrossingEvictions(t *testing.T) {
+	sh := tree.CompleteKary(1023, 2)
+	cfg := core.Config{Alpha: 2, Capacity: 1023}
+	a, ref := core.New(sh, cfg), core.New(sh, cfg)
+	p := treepar.New(a, treepar.Options{Shards: 4, MinWave: 1, ForceWaves: true})
+	defer p.Close()
+	rng := rand.New(rand.NewSource(13))
+	var input trace.Trace
+	for cycle := 0; cycle < 20; cycle++ {
+		for i := 0; i < 400; i++ {
+			input = append(input, trace.Pos(tree.NodeID(rng.Intn(1023))))
+		}
+		for i := 0; i < 600; i++ {
+			input = append(input, trace.Neg(tree.NodeID(rng.Intn(1023))))
+		}
+	}
+	replayBoth(t, p, a, ref, input)
+}
+
+// FuzzTreeParDifferential decodes arbitrary bytes into (shape, α,
+// capacity, shard count, request stream) and replays partitioned vs
+// sequential in mixed batch sizes, asserting exact equivalence. Run
+// with
+//
+//	go test -fuzz FuzzTreeParDifferential ./internal/treepar
+//
+// for continuous fuzzing; plain `go test` executes the seed corpus.
+func FuzzTreeParDifferential(f *testing.F) {
+	f.Add([]byte{200, 0, 2, 3, 1, 2, 3, 4, 5, 6, 7, 8, 9, 130, 40, 200})
+	f.Add([]byte{255, 1, 4, 0, 200, 199, 198, 0, 1, 2, 3, 250, 251, 17})
+	f.Add([]byte{90, 2, 2, 1, 0, 0, 0, 128, 128, 128, 64, 64, 192, 192})
+	f.Add([]byte{180, 3, 6, 2, 255, 254, 1, 2, 250, 3, 9, 9, 9, 137})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 5 {
+			t.Skip()
+		}
+		n := 8 + int(data[0])*2 // 8..518 nodes
+		var sh *tree.Tree
+		switch data[1] % 4 {
+		case 0:
+			sh = tree.CompleteKary(n, 2)
+		case 1:
+			sh = tree.CompleteKary(n, 3)
+		case 2:
+			sh = tree.Caterpillar(n/4+2, 3)
+		default:
+			sh = tree.Random(rand.New(rand.NewSource(int64(data[0]))), n, 2)
+		}
+		n = sh.Len()
+		cfg := core.Config{
+			Alpha:    int64(2 * (1 + int(data[2])%3)),
+			Capacity: 1 + int(data[2]/4)%n,
+		}
+		shards := 2 + int(data[3])%3
+		a, ref := core.New(sh, cfg), core.New(sh, cfg)
+		p := treepar.New(a, treepar.Options{Shards: shards, MinWave: 1, WaveLen: 64, ForceWaves: true})
+		defer p.Close()
+		// Stretch the byte stream: each byte seeds a short run so small
+		// fuzz inputs still cross wave boundaries.
+		var input trace.Trace
+		rng := rand.New(rand.NewSource(int64(len(data))))
+		for _, b := range data[4:] {
+			v := tree.NodeID(int(b&0x7f) % n)
+			k := trace.Positive
+			if b&0x80 != 0 {
+				k = trace.Negative
+			}
+			input = append(input, trace.Request{Node: v, Kind: k})
+			for j := 0; j < 3; j++ {
+				input = append(input, trace.Request{
+					Node: tree.NodeID(rng.Intn(n)),
+					Kind: k,
+				})
+			}
+		}
+		replayBoth(t, p, a, ref, input)
+	})
+}
+
+// TestTreeParMutableChurn drives a partitioned dynamic-topology
+// instance and a plain MutableTC through the same interleaved stream
+// of request batches, inserts, deletes and forced rebuilds. Parallel
+// waves may only run while the overlay is quiescent; the partition
+// must follow every rebuild (the inner snapshot instance is replaced).
+func TestTreeParMutableChurn(t *testing.T) {
+	base := tree.CompleteKary(255, 2)
+	cfg := core.MutableConfig{Config: core.Config{Alpha: 4, Capacity: 100}}
+	m := core.NewMutable(base, cfg)
+	ref := core.NewMutable(base, cfg)
+	p := treepar.NewMutable(m, treepar.Options{Shards: 4, MinWave: 1, ForceWaves: true})
+	defer p.Close()
+
+	rng := rand.New(rand.NewSource(99))
+	live := make([]bool, base.Len())
+	kids := make([]int, base.Len())
+	parentOf := make([]tree.NodeID, base.Len())
+	for i := range live {
+		live[i] = true
+		kids[i] = base.Degree(tree.NodeID(i))
+		parentOf[i] = base.Parent(tree.NodeID(i))
+	}
+	pickLive := func() tree.NodeID {
+		for {
+			if v := rng.Intn(len(live)); live[v] {
+				return tree.NodeID(v)
+			}
+		}
+	}
+	checkMutable := func(tag string) {
+		t.Helper()
+		if m.Ledger() != ref.Ledger() {
+			t.Fatalf("%s: ledger %+v != sequential %+v", tag, m.Ledger(), ref.Ledger())
+		}
+		if m.Phase() != ref.Phase() || m.CacheLen() != ref.CacheLen() {
+			t.Fatalf("%s: phase/occupancy (%d,%d) != sequential (%d,%d)",
+				tag, m.Phase(), m.CacheLen(), ref.Phase(), ref.CacheLen())
+		}
+		am, rm := m.CacheMembers(), ref.CacheMembers()
+		if len(am) != len(rm) {
+			t.Fatalf("%s: cache sizes differ: %v vs %v", tag, am, rm)
+		}
+		for i := range am {
+			if am[i] != rm[i] {
+				t.Fatalf("%s: cache members differ: %v vs %v", tag, am, rm)
+			}
+		}
+		for v := 0; v < m.Dyn().NumIDs(); v++ {
+			sv := tree.NodeID(v)
+			if !m.Dyn().Live(sv) {
+				continue
+			}
+			if c, cr := m.Counter(sv), ref.Counter(sv); c != cr {
+				t.Fatalf("%s: counter(%d) = %d, sequential %d", tag, v, c, cr)
+			}
+		}
+	}
+
+	for step := 0; step < 220; step++ {
+		batch := make(trace.Trace, 20+rng.Intn(160))
+		for j := range batch {
+			k := trace.Positive
+			if rng.Intn(3) == 0 {
+				k = trace.Negative
+			}
+			batch[j] = trace.Request{Node: pickLive(), Kind: k}
+		}
+		s1, m1 := p.ServeBatch(batch)
+		s2, m2 := ref.ServeBatch(batch)
+		if s1 != s2 || m1 != m2 {
+			t.Fatalf("step %d: cost (%d,%d) != sequential (%d,%d)", step, s1, m1, s2, m2)
+		}
+		checkMutable(fmt.Sprintf("step %d", step))
+
+		switch rng.Intn(4) {
+		case 0:
+			pnode := pickLive()
+			node := tree.NodeID(len(live))
+			muts := []trace.Mutation{trace.InsertMut(node, pnode)}
+			if err := p.ApplyTopology(muts); err != nil {
+				t.Fatalf("step %d: insert: %v", step, err)
+			}
+			if err := ref.ApplyTopology(muts); err != nil {
+				t.Fatalf("step %d: sequential insert: %v", step, err)
+			}
+			live = append(live, true)
+			kids = append(kids, 0)
+			parentOf = append(parentOf, pnode)
+			kids[pnode]++
+		case 1:
+			for try := 0; try < 60; try++ {
+				v := 1 + rng.Intn(len(live)-1)
+				if live[v] && kids[v] == 0 {
+					muts := []trace.Mutation{trace.DeleteMut(tree.NodeID(v))}
+					if err := p.ApplyTopology(muts); err != nil {
+						t.Fatalf("step %d: delete: %v", step, err)
+					}
+					if err := ref.ApplyTopology(muts); err != nil {
+						t.Fatalf("step %d: sequential delete: %v", step, err)
+					}
+					live[v] = false
+					kids[parentOf[v]]--
+					break
+				}
+			}
+		case 2:
+			if step%9 == 0 {
+				m.Rebuild()
+				ref.Rebuild()
+			}
+		}
+	}
+	st := p.Stats()
+	if st.Waves == 0 {
+		t.Fatalf("churn run dispatched no parallel wave: %+v", st)
+	}
+	if st.Repartitions < 2 {
+		t.Fatalf("partition did not follow rebuilds: %+v", st)
+	}
+}
+
+// TestTreeParServeZeroAllocs extends the TestServeZeroAllocs family to
+// the partitioned path: once the partition, per-owner job lists, shard
+// views and frontier table have grown to the workload's demand,
+// steady-state wave serving — shard-local fetch/evict rounds AND the
+// boundary-message exchange at the barrier — performs zero heap
+// allocations. Frontier messages live in a flat per-cut table that is
+// zeroed in place at each barrier, so boundary traffic needs no
+// buffers at all (the wave analogue of SubmitMulti's recycled
+// batches).
+func TestTreeParServeZeroAllocs(t *testing.T) {
+	shapes := []struct {
+		name     string
+		t        *tree.Tree
+		capacity int
+	}{
+		{"binary", tree.CompleteKary(4095, 2), 1024},
+		{"caterpillar", tree.Caterpillar(512, 3), 1024},
+		{"deep-random", tree.Random(rand.New(rand.NewSource(9)), 4096, 3), 2048},
+	}
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			input := trace.RandomMixed(rng, sh.t, 8192)
+			a := core.New(sh.t, core.Config{Alpha: 8, Capacity: sh.capacity})
+			p := treepar.New(a, treepar.Options{Shards: 4, MinWave: 1, ForceWaves: true})
+			defer p.Close()
+			p.ServeBatch(input)
+			if p.Stats().Waves == 0 {
+				t.Skipf("shape dispatched no waves; nothing to measure")
+			}
+			a.Reset()
+			allocs := testing.AllocsPerRun(3, func() {
+				p.ServeBatch(input)
+				a.Reset()
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state partitioned ServeBatch allocated %.1f times per %d-request replay, want 0",
+					allocs, len(input))
+			}
+		})
+	}
+}
+
+// TestTreeParOwnerPanicMidWave is the chaos drill for the wave
+// protocol itself: a fault hook panics inside owner goroutines
+// mid-wave, repeatedly. Panics at request boundaries must not deadlock
+// the barrier — every owner still reports, the coordinator completes
+// the crashed owner's remaining requests itself, and the wave commits
+// exactly. The final state is pinned against the sequential replay.
+// Run with -race: the recovery path shares the crashed owner's view
+// with the coordinator across the barrier.
+func TestTreeParOwnerPanicMidWave(t *testing.T) {
+	sh := tree.CompleteKary(2047, 2)
+	cfg := core.Config{Alpha: 4, Capacity: 512}
+	a, ref := core.New(sh, cfg), core.New(sh, cfg)
+	var calls atomic.Int64
+	p := treepar.New(a, treepar.Options{
+		Shards:     4,
+		MinWave:    1,
+		ForceWaves: true,
+		FaultHook: func(owner, served int) {
+			if calls.Add(1)%97 == 0 {
+				panic(fmt.Sprintf("injected owner %d fault after %d requests", owner, served))
+			}
+		},
+	})
+	defer p.Close()
+	rng := rand.New(rand.NewSource(3))
+	replayBoth(t, p, a, ref, trace.RandomMixed(rng, sh, 12000))
+	st := p.Stats()
+	if st.Waves == 0 {
+		t.Fatalf("no waves dispatched: %+v", st)
+	}
+	if st.OwnerFaults == 0 {
+		t.Fatalf("fault hook fired %d times but no owner fault was recovered: %+v", calls.Load(), st)
+	}
+}

@@ -1,0 +1,81 @@
+package treecache
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/treepar"
+)
+
+// TestEngineSubtreeShards pins the EngineOptions.SubtreeShards
+// plumbing: the fleet swaps each partitionable shard algorithm for an
+// intra-tree parallel instance (trees too small or too path-like stay
+// sequential), serves a multi-tenant workload through it with exactly
+// the sequential costs and cache contents, and actually dispatches
+// parallel waves on the shards with real branching.
+func TestEngineSubtreeShards(t *testing.T) {
+	// Partitioned instances gate waves on the GOMAXPROCS setting (a
+	// single processor cannot repay the barrier overhead); raise it so
+	// the plumbing test dispatches real waves even on a one-core host.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	rng := rand.New(rand.NewSource(8))
+	trees := []*Tree{
+		CompleteKary(2047, 2), // partitions and parallelizes
+		Path(64),              // no off-path heads: stays wave-free
+	}
+	opts := Options{Alpha: 4, Capacity: 400}
+	mt := MultiTenantWorkload(rng, trees, MultiTenantConfig{
+		Rounds: 30000, TenantS: 1.1, NodeS: 1.0, NegFrac: 0.3, BurstFrac: 0.05, BurstLen: 4,
+	})
+	eng := NewEngine(trees, opts, EngineOptions{SubtreeShards: 4})
+	defer eng.Close()
+	if err := eng.SubmitMulti(mt, 512); err != nil {
+		t.Fatal(err)
+	}
+	eng.Drain()
+	st := eng.Stats()
+	if st.Rounds != int64(len(mt)) {
+		t.Fatalf("served %d rounds, want %d", st.Rounds, len(mt))
+	}
+	for i, split := range mt.Split(len(trees)) {
+		seq := New(trees[i], opts)
+		for _, r := range split {
+			seq.Request(r)
+		}
+		if got, want := st.Shards[i].Total(), seq.Cost(); got != want {
+			t.Fatalf("shard %d cost %d, sequential cache cost %d", i, got, want)
+		}
+		got, want := eng.Shard(i).Members(), seq.Members()
+		if len(got) != len(want) {
+			t.Fatalf("shard %d cache size %d, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("shard %d cache differs at %d", i, j)
+			}
+		}
+	}
+	// The engine must have swapped in the partitioned instances, and
+	// the branching tenant must have served real waves.
+	par, ok := eng.e.Algorithm(0).(*treepar.TC)
+	if !ok {
+		t.Fatalf("shard 0 algorithm is %T, want *treepar.TC", eng.e.Algorithm(0))
+	}
+	if ps := par.Stats(); ps.Waves == 0 {
+		t.Fatalf("shard 0 dispatched no parallel waves: %+v", ps)
+	}
+	if _, ok := eng.e.Algorithm(1).(*treepar.TC); !ok {
+		t.Fatalf("shard 1 should still wrap (a disabled partition serves sequentially)")
+	}
+
+	// An observer-bearing fleet must decline partitioning entirely.
+	obsOpts := opts
+	obsOpts.Observer = core.NopObserver{}
+	eng2 := NewEngine([]*Tree{CompleteKary(255, 2)}, obsOpts, EngineOptions{SubtreeShards: 4, Parallelism: 1})
+	defer eng2.Close()
+	if _, ok := eng2.e.Algorithm(0).(*treepar.TC); ok {
+		t.Fatalf("observer-bearing shard was partitioned")
+	}
+}
